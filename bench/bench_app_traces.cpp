@@ -1,0 +1,194 @@
+// Application-shaped queue behaviour (the [8][9] motivation studies).
+//
+// The paper's case rests on measurements that real applications build
+// queues of tens to hundreds of entries with heavy MPI_ANY_SOURCE use.
+// This bench replays synthetic application profiles through the
+// matching structures and reports the queue-depth and search-depth
+// distributions those studies describe — the statistics that decide how
+// much an ALPU of a given size helps — plus the modelled firmware time
+// per operation for the software list vs. the ALPU.
+//
+// Traffic is PAIRED the way real communication is: most arrivals are
+// messages some posted receive is waiting for, and most posts are for
+// messages already in flight — a free random walk would grow the queues
+// without bound, which is not what [8][9] measured.  A working-depth
+// regulator supplies the pairing pressure.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace alpu;
+
+struct Profile {
+  const char* name;
+  std::size_t target_depth;  ///< regulated working queue depth
+  double p_wildcard_source;
+  std::uint32_t sources;
+  std::uint32_t tags;
+  std::uint64_t seed;
+};
+
+constexpr double kPerEntryNs = 14.0;
+constexpr double kAlpuAnswerNs = 84.0;
+constexpr std::size_t kOps = 50'000;
+
+/// Paired-traffic generator over a ReferenceQueues instance.
+class AppTraffic {
+ public:
+  AppTraffic(const Profile& profile, workload::ReferenceQueues& queues)
+      : profile_(profile), queues_(queues), rng_(profile.seed) {}
+
+  workload::TraceOp next() {
+    const std::size_t pq = queues_.posted().size();
+    const std::size_t uq = queues_.unexpected().size();
+    // Backstop: never let early-arrival noise accumulate without bound.
+    if (uq > profile_.target_depth) return post(true);
+    // Iterative applications pre-post a batch of receives for the next
+    // phase, then the matching messages stream in — that is what builds
+    // the deep queues [8] measured.
+    if (posting_phase_) {
+      if (pq >= profile_.target_depth) {
+        posting_phase_ = false;
+      } else {
+        // Mostly fresh receives; some consume early arrivals.
+        return post(rng_.chance(0.2));
+      }
+    }
+    if (pq <= profile_.target_depth / 8) {
+      posting_phase_ = true;
+      return post(rng_.chance(0.2));
+    }
+    // Drain phase: deliveries for the posted batch, plus some messages
+    // nobody posted for yet (they queue unexpected).
+    return arrival(rng_.chance(0.85));
+  }
+
+ private:
+  workload::TraceOp post(bool paired) {
+    workload::TraceOp op;
+    op.is_post = true;
+    if (paired && !queues_.unexpected().empty()) {
+      // Post a receive for a message already queued unexpected.
+      const auto& entry = queues_.unexpected().at(
+          rng_.below(queues_.unexpected().size()));
+      const match::Envelope env = match::unpack(entry.word);
+      op.pattern = match::make_recv_pattern(
+          env.context,
+          rng_.chance(profile_.p_wildcard_source)
+              ? std::nullopt
+              : std::optional<std::uint32_t>{env.source},
+          env.tag);
+      return op;
+    }
+    op.pattern = match::make_recv_pattern(
+        0,
+        rng_.chance(profile_.p_wildcard_source)
+            ? std::nullopt
+            : std::optional<std::uint32_t>{
+                  static_cast<std::uint32_t>(rng_.below(profile_.sources))},
+        static_cast<std::uint32_t>(rng_.below(profile_.tags)));
+    return op;
+  }
+
+  workload::TraceOp arrival(bool paired) {
+    workload::TraceOp op;
+    op.is_post = false;
+    if (paired && !queues_.posted().empty()) {
+      // Send the message some posted receive is waiting for.
+      const auto& entry =
+          queues_.posted().at(rng_.below(queues_.posted().size()));
+      match::Envelope env = match::unpack(entry.pattern.bits);
+      if ((entry.pattern.mask & match::kSourceMask) != 0) {
+        env.source = static_cast<std::uint32_t>(rng_.below(profile_.sources));
+      }
+      if ((entry.pattern.mask & match::kTagMask) != 0) {
+        env.tag = static_cast<std::uint32_t>(rng_.below(profile_.tags));
+      }
+      op.word = match::pack(env);
+      return op;
+    }
+    op.word = match::pack(match::Envelope{
+        0, static_cast<std::uint32_t>(rng_.below(profile_.sources)),
+        static_cast<std::uint32_t>(rng_.below(profile_.tags))});
+    return op;
+  }
+
+  const Profile& profile_;
+  workload::ReferenceQueues& queues_;
+  common::Xoshiro256 rng_;
+  bool posting_phase_ = true;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== application-shaped queue statistics ([8][9]) ===\n\n");
+
+  const std::vector<Profile> profiles = {
+      // Balanced nearest-neighbour code: short queues, few wildcards.
+      {"nearest-neighbour", 16, 0.05, 8, 8, 101},
+      // Master/worker: ANY_SOURCE everywhere, moderate backlog.
+      {"master-worker", 96, 0.8, 64, 8, 202},
+      // Wide irregular code: many peers, deep working queues.
+      {"irregular-wide", 320, 0.3, 256, 64, 303},
+  };
+
+  common::TextTable t;
+  t.set_header({"profile", "mean postedQ", "p95 postedQ", "max", "mean walk",
+                "p95 walk", "sw ns/op", "alpu256 ns/op", "fits in 256?"});
+
+  for (const Profile& profile : profiles) {
+    workload::ReferenceQueues queues;
+    AppTraffic traffic(profile, queues);
+    common::SampleSet depth, walk;
+    double sw_ns = 0;
+    for (std::size_t i = 0; i < kOps; ++i) {
+      const workload::TraceOp op = traffic.next();
+      const std::size_t visited =
+          op.is_post ? queues.unexpected().search(op.pattern).visited
+                     : queues.posted().search(op.word).visited;
+      walk.add(static_cast<double>(visited));
+      sw_ns += kPerEntryNs * static_cast<double>(visited);
+      (void)queues.apply(op);
+      depth.add(static_cast<double>(queues.posted().size()));
+    }
+    const double n = static_cast<double>(kOps);
+    const bool fits = depth.percentile(95) <= 256.0;
+    t.add_row({profile.name, common::fmt_double(depth.mean(), 1),
+               common::fmt_double(depth.percentile(95), 0),
+               common::fmt_double(depth.max(), 0),
+               common::fmt_double(walk.mean(), 1),
+               common::fmt_double(walk.percentile(95), 0),
+               common::fmt_double(sw_ns / n, 1),
+               common::fmt_double(kAlpuAnswerNs, 1), fits ? "yes" : "no"});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // Depth histogram for the irregular profile (the shape [9] reports).
+  {
+    const Profile& profile = profiles.back();
+    workload::ReferenceQueues queues;
+    AppTraffic traffic(profile, queues);
+    common::Histogram hist(0, 512, 16);
+    for (std::size_t i = 0; i < kOps; ++i) {
+      (void)queues.apply(traffic.next());
+      hist.add(static_cast<double>(queues.posted().size()));
+    }
+    std::printf("posted-queue depth distribution (irregular-wide):\n%s\n",
+                hist.render(48).c_str());
+  }
+
+  std::printf(
+      "Reading: the balanced code sits near the ALPU break-even point;\n"
+      "the wildcard-heavy and irregular profiles spend hundreds to\n"
+      "thousands of ns per operation walking lists the ALPU answers in\n"
+      "constant time, and their p95 depths motivate the paper's 128- and\n"
+      "256-cell sizings.\n");
+  return 0;
+}

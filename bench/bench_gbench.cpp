@@ -1,0 +1,161 @@
+// Google-benchmark micro suite: wall-clock performance of the simulator's
+// own building blocks (engineering hygiene — these bound how large an
+// experiment the simulator can sweep).
+#include <benchmark/benchmark.h>
+
+#include "alpu/array.hpp"
+#include "common/fifo.hpp"
+#include "common/rng.hpp"
+#include "match/hash_list.hpp"
+#include "match/list.hpp"
+#include "mem/cache.hpp"
+#include "portals/portals.hpp"
+#include "sim/engine.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace alpu;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.schedule_at(i, [&sink] { ++sink; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void BM_FifoPushPop(benchmark::State& state) {
+  common::BoundedFifo<std::uint64_t> fifo(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    (void)fifo.try_push(v++);
+    benchmark::DoNotOptimize(fifo.pop());
+  }
+}
+BENCHMARK(BM_FifoPushPop);
+
+void BM_CacheAccess(benchmark::State& state) {
+  mem::Cache cache(
+      {.size_bytes = 32 * 1024, .line_bytes = 64, .ways = 64});
+  common::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.below(1 << 20), false));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_PostedListSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  match::PostedList list;
+  for (std::size_t i = 0; i < n; ++i) {
+    list.append({match::make_recv_pattern(0, 1,
+                                          static_cast<std::uint32_t>(i % 512)),
+                 static_cast<match::Cookie>(i), 0});
+  }
+  const auto miss = match::pack(match::Envelope{1, 1, 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.search(miss));  // worst case: full walk
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PostedListSearch)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_HashConsume(benchmark::State& state) {
+  match::UnexpectedHashList list;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    list.insert(match::pack(match::Envelope{0, 1, i % 512}), i);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(list.consume_match(
+        match::exact_pattern(match::Envelope{0, 1, i % 512})));
+    ++i;
+  }
+}
+BENCHMARK(BM_HashConsume);
+
+void BM_AlpuArrayMatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hw::AlpuArray array(hw::AlpuFlavor::kPostedReceive, n, 16);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = match::make_recv_pattern(
+        0, 1, static_cast<std::uint32_t>(i % 512));
+    (void)array.insert(p.bits, p.mask, static_cast<match::Cookie>(i));
+  }
+  const hw::Probe miss{match::pack(match::Envelope{1, 1, 1}), 0, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.match(miss));
+  }
+}
+BENCHMARK(BM_AlpuArrayMatch)->Arg(128)->Arg(256);
+
+void BM_AlpuArrayMatchTree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hw::AlpuArray array(hw::AlpuFlavor::kPostedReceive, n, 16);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = match::make_recv_pattern(
+        0, 1, static_cast<std::uint32_t>(i % 512));
+    (void)array.insert(p.bits, p.mask, static_cast<match::Cookie>(i));
+  }
+  const hw::Probe miss{match::pack(match::Envelope{1, 1, 1}), 0, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.match_tree(miss));
+  }
+}
+BENCHMARK(BM_AlpuArrayMatchTree)->Arg(128)->Arg(256);
+
+void BM_PortalsAcceleratedPut(benchmark::State& state) {
+  portals::PortalTable table(1);
+  const auto eq = table.eq_alloc(1 << 16);
+  (void)table.attach_alpu(0, 256, 16);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    portals::MatchEntrySpec spec;
+    spec.match_bits = 0x5000 + (i % 256);
+    spec.md.length = 64;
+    (void)table.me_attach(0, spec, eq);
+    (void)table.eq(eq).poll();
+    (void)table.eq(eq).poll();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        table.put(0, {0, 0}, 0x5000 + (i % 256), 32));
+    ++i;
+  }
+}
+BENCHMARK(BM_PortalsAcceleratedPut);
+
+void BM_FullPingPongSimulation(benchmark::State& state) {
+  // Wall-clock cost of one complete two-node end-to-end simulation —
+  // the unit of work every Figure 5/6 data point costs.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        workload::run_pingpong(workload::NicMode::kAlpu128, 0, 1));
+  }
+}
+BENCHMARK(BM_FullPingPongSimulation);
+
+void BM_PrepostedDataPoint(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    workload::PrepostedParams p;
+    p.mode = workload::NicMode::kAlpu256;
+    p.queue_length = len;
+    benchmark::DoNotOptimize(workload::run_preposted(p).latency);
+  }
+}
+BENCHMARK(BM_PrepostedDataPoint)->Arg(0)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

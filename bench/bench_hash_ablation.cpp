@@ -1,0 +1,141 @@
+// Ablation: hash-table matching (the alternative Section II rejects).
+//
+// Hash tables cut the search to O(1) for exact traffic but (a) inflate
+// insert cost — visible in exactly the zero-length ping-pong latency by
+// which networks are judged — and (b) degrade to a linear scan for
+// wildcard probes while still paying the hashing overhead.  This bench
+// quantifies both effects with the same firmware cost model the system
+// simulation uses (cycles at 500 MHz + cache-line touches), comparing:
+//   linear list   — the baseline NIC's structure,
+//   hash          — PostedHashList / UnexpectedHashList,
+//   ALPU          — the hardware unit's interaction costs.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "match/hash_list.hpp"
+#include "match/list.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace alpu;
+
+// Cost model (ns), consistent with NicConfig's firmware calibration.
+constexpr double kPerEntryNs = 14.0;    // walk one in-cache entry
+constexpr double kAppendNs = 60.0;      // build + link one list entry
+constexpr double kHashComputeNs = 30.0; // hash the 42-bit key (~15 cycles)
+constexpr double kBucketProbeNs = 14.0; // touch a bucket head line
+constexpr double kBucketInsertNs = 110.0;  // hash + chain insert + touch
+constexpr double kAlpuResultNs = 84.0;  // 3 bus reads + bookkeeping
+constexpr double kAlpuInsertNs = 50.0;  // 2 bus writes + command prep
+constexpr double kAlpuSessionNs = 90.0; // START/ACK/STOP amortised
+
+struct Costs {
+  double search_ns = 0;
+  double insert_ns = 0;
+  std::uint64_t operations = 0;
+};
+
+/// Replay a trace and accumulate modelled time per structure.
+void run_trace(const workload::TraceConfig& cfg, Costs& linear, Costs& hash,
+               Costs& alpu) {
+  const auto trace = workload::generate_trace(cfg);
+
+  // Linear reference (also the semantic oracle).
+  workload::ReferenceQueues ref_for_linear;
+  for (const auto& op : trace) {
+    if (op.is_post) {
+      const auto before = ref_for_linear.unexpected().size();
+      const auto res = ref_for_linear.unexpected().search(op.pattern);
+      (void)before;
+      linear.search_ns += kPerEntryNs * static_cast<double>(res.visited);
+      if (!res.found) linear.insert_ns += kAppendNs;
+    } else {
+      const auto res = ref_for_linear.posted().search(op.word);
+      linear.search_ns += kPerEntryNs * static_cast<double>(res.visited);
+      if (!res.found) linear.insert_ns += kAppendNs;
+    }
+    (void)ref_for_linear.apply(op);
+    ++linear.operations;
+  }
+
+  // Hash structures.
+  match::PostedHashList posted_hash;
+  match::UnexpectedHashList unexpected_hash;
+  match::Cookie ck = 1;
+  for (const auto& op : trace) {
+    if (op.is_post) {
+      const auto r = unexpected_hash.consume_match(op.pattern);
+      hash.search_ns += kHashComputeNs +
+                        kBucketProbeNs * static_cast<double>(r.hash_probes) +
+                        kPerEntryNs * static_cast<double>(r.entries_scanned);
+      if (!r.found) {
+        posted_hash.insert(op.pattern, ck++);
+        hash.insert_ns += kBucketInsertNs;
+      }
+    } else {
+      const auto r = posted_hash.consume_match(op.word);
+      hash.search_ns += kHashComputeNs +
+                        kBucketProbeNs * static_cast<double>(r.hash_probes) +
+                        kPerEntryNs * static_cast<double>(r.entries_scanned);
+      if (!r.found) {
+        unexpected_hash.insert(op.word, ck++);
+        hash.insert_ns += kBucketInsertNs;
+      }
+    }
+    ++hash.operations;
+  }
+
+  // ALPU: constant-time verdicts; inserts batched over the bus.
+  workload::ReferenceQueues ref_for_alpu;
+  for (const auto& op : trace) {
+    (void)ref_for_alpu.apply(op);
+    alpu.search_ns += kAlpuResultNs;
+    alpu.insert_ns += kAlpuInsertNs + kAlpuSessionNs / 16.0;  // batch of 16
+    ++alpu.operations;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== hash-table ablation (Section II) ===\n");
+  std::printf("(modelled NIC-firmware time per operation, averaged over\n"
+              " 20k-op synthetic traces; wildcard mix per the paper's app\n"
+              " survey: ANY_SOURCE common, ANY_TAG rare)\n\n");
+
+  common::TextTable t;
+  t.set_header({"wildcard src", "structure", "search ns/op", "insert ns/op",
+                "total ns/op"});
+  for (double wild : {0.0, 0.1, 0.3, 0.6}) {
+    workload::TraceConfig cfg;
+    cfg.operations = 20'000;
+    cfg.p_wildcard_source = wild;
+    cfg.p_wildcard_tag = 0.02;
+    cfg.contexts = 2;
+    cfg.sources = 8;
+    cfg.tags = 16;
+    cfg.seed = 42;
+    Costs linear{}, hash{}, alpu{};
+    run_trace(cfg, linear, hash, alpu);
+    auto row = [&](const char* name, const Costs& c) {
+      const double n = static_cast<double>(c.operations);
+      t.add_row({common::fmt_double(wild, 2), name,
+                 common::fmt_double(c.search_ns / n, 1),
+                 common::fmt_double(c.insert_ns / n, 1),
+                 common::fmt_double((c.search_ns + c.insert_ns) / n, 1)});
+    };
+    row("linear", linear);
+    row("hash", hash);
+    row("alpu", alpu);
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Reading: hashing beats the list on searches once queues are\n"
+              "non-trivial, but pays ~2x on every insert (the zero-length\n"
+              "ping-pong penalty the paper calls prohibitive), and its\n"
+              "search advantage collapses as MPI_ANY_SOURCE use rises.\n"
+              "The ALPU's cost is flat in both dimensions.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Gap / message-rate study (the Section I motivation).
+//
+// The introduction ranks gap (the inverse message rate) as the
+// second-largest application impact after overhead, and identifies
+// queue traversal on the NIC as what inflates it.  This bench streams a
+// burst of back-to-back messages into a receiver with a standing posted
+// queue and reports the achieved per-message gap and message rate for
+// the baseline and ALPU NICs.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "workload/scenarios.hpp"
+
+int main() {
+  using namespace alpu;
+  using workload::NicMode;
+
+  constexpr int kBurst = 64;
+  std::printf("=== message gap vs standing posted-queue length ===\n");
+  std::printf("(burst of %d back-to-back 0-byte sends; gap measured at the\n"
+              " receiver; Mmsg/s = 1000/gap_ns)\n\n", kBurst);
+
+  common::TextTable t;
+  t.set_header({"queue_length", "baseline gap (ns)", "alpu128 gap (ns)",
+                "alpu256 gap (ns)", "baseline Mmsg/s", "alpu256 Mmsg/s"});
+  for (std::size_t len : {0ul, 10ul, 50ul, 100ul, 200ul, 400ul}) {
+    auto gap = [&](NicMode mode) {
+      workload::MessageRateParams p;
+      p.mode = mode;
+      p.queue_length = len;
+      p.burst = kBurst;
+      return common::to_ns(workload::run_message_rate(p));
+    };
+    const double base = gap(NicMode::kBaseline);
+    const double a128 = gap(NicMode::kAlpu128);
+    const double a256 = gap(NicMode::kAlpu256);
+    t.add_row({std::to_string(len), common::fmt_double(base, 1),
+               common::fmt_double(a128, 1), common::fmt_double(a256, 1),
+               common::fmt_double(1000.0 / base, 2),
+               common::fmt_double(1000.0 / a256, 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Reading: the baseline's gap grows with every entry each\n"
+              "message must walk past (message rate collapses); the ALPU\n"
+              "holds the gap flat until the queue outgrows its capacity.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Job-size scaling (the Section II claim behind the whole design).
+//
+// "The length of the list can grow linearly with the number of
+// processes in the parallel application [8][9]."  This bench builds the
+// canonical case: every rank pre-posts one receive per peer (wild tags,
+// explicit sources — the all-to-all exchange setup), then peers deliver
+// in a staggered order so matches land mid-list.  Per-message latency at
+// the busiest rank is reported against job size, for the baseline NIC
+// and both ALPU sizes.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "mpi/mpi.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace alpu;
+using workload::NicMode;
+
+/// All-to-one exchange: rank 0 pre-posts `fan_in` receives per peer,
+/// peers send in reverse-tag order (deep traversals), time to drain.
+common::TimePs run_fan_in(NicMode mode, int nprocs, int per_peer) {
+  sim::Engine engine;
+  mpi::Machine machine(engine, workload::make_system_config(mode, nprocs));
+  sim::ProcessPool pool(engine);
+  static common::TimePs t0, t1;
+
+  pool.spawn([](mpi::Machine& m, int n, int k) -> sim::Process {
+    std::vector<mpi::Request> recvs;
+    // Pre-post everything: queue depth = (n-1) * k.
+    for (int tag = 0; tag < k; ++tag) {
+      for (int src = 1; src < n; ++src) {
+        recvs.push_back(m.rank(0).irecv(src, tag, 256));
+      }
+    }
+    for (int src = 1; src < n; ++src) {
+      co_await m.rank(0).send(src, 999, 0);  // release the peers
+    }
+    t0 = m.engine().now();
+    co_await m.rank(0).waitall(std::move(recvs));
+    t1 = m.engine().now();
+  }(machine, nprocs, per_peer));
+
+  for (int src = 1; src < nprocs; ++src) {
+    pool.spawn([](mpi::Machine& m, int self, int k) -> sim::Process {
+      co_await m.rank(self).recv(0, 999, 0);
+      // Reverse tag order: each message traverses the still-posted
+      // earlier-tag entries — the deep-search regime.
+      for (int tag = k - 1; tag >= 0; --tag) {
+        co_await m.rank(self).send(0, tag, 256);
+      }
+    }(machine, src, per_peer));
+  }
+
+  engine.run();
+  if (!pool.all_done()) {
+    std::fprintf(stderr, "fan-in deadlocked\n");
+    std::abort();
+  }
+  return t1 - t0;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kPerPeer = 16;
+  std::printf("=== queue length scales with job size (Section II) ===\n");
+  std::printf("(all-to-one: rank 0 pre-posts %d receives per peer; peers\n"
+              " deliver reverse-ordered; drain time per message at rank 0)\n\n",
+              kPerPeer);
+
+  common::TextTable t;
+  t.set_header({"ranks", "posted Q depth", "baseline ns/msg",
+                "alpu128 ns/msg", "alpu256 ns/msg", "speedup (256)"});
+  for (int n : {2, 4, 8, 16, 24}) {
+    const double msgs = static_cast<double>((n - 1) * kPerPeer);
+    const double base =
+        common::to_ns(run_fan_in(NicMode::kBaseline, n, kPerPeer)) / msgs;
+    const double a128 =
+        common::to_ns(run_fan_in(NicMode::kAlpu128, n, kPerPeer)) / msgs;
+    const double a256 =
+        common::to_ns(run_fan_in(NicMode::kAlpu256, n, kPerPeer)) / msgs;
+    t.add_row({std::to_string(n), std::to_string((n - 1) * kPerPeer),
+               common::fmt_double(base, 1), common::fmt_double(a128, 1),
+               common::fmt_double(a256, 1),
+               common::fmt_double(base / a256, 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Reading: the baseline's per-message cost grows with job\n"
+              "size because every arrival traverses a queue proportional\n"
+              "to the number of peers; the ALPU holds it flat until the\n"
+              "queue outgrows the array.\n");
+  return 0;
+}

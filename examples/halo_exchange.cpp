@@ -1,0 +1,122 @@
+// Halo exchange: the application pattern behind the paper's motivation.
+//
+// Studies [8][9] found real MPI applications traverse queues tens to
+// hundreds of entries deep, largely because codes pre-post receives for
+// all neighbours (often with MPI_ANY_SOURCE) and iterate.  This example
+// runs a 2D periodic halo exchange on a rank grid: each iteration every
+// rank pre-posts receives for its four neighbours, then sends four
+// halos, then waits.  With `deep_prepost` iterations' worth of receives
+// posted up front, the posted queue grows the way those studies
+// describe — and the ALPU's benefit shows directly in wall-clock
+// (simulated) application time.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "mpi/mpi.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace alpu;
+
+namespace {
+
+constexpr int kGrid = 3;            // 3x3 ranks
+constexpr int kIterations = 24;
+constexpr std::uint32_t kHaloBytes = 512;
+
+int rank_of(int x, int y) {
+  const int gx = (x + kGrid) % kGrid;
+  const int gy = (y + kGrid) % kGrid;
+  return gy * kGrid + gx;
+}
+
+/// One rank's program.  `depth` iterations of receives are pre-posted
+/// ahead of time (deep pre-posting, the queue-growing pattern).
+sim::Process node_program(mpi::Machine& machine, int rank, int depth) {
+  mpi::Rank& self = machine.rank(rank);
+  const int x = rank % kGrid;
+  const int y = rank / kGrid;
+  const int neighbours[4] = {rank_of(x - 1, y), rank_of(x + 1, y),
+                             rank_of(x, y - 1), rank_of(x, y + 1)};
+
+  // Tag = iteration number; receives use MPI_ANY_SOURCE (the prevalent
+  // wildcard per Section II's application survey), distinguished by tag.
+  std::vector<std::vector<mpi::Request>> recvs(
+      static_cast<std::size_t>(kIterations));
+  for (int it = 0; it < depth && it < kIterations; ++it) {
+    for (int n = 0; n < 4; ++n) {
+      recvs[static_cast<std::size_t>(it)].push_back(
+          self.irecv(mpi::kAnySource, it, kHaloBytes));
+    }
+  }
+
+  for (int it = 0; it < kIterations; ++it) {
+    if (it >= depth) {
+      for (int n = 0; n < 4; ++n) {
+        recvs[static_cast<std::size_t>(it)].push_back(
+            self.irecv(mpi::kAnySource, it, kHaloBytes));
+      }
+    }
+    std::vector<mpi::Request> sends;
+    for (int neighbour : neighbours) {
+      sends.push_back(self.isend(neighbour, it, kHaloBytes));
+    }
+    co_await self.waitall(std::move(recvs[static_cast<std::size_t>(it)]));
+    co_await self.waitall(std::move(sends));
+  }
+  co_await self.barrier();
+}
+
+common::TimePs run_halo(workload::NicMode mode, int depth,
+                        std::size_t threshold) {
+  sim::Engine engine;
+  auto cfg = workload::make_system_config(mode, kGrid * kGrid);
+  cfg.nic.alpu_policy.insert_threshold = threshold;
+  mpi::Machine machine(engine, cfg);
+  sim::ProcessPool pool(engine);
+  for (int r = 0; r < kGrid * kGrid; ++r) {
+    pool.spawn(node_program(machine, r, depth));
+  }
+  const common::TimePs end = engine.run();
+  if (!pool.all_done()) {
+    std::fprintf(stderr, "halo exchange deadlocked\n");
+    std::abort();
+  }
+  return end;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("2D periodic halo exchange, %dx%d ranks, %d iterations,\n"
+              "%u-byte halos, MPI_ANY_SOURCE receives.\n\n",
+              kGrid, kGrid, kIterations, kHaloBytes);
+
+  common::TextTable t;
+  t.set_header({"pre-post depth", "posted recvs", "baseline (us)",
+                "alpu thr=0 (us)", "alpu thr=8 (us)"});
+  for (int depth : {1, kIterations}) {
+    const common::TimePs base =
+        run_halo(workload::NicMode::kBaseline, depth, 0);
+    const common::TimePs thr0 =
+        run_halo(workload::NicMode::kAlpu128, depth, 0);
+    const common::TimePs thr8 =
+        run_halo(workload::NicMode::kAlpu128, depth, 8);
+    t.add_row({depth == 1 ? "shallow (1 iter)" : "deep (all iters)",
+               std::to_string(4 * depth),
+               common::fmt_double(common::to_us(base), 2),
+               common::fmt_double(common::to_us(thr0), 2),
+               common::fmt_double(common::to_us(thr8), 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "A lockstep halo exchange is the ALPU's WORST realistic traffic:\n"
+      "each iteration's receives are consumed in FIFO order, so the\n"
+      "software search is short even when the posted queue is long, and\n"
+      "the offload's per-insert and per-result costs buy nothing.  With\n"
+      "the Section IV-B threshold heuristic the shallow case sidesteps\n"
+      "the unit entirely; the deep case still pays — queue LENGTH, which\n"
+      "the heuristic sees, is not search DEPTH, which sets the payoff.\n"
+      "Contrast with examples/unexpected_flood.cpp, the ALPU's best case.\n");
+  return 0;
+}

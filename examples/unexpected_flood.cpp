@@ -1,0 +1,112 @@
+// Master/worker unexpected-message flood.
+//
+// The second queue the paper accelerates: a master that posts its
+// receives lazily while eager workers blast results at it accumulates a
+// long unexpected queue, and every late receive it posts must search
+// that queue (Section VI-C).  This example runs a master collecting
+// `kResults` messages from several workers, posting receives only after
+// everything has arrived — worst case for the unexpected queue — and
+// compares NICs.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "mpi/mpi.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace alpu;
+
+namespace {
+
+constexpr int kWorkers = 3;
+constexpr std::uint32_t kResultBytes = 64;
+
+struct Outcome {
+  common::TimePs drain_time = 0;     ///< master: first post -> all done
+  std::size_t peak_unexpected = 0;
+};
+
+sim::Process worker(mpi::Machine& machine, int rank, int results) {
+  mpi::Rank& self = machine.rank(rank);
+  co_await self.recv(0, /*tag=*/0, 0);  // go signal
+  for (int i = 0; i < results; ++i) {
+    // Tag identifies the work item; the master receives by tag with
+    // MPI_ANY_SOURCE (it does not know which worker got which item).
+    co_await self.send(0, 1 + i, kResultBytes);
+  }
+  co_await self.send(0, /*tag=*/4000, 0);  // done marker
+}
+
+sim::Process master(mpi::Machine& machine, int results_per_worker,
+                    Outcome& out) {
+  mpi::Rank& self = machine.rank(0);
+  // Pre-post the done markers, then release the workers.
+  std::vector<mpi::Request> done;
+  for (int w = 1; w <= kWorkers; ++w) {
+    done.push_back(self.irecv(w, 4000, 0));
+  }
+  for (int w = 1; w <= kWorkers; ++w) {
+    co_await self.send(w, 0, 0);
+  }
+  co_await self.waitall(std::move(done));  // all results now unexpected
+  out.peak_unexpected = machine.nic(0).unexpected_queue_length();
+
+  const common::TimePs t0 = machine.engine().now();
+  // Drain newest-first: the master reduces the freshest results first
+  // (a priority-driven consumer), so every receive searches past the
+  // whole older backlog — the deep-search regime of Section VI-C.
+  std::vector<mpi::Request> recvs;
+  for (int i = results_per_worker - 1; i >= 0; --i) {
+    for (int w = 0; w < kWorkers; ++w) {
+      recvs.push_back(self.irecv(mpi::kAnySource, 1 + i, kResultBytes));
+    }
+  }
+  co_await self.waitall(std::move(recvs));
+  out.drain_time = machine.engine().now() - t0;
+}
+
+Outcome run(workload::NicMode mode, int results_per_worker) {
+  sim::Engine engine;
+  mpi::Machine machine(engine,
+                       workload::make_system_config(mode, kWorkers + 1));
+  Outcome out;
+  sim::ProcessPool pool(engine);
+  pool.spawn(master(machine, results_per_worker, out));
+  for (int w = 1; w <= kWorkers; ++w) {
+    pool.spawn(worker(machine, w, results_per_worker));
+  }
+  engine.run();
+  if (!pool.all_done()) {
+    std::fprintf(stderr, "flood deadlocked\n");
+    std::abort();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Master/worker flood: %d workers, lazy master, ANY_SOURCE\n"
+              "receives posted only after all results are unexpected.\n\n",
+              kWorkers);
+
+  common::TextTable t;
+  t.set_header({"results/worker", "peak unexpected Q", "baseline drain (us)",
+                "alpu256 drain (us)", "speedup"});
+  for (int n : {10, 40, 120}) {
+    const Outcome base = run(workload::NicMode::kBaseline, n);
+    const Outcome alpu = run(workload::NicMode::kAlpu256, n);
+    t.add_row({std::to_string(n), std::to_string(base.peak_unexpected),
+               common::fmt_double(common::to_us(base.drain_time), 2),
+               common::fmt_double(common::to_us(alpu.drain_time), 2),
+               common::fmt_double(static_cast<double>(base.drain_time) /
+                                      static_cast<double>(alpu.drain_time),
+                                  2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Each late receive searches the whole unexpected backlog in\n"
+              "the baseline (quadratic total drain work); the ALPU answers\n"
+              "each in constant time until the backlog exceeds its %u\n"
+              "cells.\n", 256u);
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, regenerate every table and
+# figure, and run the examples — the complete reproduction in one step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    echo "===================================================================="
+    echo "== $b"
+    echo "===================================================================="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+for e in quickstart ping_pong halo_exchange unexpected_flood \
+         portals_offload multi_process; do
+  echo "== examples/$e =="
+  "./build/examples/$e"
+  echo
+done

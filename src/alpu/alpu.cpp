@@ -1,0 +1,280 @@
+#include "alpu/alpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace alpu::hw {
+
+Alpu::Alpu(sim::Engine& engine, std::string name, const AlpuConfig& config)
+    : sim::Component(engine, std::move(name)),
+      config_(config),
+      array_(config.flavor, config.total_cells, config.block_size,
+             config.significant_mask),
+      clock_(engine, config.clock, [this] { return tick(); }),
+      header_fifo_(config.header_fifo_depth),
+      command_fifo_(config.command_fifo_depth),
+      result_fifo_(config.result_fifo_depth) {}
+
+bool Alpu::push_probe(const Probe& probe) {
+  if (!header_fifo_.try_push(probe)) return false;
+  clock_.wake();
+  return true;
+}
+
+bool Alpu::push_command(const Command& cmd) {
+  if (!command_fifo_.try_push(cmd)) return false;
+  clock_.wake();
+  return true;
+}
+
+std::optional<Response> Alpu::pop_result() {
+  auto r = result_fifo_.try_pop();
+  // Draining the result FIFO may unblock a stalled match.
+  if (r.has_value()) clock_.wake();
+  return r;
+}
+
+const Response* Alpu::peek_result() const {
+  return result_fifo_.empty() ? nullptr : &result_fifo_.front();
+}
+
+void Alpu::emit(const Response& r) {
+  Response stamped = r;
+  stamped.issued_at = engine().now();
+  result_fifo_.push(stamped);  // space guaranteed by start conditions
+}
+
+bool Alpu::tick() {
+  if (busy_cycles_ > 0) {
+    ++stats_.busy_cycles;
+    --busy_cycles_;
+    if (busy_cycles_ > 0) return true;
+    complete_op();
+    // A completion may itself chain a follow-up operation (decode of
+    // RESET MATCHING starts its sweep); only look for new work if not.
+    if (busy_cycles_ > 0) return true;
+    // Back-to-back issue: the next operation starts on the same edge the
+    // previous one completes, so an op stream sustains exactly one op
+    // per `latency` cycles (matches every other cycle for inserts,
+    // Section V-D).
+    return start_next_op() || true;
+  }
+  return start_next_op();
+}
+
+bool Alpu::start_next_op() {
+  switch (state_) {
+    case State::kMatch: {
+      // The held probe (a retry forced out of insert mode) is the oldest
+      // outstanding header: it must be answered before anything else so
+      // that responses stay in probe order (Section IV-D relies on it).
+      if (held_probe_.has_value() && !result_fifo_.full()) {
+        current_probe_ = *held_probe_;
+        ++stats_.held_retries;
+        op_ = Op::kMatchProbe;
+        busy_cycles_ = config_.match_latency_cycles;
+        return true;
+      }
+      if (!command_fifo_.empty() && !result_fifo_.full()) {
+        state_ = State::kReadCommand;
+        op_ = Op::kDecode;
+        busy_cycles_ = config_.command_decode_cycles;
+        return true;
+      }
+      if (!header_fifo_.empty() && !result_fifo_.full()) {
+        current_probe_ = header_fifo_.pop();
+        ++stats_.probes_accepted;
+        op_ = Op::kMatchProbe;
+        busy_cycles_ = config_.match_latency_cycles;
+        return true;
+      }
+      return false;
+    }
+    case State::kReadCommand: {
+      // Footnote 3: an empty command FIFO before a valid command causes a
+      // transition back to the match state.
+      if (command_fifo_.empty()) {
+        state_ = State::kMatch;
+        return start_next_op();
+      }
+      if (result_fifo_.full()) return false;  // START ACK needs a slot
+      op_ = Op::kDecode;
+      busy_cycles_ = config_.command_decode_cycles;
+      return true;
+    }
+    case State::kInsertMode: {
+      if (!command_fifo_.empty()) {
+        if (command_fifo_.front().kind == CommandKind::kInsert) {
+          current_command_ = command_fifo_.pop();
+          op_ = Op::kInsert;
+          busy_cycles_ = config_.insert_interval_cycles;
+          return true;
+        }
+        op_ = Op::kDecode;
+        busy_cycles_ = config_.command_decode_cycles;
+        return true;
+      }
+      if (retry_pending_ && held_probe_.has_value() && !result_fifo_.full()) {
+        current_probe_ = *held_probe_;
+        retry_pending_ = false;
+        ++stats_.held_retries;
+        op_ = Op::kMatchProbe;
+        busy_cycles_ = config_.match_latency_cycles;
+        return true;
+      }
+      if (held_probe_.has_value()) {
+        // A failed match is held: matching pauses until the next insert
+        // gives it a chance, or STOP INSERT releases it.
+        return false;
+      }
+      if (!header_fifo_.empty() && !result_fifo_.full()) {
+        current_probe_ = header_fifo_.pop();
+        ++stats_.probes_accepted;
+        op_ = Op::kMatchProbe;
+        busy_cycles_ = config_.match_latency_cycles;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void Alpu::complete_op() {
+  const Op op = op_;
+  op_ = Op::kNone;
+  switch (op) {
+    case Op::kDecode:
+      complete_decode();
+      break;
+    case Op::kMatchProbe:
+      complete_match();
+      break;
+    case Op::kInsert: {
+      const bool ok = array_.insert(current_command_.bits,
+                                    current_command_.mask,
+                                    current_command_.cookie);
+      if (ok) {
+        ++stats_.inserts;
+      } else {
+        // Protocol violation: the processor inserted past the count it
+        // was granted in START ACKNOWLEDGE.  Hardware has nowhere to put
+        // the entry; record and drop.
+        ++stats_.inserts_dropped;
+      }
+      // Every insert gives a held (previously failing) probe new
+      // entries to match against.
+      if (held_probe_.has_value()) retry_pending_ = true;
+      break;
+    }
+    case Op::kFlush: {
+      ++stats_.flushes;
+      stats_.flushed_entries +=
+          array_.invalidate_matching(Probe{current_command_.bits,
+                                           current_command_.mask, 0});
+      break;
+    }
+    case Op::kNone:
+      assert(false && "completed a non-existent operation");
+      break;
+  }
+}
+
+void Alpu::complete_decode() {
+  if (command_fifo_.empty()) {
+    // The command vanished?  Cannot happen: commands are only consumed by
+    // decode/insert ops.
+    assert(false && "decode with empty command FIFO");
+    state_ = State::kMatch;
+    return;
+  }
+  const Command cmd = command_fifo_.pop();
+  if (state_ == State::kReadCommand) {
+    switch (cmd.kind) {
+      case CommandKind::kReset:
+        array_.reset();
+        ++stats_.resets;
+        if (held_probe_.has_value()) {
+          // The held header can never match a cleared array; answer it so
+          // the processor still gets one response per header.
+          emit(Response{ResponseKind::kMatchFailure, 0, 0,
+                        held_probe_->seq, 0});
+          ++stats_.match_failures;
+          held_probe_.reset();
+          retry_pending_ = false;
+        }
+        state_ = State::kMatch;
+        break;
+      case CommandKind::kStartInsert:
+        emit(Response{ResponseKind::kStartAck, 0,
+                      static_cast<std::uint32_t>(array_.free_slots()), 0, 0});
+        state_ = State::kInsertMode;
+        break;
+      case CommandKind::kResetMatching:
+        // Multi-process extension: valid in the same state as RESET.
+        // The sweep broadcasts the selector and deletes per block; it
+        // occupies the unit one cycle per cell block.
+        assert(!held_probe_.has_value() &&
+               "held probes are retired before commands are read");
+        current_command_ = cmd;
+        op_ = Op::kFlush;
+        busy_cycles_ = static_cast<unsigned>(
+            std::max<std::size_t>(1, array_.capacity() / array_.block_size()));
+        state_ = State::kMatch;
+        return;  // flush op now occupies the pipeline
+      default:
+        // Section III-C: other commands are discarded in Read Command.
+        ++stats_.commands_discarded;
+        break;  // stay in kReadCommand; next tick decodes the next command
+    }
+    return;
+  }
+
+  assert(state_ == State::kInsertMode);
+  switch (cmd.kind) {
+    case CommandKind::kStopInsert:
+      state_ = State::kMatch;
+      // Any held probe is re-matched in Match state (priority path) and
+      // its result — success or, now legal again, failure — is emitted.
+      retry_pending_ = false;
+      break;
+    case CommandKind::kStartInsert:
+      // Redundant; already in insert mode.  Re-acknowledge so a processor
+      // that lost the first ack is not deadlocked.
+      emit(Response{ResponseKind::kStartAck, 0,
+                    static_cast<std::uint32_t>(array_.free_slots()), 0, 0});
+      break;
+    default:
+      ++stats_.commands_discarded;
+      break;
+  }
+}
+
+void Alpu::complete_match() {
+  const bool was_held = held_probe_.has_value() &&
+                        held_probe_->seq == current_probe_.seq;
+  const ArrayMatch m = array_.match_and_delete(current_probe_);
+  if (m.hit) {
+    emit(Response{ResponseKind::kMatchSuccess, m.cookie, 0,
+                  current_probe_.seq, 0});
+    ++stats_.match_successes;
+    if (was_held) {
+      held_probe_.reset();
+      retry_pending_ = false;
+    }
+    return;
+  }
+  if (state_ == State::kInsertMode) {
+    // Failure is not reportable during insert mode; hold for retry.
+    held_probe_ = current_probe_;
+    return;
+  }
+  emit(Response{ResponseKind::kMatchFailure, 0, 0, current_probe_.seq, 0});
+  ++stats_.match_failures;
+  if (was_held) {
+    held_probe_.reset();
+    retry_pending_ = false;
+  }
+}
+
+}  // namespace alpu::hw

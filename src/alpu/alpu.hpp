@@ -1,0 +1,155 @@
+// Cycle-level model of the Associative List Processing Unit (Section III).
+//
+// The unit couples the functional match array (AlpuArray) with the
+// paper's timing and protocol behaviour:
+//
+//   * three hardware FIFOs decouple it from the NIC processor — header
+//     (probes in), command (processor requests in), result (responses
+//     out) — exactly the dashed-line additions of Figure 1;
+//   * the governing state machine of Figure 3: Match -> Read Command ->
+//     (Insert mode) -> Match, with the command legality rules of
+//     Section III-C (only RESET / START INSERT honoured from Read
+//     Command; everything else discarded);
+//   * pipeline timing from Section V-D: a new match every
+//     `match_latency_cycles` (6-7, no execution overlap), inserts every
+//     other cycle, results timestamped at completion;
+//   * insert-mode safety: matching continues between inserts, successful
+//     matches are reported, but a FAILED match is *held for retry* until
+//     inserts finish — so MATCH FAILURE can never be observed between
+//     START ACKNOWLEDGE and STOP INSERT, closing the race on in-flight
+//     headers that would otherwise miss entries being inserted.
+//
+// The model sleeps (stops consuming engine events) whenever it has no
+// work, and producers wake it — cycle accuracy without per-cycle cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "alpu/array.hpp"
+#include "alpu/device.hpp"
+#include "alpu/types.hpp"
+#include "common/fifo.hpp"
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+
+namespace alpu::hw {
+
+struct AlpuConfig {
+  AlpuFlavor flavor = AlpuFlavor::kPostedReceive;
+  std::size_t total_cells = 256;
+  std::size_t block_size = 16;
+
+  /// ALPU clock.  The simulation results assume ASIC speed (~500 MHz,
+  /// Section VI-A); the FPGA prototype runs ~100-112 MHz.
+  common::ClockPeriod clock = common::ClockPeriod::from_mhz(500);
+
+  /// Cycles from accepting a probe to its result (Section V-D assumes 7,
+  /// with no overlap between successive matches).
+  unsigned match_latency_cycles = 7;
+  /// One insert may start every other cycle.
+  unsigned insert_interval_cycles = 2;
+  /// Cycles to pop and decode one command.
+  unsigned command_decode_cycles = 1;
+
+  /// Comparator wiring (42-bit MPI packing by default; include PID bits
+  /// for the multi-process extension, or ~0 for full-width Portals).
+  MatchWord significant_mask = match::kFullMask;
+
+  std::size_t header_fifo_depth = 64;
+  std::size_t command_fifo_depth = 64;
+  std::size_t result_fifo_depth = 64;
+};
+
+struct AlpuStats {
+  std::uint64_t probes_accepted = 0;
+  std::uint64_t match_successes = 0;
+  std::uint64_t match_failures = 0;
+  std::uint64_t held_retries = 0;      ///< failed matches retried in insert mode
+  std::uint64_t inserts = 0;
+  std::uint64_t inserts_dropped = 0;   ///< protocol violation: insert when full
+  std::uint64_t commands_discarded = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t flushes = 0;           ///< RESET MATCHING sweeps
+  std::uint64_t flushed_entries = 0;   ///< cells removed by those sweeps
+  std::uint64_t busy_cycles = 0;
+};
+
+/// The ALPU as a simulation component (transaction-level model).
+class Alpu : public sim::Component, public AlpuDevice {
+ public:
+  Alpu(sim::Engine& engine, std::string name, const AlpuConfig& config);
+
+  // ---- NIC-facing FIFO interface (flow-controlled) ----
+
+  /// Deliver a probe on the header FIFO.  False == FIFO full (producer
+  /// must apply back-pressure).
+  [[nodiscard]] bool push_probe(const Probe& probe) override;
+
+  /// Deliver a command on the command FIFO.
+  [[nodiscard]] bool push_command(const Command& cmd) override;
+
+  /// Take the oldest response, if any.
+  std::optional<Response> pop_result() override;
+
+  const Response* peek_result() const;
+  bool result_available() const override { return !result_fifo_.empty(); }
+  std::size_t header_fifo_free() const { return header_fifo_.free_slots(); }
+  std::size_t command_fifo_free() const { return command_fifo_.free_slots(); }
+
+  // ---- introspection ----
+
+  const AlpuConfig& config() const { return config_; }
+  const AlpuArray& array() const { return array_; }
+  const AlpuStats& stats() const { return stats_; }
+  std::size_t capacity() const override { return array_.capacity(); }
+  std::size_t occupancy() const override { return array_.occupancy(); }
+
+  /// Externally visible mode (for tests): true while in insert mode.
+  bool in_insert_mode() const { return state_ == State::kInsertMode; }
+
+ private:
+  enum class State : std::uint8_t {
+    kMatch,        ///< normal matching (Figure 3 "Match")
+    kReadCommand,  ///< popped out of matching to decode a command
+    kInsertMode,   ///< between START INSERT and STOP INSERT
+  };
+
+  /// Micro-operation occupying the (non-overlapped) pipeline.
+  enum class Op : std::uint8_t {
+    kNone,
+    kDecode,
+    kMatchProbe,
+    kInsert,
+    kFlush,  ///< RESET MATCHING sweep (multi-process extension)
+  };
+
+  bool tick();
+  bool start_next_op();
+  void complete_op();
+  void complete_decode();
+  void complete_match();
+  void emit(const Response& r);
+
+  AlpuConfig config_;
+  AlpuArray array_;
+  sim::Clock clock_;
+
+  common::BoundedFifo<Probe> header_fifo_;
+  common::BoundedFifo<Command> command_fifo_;
+  common::BoundedFifo<Response> result_fifo_;
+
+  State state_ = State::kMatch;
+  Op op_ = Op::kNone;
+  unsigned busy_cycles_ = 0;
+
+  Probe current_probe_{};
+  Command current_command_{};
+  std::optional<Probe> held_probe_;  ///< failed match held during insert mode
+  bool retry_pending_ = false;  ///< held probe should re-match (post-insert)
+
+  AlpuStats stats_;
+};
+
+}  // namespace alpu::hw

@@ -1,0 +1,108 @@
+// Functional core of the associative match array (Figure 2).
+//
+// This class captures exactly what the cell/block/unit hierarchy
+// computes, independent of pipeline timing: an ordered array of valid
+// cells where
+//   * new entries enter at the tail (the "left"; lowest priority),
+//   * a probe compares against every valid cell in parallel,
+//   * the priority network selects the OLDEST matching cell (MPI's
+//     "first posted receive wins" rule),
+//   * a successful match deletes its cell, with every younger cell
+//     shifting up one slot (the broadcast-match-location compaction of
+//     Section III-B; no holes are left by deletion).
+//
+// Two match paths are provided: `match()` is the straightforward linear
+// specification, and `match_tree()` evaluates the same answer through an
+// explicit block-structured priority-mux reduction mirroring the RTL
+// (pairwise muxes within blocks, then across blocks).  Tests assert the
+// two agree on all inputs — the hardware-fidelity check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "alpu/types.hpp"
+
+namespace alpu::hw {
+
+/// One storage cell (Figure 2a/2b).
+struct Cell {
+  MatchWord bits = 0;
+  MatchWord mask = 0;   ///< stored mask; meaningful only in posted flavour
+  Cookie cookie = 0;    ///< the software "tag" (pointer into NIC RAM)
+  bool valid = false;
+};
+
+/// Result of a probe against the array.
+struct ArrayMatch {
+  bool hit = false;
+  std::size_t location = 0;  ///< index of the matched cell (oldest first)
+  Cookie cookie = 0;
+};
+
+class AlpuArray {
+ public:
+  /// `total_cells` must be a positive multiple of `block_size`, and
+  /// `block_size` a power of two (Section III-B restriction).
+  ///
+  /// `significant_mask` selects which bit positions the comparators are
+  /// wired for: the 42-bit MPI packing by default, wider for the
+  /// multi-process extension (PID bits, footnote 1) or full-width
+  /// Portals-style matching.
+  AlpuArray(AlpuFlavor flavor, std::size_t total_cells,
+            std::size_t block_size,
+            MatchWord significant_mask = match::kFullMask);
+
+  AlpuFlavor flavor() const { return flavor_; }
+  std::size_t capacity() const { return cells_.size(); }
+  std::size_t block_size() const { return block_size_; }
+  std::size_t occupancy() const { return occupancy_; }
+  std::size_t free_slots() const { return capacity() - occupancy_; }
+  bool full() const { return occupancy_ == capacity(); }
+  bool empty() const { return occupancy_ == 0; }
+
+  /// Insert at the tail.  Returns false when full (the processor is
+  /// expected to respect the free-count from START ACKNOWLEDGE).
+  [[nodiscard]] bool insert(MatchWord bits, MatchWord mask, Cookie cookie);
+
+  /// Pure probe: the oldest matching cell, if any.  Does not modify state.
+  ArrayMatch match(const Probe& probe) const;
+
+  /// Same answer computed through the block/priority-mux reduction.
+  ArrayMatch match_tree(const Probe& probe) const;
+
+  /// Probe and, on a hit, delete the matched cell with upward compaction
+  /// (the complete match pipeline's architectural effect).
+  ArrayMatch match_and_delete(const Probe& probe);
+
+  /// Clear all valid flags (RESET).
+  void reset();
+
+  /// Invalidate every cell matching `selector` (compacting as deletes
+  /// do) and return how many were removed.  This is the datapath of the
+  /// RESET PROCESS extension: a broadcast compare followed by a
+  /// multi-delete sweep.
+  std::size_t invalidate_matching(const Probe& selector);
+
+  MatchWord significant_mask() const { return significant_mask_; }
+
+  /// The i-th oldest valid cell (test/diagnostic access).
+  const Cell& cell(std::size_t i) const { return cells_[i]; }
+
+ private:
+  bool cell_matches(const Cell& cell, const Probe& probe) const;
+  void delete_at(std::size_t location);
+
+  AlpuFlavor flavor_;
+  std::size_t block_size_;
+  MatchWord significant_mask_;
+  // Index 0 is the oldest entry (the paper's right-most, highest-priority
+  // cell); occupancy_ cells starting at 0 are valid and contiguous —
+  // deletion compaction maintains this invariant.
+  std::vector<Cell> cells_;
+  std::size_t occupancy_ = 0;
+};
+
+}  // namespace alpu::hw

@@ -1,0 +1,39 @@
+// The NIC-facing ALPU device interface.
+//
+// Two implementations exist at different fidelity:
+//   * hw::Alpu           — transaction-level (whole-operation latencies
+//                          against the idealized compacted array);
+//   * hw::PipelinedAlpu  — stage-level (explicit pipeline stages over
+//                          the RTL datapath with real compaction and
+//                          insert bubbles).
+// They are differentially tested to produce identical response streams;
+// the firmware talks to either through this interface, and system-level
+// experiments can be re-run at either fidelity as a cross-check.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "alpu/types.hpp"
+
+namespace alpu::hw {
+
+class AlpuDevice {
+ public:
+  virtual ~AlpuDevice() = default;
+
+  /// Deliver a probe on the header FIFO (false == FIFO full).
+  [[nodiscard]] virtual bool push_probe(const Probe& probe) = 0;
+  /// Deliver a command on the command FIFO.
+  [[nodiscard]] virtual bool push_command(const Command& cmd) = 0;
+  /// Take the oldest response, if any.
+  virtual std::optional<Response> pop_result() = 0;
+  virtual bool result_available() const = 0;
+
+  /// Total cells in the match array.
+  virtual std::size_t capacity() const = 0;
+  /// Valid entries currently stored.
+  virtual std::size_t occupancy() const = 0;
+};
+
+}  // namespace alpu::hw

@@ -1,0 +1,118 @@
+// Multi-process ALPU support (footnote 1).
+//
+// "The prototype design only supports hardware acceleration for a
+// single process, but extending it to support a limited number of
+// processes is straightforward."  The straightforward extension: widen
+// the match word with a process id (PID) field that is always compared
+// exactly — entries belonging to one process can then never answer a
+// probe from another — and add a RESET MATCHING command that tears down
+// one process's entries (process exit) without disturbing the rest.
+//
+// The PID occupies bits [42, 42+kPidBits) of the 64-bit match word,
+// directly above the MPI packing; the comparators are widened by
+// setting the unit's `significant_mask` accordingly (which the FPGA
+// area model prices via its `match_width` parameter).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "alpu/alpu.hpp"
+
+namespace alpu::hw {
+
+/// Process id bits carried above the 42-bit MPI packing.
+inline constexpr int kPidBits = 6;  ///< up to 64 co-resident processes
+inline constexpr int kPidShift = match::kMatchBits;
+inline constexpr std::uint32_t kMaxPid = (1u << kPidBits) - 1;
+inline constexpr MatchWord kPidMask = MatchWord{kMaxPid} << kPidShift;
+
+/// The comparator wiring for a PID-qualified unit.
+inline constexpr MatchWord kPidSignificantMask =
+    match::kFullMask | kPidMask;
+
+/// Stamp a PID into a match word (entry or probe).
+inline MatchWord with_pid(MatchWord word, std::uint32_t pid) {
+  assert(pid <= kMaxPid);
+  return (word & ~kPidMask) | (MatchWord{pid} << kPidShift);
+}
+
+/// Extract the PID from a stamped word.
+inline std::uint32_t pid_of(MatchWord word) {
+  return static_cast<std::uint32_t>((word >> kPidShift) & kMaxPid);
+}
+
+/// Build a unit configuration with PID-qualified comparators.
+inline AlpuConfig make_multi_process_config(AlpuConfig base) {
+  base.significant_mask = kPidSignificantMask;
+  return base;
+}
+
+/// Facade wrapping an Alpu with per-process operations.
+///
+/// The firmware-visible protocol is unchanged (Table I/II); this class
+/// only centralises the PID stamping and the bookkeeping a multi-process
+/// firmware would keep (entries resident per process).
+class MultiProcessAlpu {
+ public:
+  MultiProcessAlpu(sim::Engine& engine, std::string name, AlpuConfig base)
+      : unit_(engine, std::move(name), make_multi_process_config(base)) {}
+
+  Alpu& unit() { return unit_; }
+  const Alpu& unit() const { return unit_; }
+
+  /// Probe on behalf of `pid`.  The PID field participates in the
+  /// comparison, so only that process's entries can answer.
+  [[nodiscard]] bool push_probe(std::uint32_t pid, Probe probe) {
+    probe.bits = with_pid(probe.bits, pid);
+    // The PID must never be wildcarded, whatever the caller's mask.
+    probe.mask &= ~kPidMask;
+    return unit_.push_probe(probe);
+  }
+
+  /// Insert command for `pid` (send between START/STOP INSERT).
+  [[nodiscard]] bool push_insert(std::uint32_t pid, MatchWord bits,
+                                 MatchWord mask, Cookie cookie) {
+    Command cmd;
+    cmd.kind = CommandKind::kInsert;
+    cmd.bits = with_pid(bits, pid);
+    cmd.mask = mask & ~kPidMask;
+    cmd.cookie = cookie;
+    if (!unit_.push_command(cmd)) return false;
+    ++resident_[pid];
+    return true;
+  }
+
+  [[nodiscard]] bool push_command(const Command& cmd) {
+    return unit_.push_command(cmd);
+  }
+
+  /// Tear down every entry belonging to `pid` (process exit): the
+  /// RESET MATCHING extension with a PID-exact, everything-else-wild
+  /// selector.
+  [[nodiscard]] bool flush_process(std::uint32_t pid) {
+    Command cmd;
+    cmd.kind = CommandKind::kResetMatching;
+    cmd.bits = with_pid(0, pid);
+    cmd.mask = ~kPidMask;  // only the PID field must match
+    if (!unit_.push_command(cmd)) return false;
+    resident_[pid] = 0;
+    return true;
+  }
+
+  std::optional<Response> pop_result() { return unit_.pop_result(); }
+
+  /// Firmware-side view of entries inserted for `pid` (not decremented
+  /// on matches; callers reconcile via their own lists, as with the
+  /// single-process synced counters).
+  std::uint64_t inserted_for(std::uint32_t pid) const {
+    const auto it = resident_.find(pid);
+    return it == resident_.end() ? 0 : it->second;
+  }
+
+ private:
+  Alpu unit_;
+  std::unordered_map<std::uint32_t, std::uint64_t> resident_;
+};
+
+}  // namespace alpu::hw

@@ -1,0 +1,125 @@
+#include "alpu/rtl.hpp"
+
+#include <cassert>
+
+namespace alpu::hw {
+
+namespace {
+bool is_pow2(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+RtlAlpu::RtlAlpu(AlpuFlavor flavor, std::size_t total_cells,
+                 std::size_t block_size, MatchWord significant_mask)
+    : flavor_(flavor),
+      block_size_(block_size),
+      significant_mask_(significant_mask),
+      cells_(total_cells) {
+  assert(total_cells > 0);
+  assert(is_pow2(block_size));
+  assert(total_cells % block_size == 0);
+}
+
+std::size_t RtlAlpu::occupancy() const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_) n += c.valid ? 1 : 0;
+  return n;
+}
+
+bool RtlAlpu::cell_matches(const Cell& cell, const Probe& probe) const {
+  if (!cell.valid) return false;
+  const MatchWord dont_care =
+      flavor_ == AlpuFlavor::kPostedReceive ? cell.mask : probe.mask;
+  return ((cell.bits ^ probe.bits) & ~dont_care & significant_mask_) == 0;
+}
+
+ArrayMatch RtlAlpu::match(const Probe& probe) const {
+  // Highest index = furthest right = oldest = highest priority.
+  for (std::size_t i = cells_.size(); i-- > 0;) {
+    if (cell_matches(cells_[i], probe)) {
+      return ArrayMatch{true, i, cells_[i].cookie};
+    }
+  }
+  return ArrayMatch{};
+}
+
+bool RtlAlpu::can_shift_right(std::size_t i,
+                              const std::vector<Cell>& snapshot) const {
+  if (i + 1 >= snapshot.size()) return false;  // top of the whole array
+  const std::size_t block_top =
+      (i / block_size_) * block_size_ + block_size_ - 1;
+  // "Space available": a higher cell in the current block is empty...
+  for (std::size_t j = i + 1; j <= block_top; ++j) {
+    if (!snapshot[j].valid) return true;
+  }
+  // ...or the lowest cell of the next block is empty.
+  return block_top + 1 < snapshot.size() && !snapshot[block_top + 1].valid;
+}
+
+bool RtlAlpu::step(const std::optional<Cell>& insert,
+                   const std::optional<std::size_t>& delete_location) {
+  assert(!(insert.has_value() && delete_location.has_value()) &&
+         "matches are stopped while an insert occupies the datapath");
+  const std::vector<Cell> snapshot = cells_;
+
+  if (delete_location.has_value()) {
+    const std::size_t d = *delete_location;
+    assert(d < cells_.size() && snapshot[d].valid &&
+           "delete location must name a valid cell");
+    // Cells at and below the match location shift upward; above, hold.
+    for (std::size_t i = d + 1; i < cells_.size(); ++i) cells_[i] = snapshot[i];
+    for (std::size_t i = 0; i < d; ++i) cells_[i + 1] = snapshot[i];
+    cells_[0] = Cell{};
+    return true;
+  }
+
+  // Compaction movement: every enabled cell shifts one slot rightward,
+  // simultaneously (the enable rule guarantees no collisions).
+  std::vector<Cell> next(cells_.size());
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (!snapshot[i].valid) continue;
+    const std::size_t dest = can_shift_right(i, snapshot) ? i + 1 : i;
+    assert(!next[dest].valid && "compaction collision");
+    next[dest] = snapshot[i];
+  }
+  cells_ = std::move(next);
+
+  if (insert.has_value()) {
+    if (cells_[0].valid) return false;  // control-logic violation
+    cells_[0] = *insert;
+    cells_[0].valid = true;
+  }
+  return true;
+}
+
+std::size_t RtlAlpu::holes() const {
+  // A hole is an empty slot strictly BETWEEN valid cells: empty space at
+  // the young end (below every entry) is just headroom, not a hole.
+  std::size_t lowest = cells_.size(), highest = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].valid) {
+      lowest = std::min(lowest, i);
+      highest = std::max(highest, i);
+      any = true;
+    }
+  }
+  if (!any) return 0;
+  std::size_t holes = 0;
+  for (std::size_t i = lowest + 1; i < highest; ++i) {
+    if (!cells_[i].valid) ++holes;
+  }
+  return holes;
+}
+
+bool RtlAlpu::quiescent() const {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].valid && can_shift_right(i, cells_)) return false;
+  }
+  return true;
+}
+
+void RtlAlpu::reset() {
+  for (Cell& c : cells_) c = Cell{};
+}
+
+}  // namespace alpu::hw

@@ -1,0 +1,88 @@
+// Register-transfer-level model of the ALPU datapath (Figure 2).
+//
+// The functional AlpuArray treats the array as an always-compacted list;
+// the real hardware is a chain of cells with per-cycle movement, and the
+// paper spends a footnote on the consequence: HOLES.  "Holes can occur
+// during inserts if there is time between new elements being inserted.
+// Holes do not occur on deletion because all data below the deletion
+// point is shifted upward as part of the delete." (Section III-B.)
+//
+// This model advances one clock edge at a time:
+//
+//   * data enters at cell 0 (the "left"); age increases to the right,
+//     and the right-most matching cell is the oldest = correct match;
+//   * each cycle, a cell's data moves one slot rightward when "space is
+//     available" above it — defined, as in the prototype, as: the next
+//     cell in the same block is empty, or the cell is the top of its
+//     block and the FIRST cell of the next block is empty (the paper's
+//     timing-friendly weak definition);
+//   * a delete (completed match) broadcasts the match location; cells at
+//     and below it shift up by one in that same cycle, leaving no hole;
+//   * an insert writes cell 0, which must be empty (the control logic
+//     guarantees it by spacing inserts and tracking free space).
+//
+// It exists for verification: property tests drive this model and the
+// idealized AlpuArray with identical stimulus and require identical
+// match results, and check the hole-dynamics claims directly.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "alpu/array.hpp"  // Cell, ArrayMatch
+#include "alpu/types.hpp"
+
+namespace alpu::hw {
+
+class RtlAlpu {
+ public:
+  RtlAlpu(AlpuFlavor flavor, std::size_t total_cells, std::size_t block_size,
+          MatchWord significant_mask = match::kFullMask);
+
+  std::size_t capacity() const { return cells_.size(); }
+  std::size_t block_size() const { return block_size_; }
+
+  /// Number of valid cells (may be scattered across holes).
+  std::size_t occupancy() const;
+
+  /// True if cell 0 is free so an insert may be issued this cycle.
+  bool can_insert() const { return !cells_[0].valid; }
+
+  /// Combinational probe of the current cell state: the OLDEST
+  /// (right-most) matching valid cell.  Does not modify state.
+  ArrayMatch match(const Probe& probe) const;
+
+  /// Advance one clock edge: optionally insert at cell 0, optionally
+  /// complete a match-delete at `delete_location` (as returned by
+  /// match() THIS cycle), and let the compaction network move data.
+  /// Returns false if an insert was requested but cell 0 was occupied
+  /// (a control-logic violation; nothing is written).
+  bool step(const std::optional<Cell>& insert,
+            const std::optional<std::size_t>& delete_location);
+
+  /// Count of empty slots strictly between valid cells (the holes).
+  std::size_t holes() const;
+
+  /// True when no cell can move: stepping without insert/delete would
+  /// change nothing (compaction has converged).
+  bool quiescent() const;
+
+  /// Direct cell inspection for tests.
+  const Cell& cell(std::size_t i) const { return cells_[i]; }
+
+  /// Clear everything (RESET).
+  void reset();
+
+ private:
+  bool cell_matches(const Cell& cell, const Probe& probe) const;
+  /// "Space available" for the data in cell i to move to cell i+1.
+  bool can_shift_right(std::size_t i, const std::vector<Cell>& snapshot) const;
+
+  AlpuFlavor flavor_;
+  std::size_t block_size_;
+  MatchWord significant_mask_;
+  std::vector<Cell> cells_;  ///< index 0 = youngest ("left")
+};
+
+}  // namespace alpu::hw

@@ -1,0 +1,73 @@
+// Wire-level types of the ALPU's processor interface (Tables I and II).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "match/match.hpp"
+
+namespace alpu::hw {
+
+using match::Cookie;
+using match::MatchWord;
+using match::Pattern;
+
+/// Which queue this ALPU accelerates.  The two flavours differ only in
+/// where the mask bits live (Figure 2a vs 2b): the posted-receive unit
+/// stores a mask per cell and matches explicit incoming headers; the
+/// unexpected-message unit stores explicit headers and takes the mask as
+/// an input with each probe (the "reverse lookup").
+enum class AlpuFlavor {
+  kPostedReceive,
+  kUnexpected,
+};
+
+/// A probe delivered on the header FIFO.
+///
+/// For the posted-receive flavour this is an incoming message header
+/// (mask ignored, must be zero).  For the unexpected flavour it is a
+/// receive being posted: explicit bits plus wildcard mask.
+struct Probe {
+  MatchWord bits = 0;
+  MatchWord mask = 0;
+  /// Sequence number assigned by the producer; lets the processor pair
+  /// each result with its copy of the header data (Section IV-D).
+  std::uint64_t seq = 0;
+};
+
+/// Commands accepted on the command FIFO (Table I, plus the
+/// multi-process extension of footnote 1).
+enum class CommandKind : std::uint8_t {
+  kStartInsert,  ///< enter insert mode; answered by START ACKNOWLEDGE
+  kInsert,       ///< insert {match bits, optional mask bits, tag}
+  kStopInsert,   ///< leave insert mode
+  kReset,        ///< clear all valid flags
+  /// EXTENSION (footnote 1): invalidate every cell matching
+  /// {bits, mask} — used to tear down one process's entries without
+  /// disturbing the others.  Valid in the same state as RESET.
+  kResetMatching,
+};
+
+struct Command {
+  CommandKind kind = CommandKind::kReset;
+  MatchWord bits = 0;    ///< INSERT / RESET MATCHING
+  MatchWord mask = 0;    ///< INSERT (posted flavour) / RESET MATCHING
+  Cookie cookie = 0;     ///< INSERT only ("tag" in the paper)
+};
+
+/// Responses produced on the result FIFO (Table II).
+enum class ResponseKind : std::uint8_t {
+  kStartAck,      ///< insert mode entered; carries free-entry count
+  kMatchSuccess,  ///< probe matched; carries the stored tag (cookie)
+  kMatchFailure,  ///< probe matched nothing
+};
+
+struct Response {
+  ResponseKind kind = ResponseKind::kMatchFailure;
+  Cookie cookie = 0;          ///< MATCH SUCCESS only
+  std::uint32_t free_slots = 0;  ///< START ACKNOWLEDGE only
+  std::uint64_t probe_seq = 0;   ///< seq of the probe this answers (matches)
+  common::TimePs issued_at = 0;  ///< simulation time the response was queued
+};
+
+}  // namespace alpu::hw

@@ -1,0 +1,98 @@
+// Bounded FIFO modelling a hardware queue.
+//
+// The ALPU and the NIC decouple their producers and consumers with
+// fixed-depth hardware FIFOs (header FIFO, command FIFO, result FIFO,
+// network Rx/Tx FIFOs).  This container models exactly that: a fixed
+// capacity chosen at construction, no reallocation, and explicit
+// full/empty flow control that callers must respect the way hardware
+// producers respect an `almost_full` signal.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace alpu::common {
+
+/// Fixed-capacity single-producer/single-consumer FIFO (simulation-local,
+/// not thread-safe: the DES kernel is single-threaded by design).
+template <typename T>
+class BoundedFifo {
+ public:
+  /// A FIFO with space for `capacity` elements.  Capacity must be nonzero.
+  explicit BoundedFifo(std::size_t capacity)
+      : slots_(capacity), capacity_(capacity) {
+    assert(capacity > 0 && "hardware FIFOs have nonzero depth");
+  }
+
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t free_slots() const { return capacity_ - size_; }
+
+  /// Push one element.  Returns false (and drops nothing) when full;
+  /// the caller models back-pressure.
+  [[nodiscard]] bool try_push(T value) {
+    if (full()) return false;
+    slots_[tail_] = std::move(value);
+    tail_ = advance(tail_);
+    ++size_;
+    return true;
+  }
+
+  /// Push that asserts on overflow.  Use where the protocol guarantees
+  /// space (e.g. a response slot reserved by a command).
+  void push(T value) {
+    const bool ok = try_push(std::move(value));
+    assert(ok && "FIFO overflow violates flow-control protocol");
+    (void)ok;
+  }
+
+  /// Peek at the head without consuming it.
+  const T& front() const {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  T& front() {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  /// Pop the head.  Precondition: not empty.
+  T pop() {
+    assert(!empty());
+    T out = std::move(slots_[head_]);
+    head_ = advance(head_);
+    --size_;
+    return out;
+  }
+
+  /// Pop the head if present.
+  std::optional<T> try_pop() {
+    if (empty()) return std::nullopt;
+    return pop();
+  }
+
+  /// Drop all contents (models a hardware reset).
+  void clear() {
+    head_ = tail_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t advance(std::size_t i) const {
+    return (i + 1 == capacity_) ? 0 : i + 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace alpu::common

@@ -1,0 +1,92 @@
+// Minimal command-line flag parsing for the tools and benches.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`.
+// Space-form is greedy: `--flag word` binds `word` as the flag's value,
+// so put positional arguments BEFORE the flags (the tools' usage), or
+// use `--flag=true` when a positional must follow a boolean.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace alpu::common {
+
+class Flags {
+ public:
+  /// Parse argv.  On malformed input, prints to stderr and returns
+  /// nullopt.
+  static std::optional<Flags> parse(int argc, char** argv);
+
+  bool has(const std::string& name) const {
+    return values_.find(name) != values_.end();
+  }
+
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::strtoll(it->second.c_str(),
+                                                         nullptr, 10);
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool get_bool(const std::string& name, bool fallback = false) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0";
+  }
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flag names seen (for validation against an allowed set).
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto& [k, v] : values_) out.push_back(k);
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+inline std::optional<Flags> Flags::parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag;
+    // otherwise a boolean `--name`.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[arg] = argv[++i];
+    } else {
+      flags.values_[arg] = "true";
+    }
+  }
+  return flags;
+}
+
+}  // namespace alpu::common

@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace alpu::common {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kTrace: return "T";
+    default: return "?";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_line(LogLevel level, TimePs now, std::string_view tag,
+              std::string_view message) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "%s [%12.3f ns] %.*s: %.*s\n", level_name(level),
+               to_ns(now), static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace alpu::common

@@ -1,0 +1,69 @@
+// Minimal leveled logger for the simulator.
+//
+// Logging is off by default (benchmarks must not pay for it); tests and
+// debugging sessions raise the level.  Messages carry the simulated
+// timestamp supplied by the caller so traces read in simulation order.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/time.hpp"
+
+namespace alpu::common {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+  kTrace = 5,
+};
+
+/// Process-global log level.  Single-threaded simulator: a plain global.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one log line: `[  123.456 ns] tag: message`.
+void log_line(LogLevel level, TimePs now, std::string_view tag,
+              std::string_view message);
+
+namespace detail {
+
+inline void format_rest(std::ostringstream& out, std::string_view fmt) {
+  out << fmt;
+}
+
+template <typename Arg, typename... Rest>
+void format_rest(std::ostringstream& out, std::string_view fmt, Arg&& arg,
+                 Rest&&... rest) {
+  const std::size_t pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    out << fmt;
+    return;
+  }
+  out << fmt.substr(0, pos) << arg;
+  format_rest(out, fmt.substr(pos + 2), std::forward<Rest>(rest)...);
+}
+
+}  // namespace detail
+
+/// Brace-substitution formatter ({} placeholders, in order).
+template <typename... Args>
+std::string format_braces(std::string_view fmt, Args&&... args) {
+  std::ostringstream out;
+  detail::format_rest(out, fmt, std::forward<Args>(args)...);
+  return out.str();
+}
+
+/// Convenience logger.  `logf(kDebug, now, "nic", "match took {} ns", t)`.
+template <typename... Args>
+void logf(LogLevel level, TimePs now, std::string_view tag,
+          std::string_view fmt, Args&&... args) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  log_line(level, now, tag, format_braces(fmt, std::forward<Args>(args)...));
+}
+
+}  // namespace alpu::common

@@ -1,0 +1,96 @@
+#include "common/stats.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace alpu::common {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  assert(!samples_.empty());
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  assert(!samples_.empty());
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  assert(!samples_.empty());
+  return samples_.back();
+}
+
+double SampleSet::percentile(double p) const {
+  ensure_sorted();
+  assert(!samples_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  if (samples_.size() == 1) return samples_[0];
+  // Nearest-rank with linear interpolation between adjacent order stats.
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<std::size_t>(counts_[i] * max_width / peak);
+    out << "[" << bin_low(i) << ", " << bin_high(i) << ") "
+        << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_ != 0) out << "underflow: " << underflow_ << "\n";
+  if (overflow_ != 0) out << "overflow: " << overflow_ << "\n";
+  return out.str();
+}
+
+}  // namespace alpu::common

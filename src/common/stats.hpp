@@ -1,0 +1,96 @@
+// Lightweight statistics collectors used by benchmarks and the simulator.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace alpu::common {
+
+/// Streaming summary: count / min / max / mean / stddev (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double min() const { return n_ ? min_ : std::numeric_limits<double>::quiet_NaN(); }
+  double max() const { return n_ ? max_ : std::numeric_limits<double>::quiet_NaN(); }
+  double mean() const { return n_ ? mean_ : std::numeric_limits<double>::quiet_NaN(); }
+  double variance() const;
+  double stddev() const { return std::sqrt(variance()); }
+  double sum() const { return sum_; }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double sum_ = 0.0;
+};
+
+/// Collects every sample; supports exact percentiles.  Use for benchmark
+/// latency distributions where sample counts are modest.
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Exact percentile by nearest-rank, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+  void clear() { samples_.clear(); sorted_ = false; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow bins,
+/// used for queue-depth and latency distributions in reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_[i]; }
+  double bin_low(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  double bin_high(std::size_t i) const { return bin_low(i) + width_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Multi-line ASCII rendering for reports.
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace alpu::common

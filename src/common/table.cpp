@@ -1,0 +1,86 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace alpu::common {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != 'e' && c != 'E' && c != ',') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  // Compute column widths over header and all rows.
+  std::vector<std::size_t> widths;
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      const std::size_t pad = widths[i] - cell.size();
+      if (looks_numeric(cell)) {
+        out << "  " << std::string(pad, ' ') << cell;
+      } else {
+        out << "  " << cell << std::string(pad, ' ');
+      }
+    }
+    out << "\n";
+  };
+  emit(header_);
+  // Separator under the header.
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    out << "  " << std::string(widths[i], '-');
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::render_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ",";
+      out << row[i];
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace alpu::common

@@ -1,0 +1,34 @@
+// ASCII table renderer used by the benchmark harnesses to print
+// paper-style tables (Tables IV/V rows, Figure 5/6 series).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace alpu::common {
+
+/// Column-aligned text table.  Add a header once, then rows; `render()`
+/// right-aligns numeric-looking cells and left-aligns the rest.
+class TextTable {
+ public:
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string render() const;
+
+  /// Render as comma-separated values (for plotting scripts).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant decimals, trimming zeros.
+std::string fmt_double(double v, int digits = 2);
+
+}  // namespace alpu::common

@@ -1,0 +1,69 @@
+// Simulation time base for ALPU-Sim.
+//
+// All simulated time is expressed in integer picoseconds.  Picoseconds are
+// the coarsest unit that exactly represents every clock in the modelled
+// system (host CPU 2 GHz -> 500 ps, NIC CPU / ASIC ALPU 500 MHz -> 2000 ps,
+// FPGA ALPU ~112 MHz -> ~8929 ps) without accumulating rounding error over
+// long runs.  A 64-bit count overflows after ~213 days of simulated time,
+// far beyond any experiment here.
+#pragma once
+
+#include <cstdint>
+
+namespace alpu::common {
+
+/// Absolute simulation time or a duration, in picoseconds.
+using TimePs = std::uint64_t;
+
+/// Sentinel for "no time" / "never".
+inline constexpr TimePs kTimeNever = ~TimePs{0};
+
+inline constexpr TimePs operator""_ps(unsigned long long v) { return v; }
+inline constexpr TimePs operator""_ns(unsigned long long v) { return v * 1'000; }
+inline constexpr TimePs operator""_us(unsigned long long v) { return v * 1'000'000; }
+inline constexpr TimePs operator""_ms(unsigned long long v) { return v * 1'000'000'000; }
+
+/// Convert picoseconds to (double) nanoseconds for reporting.
+inline constexpr double to_ns(TimePs t) { return static_cast<double>(t) / 1e3; }
+
+/// Convert picoseconds to (double) microseconds for reporting.
+inline constexpr double to_us(TimePs t) { return static_cast<double>(t) / 1e6; }
+
+/// A clock frequency, stored as the exact period in picoseconds.
+///
+/// Construct from a period, or via `from_mhz` / `from_ghz` for the common
+/// cases where the frequency divides 1 THz evenly.
+class ClockPeriod {
+ public:
+  constexpr explicit ClockPeriod(TimePs period_ps) : period_ps_(period_ps) {}
+
+  /// Period of an integral-MHz clock.  1 MHz == 1'000'000 ps period.
+  static constexpr ClockPeriod from_mhz(std::uint64_t mhz) {
+    return ClockPeriod{1'000'000 / mhz};
+  }
+  static constexpr ClockPeriod from_ghz(std::uint64_t ghz) {
+    return ClockPeriod{1'000 / ghz};
+  }
+
+  constexpr TimePs period() const { return period_ps_; }
+
+  /// Duration of `n` cycles of this clock.
+  constexpr TimePs cycles(std::uint64_t n) const { return n * period_ps_; }
+
+  /// Number of whole cycles that fit in `t` (floor).
+  constexpr std::uint64_t cycles_in(TimePs t) const { return t / period_ps_; }
+
+  /// Round `t` up to the next edge of this clock (edges at multiples of the
+  /// period from time zero).  Returns `t` itself if already on an edge.
+  constexpr TimePs next_edge(TimePs t) const {
+    const TimePs rem = t % period_ps_;
+    return rem == 0 ? t : t + (period_ps_ - rem);
+  }
+
+  constexpr double mhz() const { return 1e6 / static_cast<double>(period_ps_); }
+
+ private:
+  TimePs period_ps_;
+};
+
+}  // namespace alpu::common

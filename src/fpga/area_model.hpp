@@ -1,0 +1,86 @@
+// Structural FPGA area/timing estimator for the ALPU (Tables IV and V).
+//
+// The paper reports synthesis results from the Xilinx tool chain for a
+// JHDL prototype on a Virtex-II Pro 100 (-5).  That tool chain is not
+// reproducible here, so this model estimates the same quantities from
+// the netlist structure Section III describes, with packing/timing
+// coefficients calibrated once against the twelve published
+// configurations (see DESIGN.md, substitution table).
+//
+// Structural accounting (4-input LUT technology):
+//
+//  * Cell storage (flip-flops): a posted-receive cell stores match bits
+//    (42) + mask bits (42) + tag (16) + valid (1) = 101 FF; an
+//    unexpected-message cell omits the stored mask (Figure 2b): 59 FF.
+//  * Per-block registers: each block registers its own copy of the
+//    incoming request (match bits, and for the unexpected flavour the
+//    input mask bits too), plus enable/control and the registered
+//    priority-mux output — ~80 FF/block posted, ~122 FF/block unexpected.
+//  * Cell logic (LUTs): the masked comparator (XNOR + mask AND + AND
+//    reduce over 42 bits) plus the per-cell share of the shift/compaction
+//    and priority muxing.  The mux share grows with log2(block size);
+//    the flow-control "space available" logic adds ~35 LUT/block.
+//  * Slices: the posted design is FF-dominated and packs at the
+//    empirical Virtex-II ratio slices = 0.546 * FF; the unexpected
+//    design is balanced, leaving a fraction of purely combinational
+//    mux-tree LUTs unpaired — that fraction grows with block size.
+//  * Clock: the design was constrained to 9 ns.  Blocks of 8/16 meet it
+//    (~112 MHz); at block size 32 the intra-block priority/compaction
+//    path exceeds the constraint (~100 MHz).
+//  * Pipeline latency: stage 4 (cross-block priority reduction) takes
+//    2 cycles when there are >= 16 blocks, 1 cycle otherwise
+//    (Section V-D: "either one or two cycles, depending on the circuit
+//    parameters"), giving the published 7- vs 6-cycle totals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alpu/types.hpp"
+
+namespace alpu::fpga {
+
+/// Parameters of one prototype instantiation.
+struct PrototypeParams {
+  hw::AlpuFlavor flavor = hw::AlpuFlavor::kPostedReceive;
+  std::size_t total_cells = 256;
+  std::size_t block_size = 8;
+  unsigned match_width = 42;  ///< bits compared per cell
+  unsigned tag_width = 16;    ///< software tag (cookie) bits stored
+  bool mask_per_bit = true;   ///< full Portals-style maskability
+};
+
+/// Estimated synthesis results (the Table IV/V columns).
+struct SynthesisEstimate {
+  std::uint64_t luts = 0;
+  std::uint64_t flip_flops = 0;
+  std::uint64_t slices = 0;
+  double clock_mhz = 0.0;       ///< FPGA (Virtex-II Pro -5) clock
+  unsigned pipeline_latency = 0;  ///< cycles per match, no overlap
+  double asic_clock_mhz = 0.0;  ///< Section VI-A's conservative 5x scaling
+};
+
+/// Estimate synthesis results for one configuration.
+SynthesisEstimate estimate(const PrototypeParams& params);
+
+/// Flip-flops in one storage cell of the given flavour.
+std::uint64_t cell_flip_flops(const PrototypeParams& params);
+
+/// The published Table IV/V numbers, for validation and reporting.
+struct PublishedRow {
+  std::size_t total_cells;
+  std::size_t block_size;
+  std::uint64_t luts;
+  std::uint64_t flip_flops;
+  std::uint64_t slices;
+  double clock_mhz;
+  unsigned pipeline_latency;
+};
+
+/// Rows of Table IV (posted receives) in paper order.
+const std::vector<PublishedRow>& published_table4();
+/// Rows of Table V (unexpected messages) in paper order.
+const std::vector<PublishedRow>& published_table5();
+
+}  // namespace alpu::fpga

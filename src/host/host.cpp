@@ -1,0 +1,70 @@
+#include "host/host.hpp"
+
+#include <cassert>
+
+namespace alpu::host {
+
+Host::Host(sim::Engine& engine, std::string name, nic::Nic& nic,
+           const HostConfig& config)
+    : sim::Component(engine, std::move(name)),
+      config_(config),
+      nic_(nic),
+      memory_(config.memory),
+      buffers_(0x8000'0000) {
+  nic_.set_completion_handler(
+      [this](const nic::Completion& c) { on_completion(c); });
+  // The MPI library's request/completion rings are long-lived, warm
+  // structures; pre-touch them so steady-state costs apply from the
+  // first request (cold first-touch misses are an artifact of the
+  // simulation starting at t=0, not of the modelled system).
+  for (mem::Addr slot = 0; slot < 64; ++slot) {
+    (void)memory_.store(0xF000'0000 + slot * 64, 0);
+    (void)memory_.store(0xF800'0000 + slot * 64, 0);
+  }
+}
+
+PendingHandle Host::submit(nic::HostRequest request) {
+  request.req_id = next_req_id_++;
+  auto handle = std::make_shared<Pending>();
+  pending_[request.req_id] = handle;
+  // Build the descriptor in host memory (one line of a small ring of
+  // request records, the MPI library's reused request objects), charge
+  // the dispatch cost, then the doorbell write crosses the host bus; the
+  // NIC sees the descriptor at now + dispatch + doorbell.
+  const mem::Addr record =
+      0xF000'0000 + (request.req_id % 64) * 64;
+  const TimePs dispatch = config_.clock.cycles(config_.request_cycles) +
+                          memory_.store(record, engine().now());
+  const TimePs doorbell = nic_.config().doorbell_ps;
+  engine().schedule_in(dispatch + doorbell, [this, request] {
+    nic_.host_submit(request);
+  });
+  return handle;
+}
+
+sim::Process Host::wait(PendingHandle handle) {
+  assert(handle != nullptr);
+  while (!handle->done) {
+    co_await handle->on_done.wait(engine());
+  }
+  // Reap cost: read the completion record out of host memory (a line of
+  // the completion ring the NIC writes into by DMA).
+  const mem::Addr record =
+      0xF800'0000 + (handle->completion.req_id % 64) * 64;
+  co_await sim::delay(engine(),
+                      config_.clock.cycles(config_.completion_cycles) +
+                          memory_.load(record, engine().now()));
+}
+
+void Host::on_completion(const nic::Completion& completion) {
+  ++completions_seen_;
+  auto it = pending_.find(completion.req_id);
+  assert(it != pending_.end() && "completion for unknown request");
+  PendingHandle handle = it->second;
+  pending_.erase(it);
+  handle->completion = completion;
+  handle->done = true;
+  handle->on_done.fire();
+}
+
+}  // namespace alpu::host

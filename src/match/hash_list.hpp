@@ -1,0 +1,105 @@
+// Hash-table match structures — the alternative the paper rejects.
+//
+// Section II discusses hash tables (as used by Myrinet MX and EMP): they
+// cut search time but (a) inflate insert time, which shows up directly in
+// the zero-length ping-pong latency every network is judged by, and
+// (b) interact badly with wildcards and MPI's ordering rule.  These
+// classes implement the approach faithfully — exact entries hashed,
+// wildcard entries in an ordered side list, global sequence numbers to
+// arbitrate ordering — so the ablation benchmark can quantify both
+// effects against the linear list and the ALPU.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "match/match.hpp"
+
+namespace alpu::match {
+
+/// Search outcome for the hash structures, with the cost breakdown the
+/// ablation bench charges for.
+struct HashSearchResult {
+  bool found = false;
+  Cookie cookie = 0;
+  std::uint64_t seq = 0;          ///< insertion sequence number of the hit
+  std::size_t hash_probes = 0;    ///< bucket lookups performed
+  std::size_t entries_scanned = 0;///< entries touched linearly (wildcards)
+};
+
+/// Posted-receive queue with hashed exact entries.
+///
+/// Exact receives (no wildcard) live in buckets keyed by the full match
+/// word; wildcard receives live in an insertion-ordered side list.  A
+/// search probes the bucket and scans the side list, and MPI ordering is
+/// restored by taking the candidate with the smaller sequence number.
+class PostedHashList {
+ public:
+  /// Insert a posted receive.  Returns its sequence number.
+  std::uint64_t insert(const Pattern& pattern, Cookie cookie);
+
+  /// First-match (in MPI posted order) lookup for an incoming envelope.
+  /// The hit is removed, as MPI consumes posted receives on match.
+  HashSearchResult consume_match(MatchWord word);
+
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+  std::size_t wildcard_count() const { return wildcard_live_; }
+
+ private:
+  struct ExactItem {
+    std::uint64_t seq;
+    Cookie cookie;
+  };
+  struct WildItem {
+    std::uint64_t seq;
+    Pattern pattern;
+    Cookie cookie;
+    bool valid;
+  };
+
+  std::unordered_map<MatchWord, std::deque<ExactItem>> exact_;
+  std::vector<WildItem> wild_;  // insertion order; lazy erase
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+  std::size_t wildcard_live_ = 0;
+};
+
+/// Unexpected-message queue with hashed entries.
+///
+/// Stored envelopes are always explicit, so every entry is hashed by its
+/// full match word; an insertion-ordered journal supports the wildcard
+/// probes (MPI_ANY_SOURCE / MPI_ANY_TAG receives), which must fall back
+/// to a linear scan — the structural weakness Section II points out.
+class UnexpectedHashList {
+ public:
+  /// Record an arrived unexpected message.  Returns its sequence number.
+  std::uint64_t insert(MatchWord word, Cookie cookie);
+
+  /// Find-and-remove the first (arrival-ordered) message matching the
+  /// probe pattern of a receive being posted.
+  HashSearchResult consume_match(const Pattern& probe);
+
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+ private:
+  struct Item {
+    std::uint64_t seq;
+    MatchWord word;
+    Cookie cookie;
+    bool valid;
+  };
+
+  void erase_journal_index(std::size_t pos);
+
+  std::vector<Item> journal_;  // arrival order; lazy erase
+  std::unordered_map<MatchWord, std::deque<std::size_t>> index_;  // -> journal pos
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace alpu::match

@@ -1,0 +1,151 @@
+// Reference software match lists (the baseline NIC's data structures).
+//
+// Every published MPI implementation the paper surveys (MPICH, LAM,
+// MPI/Pro, MPICH2, LA-MPI) keeps the posted-receive queue and the
+// unexpected-message queue as linear lists searched front-to-back.
+// These containers are that reference implementation: they define the
+// *correct* answer the ALPU model is property-tested against, and they
+// expose traversal counts so the NIC CPU cost model can charge time and
+// cache traffic per visited entry.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+
+#include "match/match.hpp"
+
+namespace alpu::match {
+
+/// Outcome of a list search.
+struct SearchResult {
+  bool found = false;
+  std::size_t index = 0;      ///< position of the hit (valid when found)
+  Cookie cookie = 0;          ///< cookie of the hit (valid when found)
+  std::size_t visited = 0;    ///< entries examined, including the hit
+
+  friend bool operator==(const SearchResult&, const SearchResult&) = default;
+};
+
+/// An entry of the posted-receive queue: a pattern awaiting messages.
+struct PostedEntry {
+  Pattern pattern;
+  Cookie cookie = 0;
+  std::uint64_t addr = 0;  ///< simulated NIC-memory address of the full entry
+};
+
+/// An entry of the unexpected queue: an explicit arrived envelope.
+struct UnexpectedEntry {
+  MatchWord word = 0;
+  Cookie cookie = 0;
+  std::uint64_t addr = 0;  ///< simulated NIC-memory address of the full entry
+};
+
+/// The posted-receive queue as a linear list.
+///
+/// `search(word)` walks front-to-back and returns the first entry whose
+/// pattern matches the incoming envelope — exactly MPI's required
+/// "first posted receive wins" semantics.  The caller erases the hit.
+class PostedList {
+ public:
+  void append(PostedEntry e) { entries_.push_back(e); }
+
+  /// First-match search for the incoming explicit `word`.
+  SearchResult search(MatchWord word) const;
+
+  /// Search only indices [first, size()) — the NIC uses this to search
+  /// the portion of the queue not yet loaded into the ALPU.
+  SearchResult search_from(std::size_t first, MatchWord word) const;
+
+  /// Remove the entry at `index` (after a successful match).
+  void erase(std::size_t index);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const PostedEntry& at(std::size_t i) const { return entries_[i]; }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::deque<PostedEntry> entries_;
+};
+
+/// The unexpected-message queue as a linear list.
+///
+/// Probing is the *reverse* lookup the paper highlights: the stored
+/// entries are explicit, the probe (a receive being posted) may carry
+/// wildcards.  First match in arrival order wins, which preserves MPI's
+/// ordering guarantee for same-(source, context) messages.
+class UnexpectedList {
+ public:
+  void append(UnexpectedEntry e) { entries_.push_back(e); }
+
+  /// First-match search with a possibly-wildcarded probe pattern.
+  SearchResult search(const Pattern& probe) const;
+
+  /// Search only indices [first, size()).
+  SearchResult search_from(std::size_t first, const Pattern& probe) const;
+
+  void erase(std::size_t index);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const UnexpectedEntry& at(std::size_t i) const { return entries_[i]; }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::deque<UnexpectedEntry> entries_;
+};
+
+// ---- inline implementations -------------------------------------------
+
+inline SearchResult PostedList::search(MatchWord word) const {
+  return search_from(0, word);
+}
+
+inline SearchResult PostedList::search_from(std::size_t first,
+                                            MatchWord word) const {
+  SearchResult r;
+  for (std::size_t i = first; i < entries_.size(); ++i) {
+    ++r.visited;
+    if (entries_[i].pattern.matches(word)) {
+      r.found = true;
+      r.index = i;
+      r.cookie = entries_[i].cookie;
+      return r;
+    }
+  }
+  return r;
+}
+
+inline void PostedList::erase(std::size_t index) {
+  assert(index < entries_.size());
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+inline SearchResult UnexpectedList::search(const Pattern& probe) const {
+  return search_from(0, probe);
+}
+
+inline SearchResult UnexpectedList::search_from(std::size_t first,
+                                                const Pattern& probe) const {
+  SearchResult r;
+  for (std::size_t i = first; i < entries_.size(); ++i) {
+    ++r.visited;
+    if (probe.matches(entries_[i].word)) {
+      r.found = true;
+      r.index = i;
+      r.cookie = entries_[i].cookie;
+      return r;
+    }
+  }
+  return r;
+}
+
+inline void UnexpectedList::erase(std::size_t index) {
+  assert(index < entries_.size());
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+}  // namespace alpu::match

@@ -1,0 +1,70 @@
+#include "match/match.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace alpu::match {
+
+MatchWord pack(const Envelope& env) {
+  assert(env.context <= kMaxContext);
+  assert(env.source <= kMaxSource);
+  assert(env.tag <= kMaxTag);
+  return (MatchWord{env.context} << kContextShift) |
+         (MatchWord{env.source} << kSourceShift) |
+         (MatchWord{env.tag} << kTagShift);
+}
+
+Envelope unpack(MatchWord word) {
+  Envelope env;
+  env.context = static_cast<std::uint32_t>((word >> kContextShift) & kMaxContext);
+  env.source = static_cast<std::uint32_t>((word >> kSourceShift) & kMaxSource);
+  env.tag = static_cast<std::uint32_t>((word >> kTagShift) & kMaxTag);
+  return env;
+}
+
+Pattern make_recv_pattern(std::uint32_t context,
+                          std::optional<std::uint32_t> source,
+                          std::optional<std::uint32_t> tag) {
+  assert(context <= kMaxContext);
+  Pattern p;
+  p.bits = MatchWord{context} << kContextShift;
+  p.mask = 0;
+  if (source.has_value()) {
+    assert(*source <= kMaxSource);
+    p.bits |= MatchWord{*source} << kSourceShift;
+  } else {
+    p.mask |= kSourceMask;
+  }
+  if (tag.has_value()) {
+    assert(*tag <= kMaxTag);
+    p.bits |= MatchWord{*tag} << kTagShift;
+  } else {
+    p.mask |= kTagMask;
+  }
+  return p;
+}
+
+std::string to_string(const Envelope& e) {
+  std::ostringstream out;
+  out << "ctx=" << e.context << " src=" << e.source << " tag=" << e.tag;
+  return out.str();
+}
+
+std::string to_string(const Pattern& p) {
+  const Envelope e = unpack(p.bits);
+  std::ostringstream out;
+  out << "ctx=" << e.context;
+  if ((p.mask & kSourceMask) == kSourceMask) {
+    out << " src=*";
+  } else {
+    out << " src=" << e.source;
+  }
+  if ((p.mask & kTagMask) == kTagMask) {
+    out << " tag=*";
+  } else {
+    out << " tag=" << e.tag;
+  }
+  return out.str();
+}
+
+}  // namespace alpu::match

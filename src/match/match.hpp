@@ -1,0 +1,101 @@
+// MPI message-matching semantics.
+//
+// MPI matches messages on the triple {context id, source rank, message
+// tag}.  A posted receive matches the context exactly but may wildcard
+// source and/or tag (MPI_ANY_SOURCE / MPI_ANY_TAG); ordering between a
+// (sender, context) pair must be preserved, so the FIRST matching entry
+// in list order is always the correct one.
+//
+// Following the paper's prototype, the triple is packed into a 42-bit
+// match word (13-bit context + 15-bit source supporting 32 K nodes +
+// 14-bit tag), with one mask bit per match bit so that the same hardware
+// also supports Portals-style full-word match/ignore bits.  This module
+// defines the packing, the mask algebra, and the reference software
+// match lists the paper's baseline NIC uses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace alpu::match {
+
+/// Raw match bits.  The prototype uses 42 of the 64 bits; the container
+/// is 64 bits wide so Portals full-width matching also fits.
+using MatchWord = std::uint64_t;
+
+/// Software cookie stored with each hardware entry; the paper recommends
+/// a 20-bit pointer into NIC SRAM identifying the full queue entry.
+using Cookie = std::uint32_t;
+
+/// Field widths of the packed MPI match word (total 42 bits, the width
+/// the paper's FPGA prototype instantiates for a 32 K-node machine).
+inline constexpr int kContextBits = 13;
+inline constexpr int kSourceBits = 15;
+inline constexpr int kTagBits = 14;
+inline constexpr int kMatchBits = kContextBits + kSourceBits + kTagBits;
+static_assert(kMatchBits == 42);
+
+inline constexpr std::uint32_t kMaxContext = (1u << kContextBits) - 1;
+inline constexpr std::uint32_t kMaxSource = (1u << kSourceBits) - 1;
+inline constexpr std::uint32_t kMaxTag = (1u << kTagBits) - 1;
+
+/// Bit layout (LSB-first): [tag | source | context].
+inline constexpr int kTagShift = 0;
+inline constexpr int kSourceShift = kTagBits;
+inline constexpr int kContextShift = kTagBits + kSourceBits;
+
+inline constexpr MatchWord kTagMask = MatchWord{kMaxTag} << kTagShift;
+inline constexpr MatchWord kSourceMask = MatchWord{kMaxSource} << kSourceShift;
+inline constexpr MatchWord kContextMask = MatchWord{kMaxContext}
+                                          << kContextShift;
+inline constexpr MatchWord kFullMask = kTagMask | kSourceMask | kContextMask;
+
+/// The match envelope of a message on the wire: always fully explicit.
+struct Envelope {
+  std::uint32_t context = 0;  ///< communicator context id (13 bits)
+  std::uint32_t source = 0;   ///< sender rank within the communicator
+  std::uint32_t tag = 0;      ///< user message tag
+
+  friend bool operator==(const Envelope&, const Envelope&) = default;
+};
+
+/// Pack an explicit envelope into a match word.
+MatchWord pack(const Envelope& env);
+
+/// Unpack a match word back into an envelope (inverse of pack()).
+Envelope unpack(MatchWord word);
+
+/// A match pattern: match bits plus mask bits.  Mask bit == 1 means
+/// "don't care" at that position (the TCAM convention the ALPU uses).
+struct Pattern {
+  MatchWord bits = 0;
+  MatchWord mask = 0;
+
+  /// True if the explicit `word` satisfies this pattern.
+  bool matches(MatchWord word) const {
+    return ((bits ^ word) & ~mask & kFullMask) == 0;
+  }
+
+  /// True if no bit is wildcarded (useful for hash-based indexes).
+  bool is_exact() const { return (mask & kFullMask) == 0; }
+
+  friend bool operator==(const Pattern&, const Pattern&) = default;
+};
+
+/// Build the pattern for a posted receive.  `source`/`tag` empty means
+/// the corresponding MPI wildcard; context can never be wildcarded.
+Pattern make_recv_pattern(std::uint32_t context,
+                          std::optional<std::uint32_t> source,
+                          std::optional<std::uint32_t> tag);
+
+/// Pattern that matches exactly one envelope (mask = 0).
+inline Pattern exact_pattern(const Envelope& env) {
+  return Pattern{pack(env), 0};
+}
+
+/// Debug rendering, e.g. "ctx=2 src=* tag=7".
+std::string to_string(const Pattern& p);
+std::string to_string(const Envelope& e);
+
+}  // namespace alpu::match

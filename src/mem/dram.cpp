@@ -1,0 +1,41 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace alpu::mem {
+
+Dram::Dram(const DramConfig& config) : config_(config) {
+  assert(config.banks > 0);
+  banks_.resize(config.banks);
+}
+
+TimePs Dram::access(std::uint64_t addr, TimePs now) {
+  ++stats_.accesses;
+  const std::uint64_t row_global = addr / config_.row_bytes;
+  // Interleave rows across banks so sequential rows hit distinct banks.
+  Bank& bank = banks_[row_global % banks_.size()];
+  const std::uint64_t row = row_global / banks_.size();
+
+  TimePs start = now;
+  if (bank.busy_until > start) {
+    ++stats_.stalled_accesses;
+    start = bank.busy_until;
+  }
+
+  TimePs service;
+  if (bank.row_valid && bank.open_row == row) {
+    ++stats_.row_hits;
+    service = config_.column_ps + config_.data_beat_ps;
+  } else {
+    ++stats_.row_misses;
+    service = (bank.row_valid ? config_.precharge_ps : 0) +
+              config_.activate_ps + config_.column_ps + config_.data_beat_ps;
+    bank.open_row = row;
+    bank.row_valid = true;
+  }
+  bank.busy_until = start + service;
+  return (start - now) + service;
+}
+
+}  // namespace alpu::mem

@@ -1,0 +1,61 @@
+// DRAM timing with open-row (page-mode) contention.
+//
+// The paper's simulator "modeled the memory hierarchy to include
+// contention for open rows on the DRAM chips" (Section V-B).  This model
+// tracks one open row per bank: an access to the open row pays the
+// column latency only; a different row pays precharge + activate first.
+// Banks are also serially busy, so back-to-back conflicting accesses
+// queue behind each other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace alpu::mem {
+
+using common::TimePs;
+
+struct DramConfig {
+  std::size_t banks = 8;
+  std::size_t row_bytes = 8 * 1024;     ///< bytes covered by one open row
+  TimePs column_ps = 20'000;            ///< CAS latency for a row hit
+  TimePs activate_ps = 25'000;          ///< RAS for a row miss (added)
+  TimePs precharge_ps = 20'000;         ///< precharge when closing a row
+  TimePs data_beat_ps = 5'000;          ///< transfer time of one line
+};
+
+struct DramStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t stalled_accesses = 0;  ///< waited behind a busy bank
+};
+
+/// One DRAM channel with per-bank open-row state.
+class Dram {
+ public:
+  explicit Dram(const DramConfig& config);
+
+  /// Latency to service a line fill at absolute time `now`, including any
+  /// wait for the target bank to go idle.  Advances bank state.
+  TimePs access(std::uint64_t addr, TimePs now);
+
+  const DramStats& stats() const { return stats_; }
+  const DramConfig& config() const { return config_; }
+
+ private:
+  struct Bank {
+    std::uint64_t open_row = 0;
+    bool row_valid = false;
+    TimePs busy_until = 0;
+  };
+
+  DramConfig config_;
+  std::vector<Bank> banks_;
+  DramStats stats_;
+};
+
+}  // namespace alpu::mem

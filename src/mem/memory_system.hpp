@@ -1,0 +1,103 @@
+// Memory-system front end: caches plus a backing store.
+//
+// A MemorySystem answers the only question a CPU cost model asks:
+// "what does this load/store cost, in time, right now?"  It threads an
+// access through an L1 (and optionally an L2) tag model and charges the
+// backing store — either a fixed-latency local memory (the NIC's case:
+// 30–32 cycles to local SRAM/DRAM, Table III) or the open-row DRAM model
+// (the host's case: 85–90 cycles).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+
+#include "common/time.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+
+namespace alpu::mem {
+
+using common::TimePs;
+
+struct MemorySystemConfig {
+  CacheConfig l1;
+  TimePs l1_hit_ps = 4'000;  ///< 2 cycles at 500 MHz
+
+  std::optional<CacheConfig> l2;  ///< present on the host, absent on the NIC
+  TimePs l2_hit_ps = 0;
+
+  /// Fixed miss-to-backing latency (beyond the last cache level).  Used
+  /// when `use_dram` is false; this is the NIC's 30–32-cycle local memory.
+  TimePs backend_ps = 62'000;  ///< 31 cycles at 500 MHz
+
+  /// When true, the backing store is the open-row DRAM model and
+  /// `backend_ps` is added as the constant controller/bus overhead.
+  bool use_dram = false;
+  DramConfig dram;
+};
+
+struct MemorySystemStats {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  TimePs total_time = 0;
+};
+
+/// One clock domain's view of memory.  Not a component: callers charge
+/// the returned latency into their own timelines.
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemorySystemConfig& config);
+
+  /// Cost of a load of one word within the line containing `addr`.
+  TimePs load(Addr addr, TimePs now) { return access(addr, now, false); }
+
+  /// Cost of a store (write-allocate, write-back).
+  TimePs store(Addr addr, TimePs now) { return access(addr, now, true); }
+
+  /// Touch every line of [addr, addr+bytes) and return the summed cost
+  /// (models structure-sized reads like pulling a queue entry).
+  TimePs touch_range(Addr addr, std::uint64_t bytes, TimePs now,
+                     bool is_write);
+
+  const Cache& l1() const { return l1_; }
+  const CacheStats& l1_stats() const { return l1_.stats(); }
+  const MemorySystemStats& stats() const { return stats_; }
+  Cache& l1_mutable() { return l1_; }
+
+  /// Drop all cached state (power-on or firmware restart).
+  void flush();
+
+ private:
+  TimePs access(Addr addr, TimePs now, bool is_write);
+
+  MemorySystemConfig config_;
+  Cache l1_;
+  std::optional<Cache> l2_;
+  std::optional<Dram> dram_;
+  MemorySystemStats stats_;
+};
+
+/// Bump allocator handing out simulated addresses for NIC/host data
+/// structures, so queue entries occupy realistic, distinct cache lines.
+class SimHeap {
+ public:
+  explicit SimHeap(Addr base = 0x1000'0000) : base_(base), next_(base) {}
+
+  /// Allocate `bytes` aligned to `align` (power of two).
+  Addr alloc(std::uint64_t bytes, std::uint64_t align = 64) {
+    assert((align & (align - 1)) == 0);
+    next_ = (next_ + align - 1) & ~(align - 1);
+    const Addr out = next_;
+    next_ += bytes;
+    return out;
+  }
+
+  Addr bytes_used() const { return next_ - base_; }
+
+ private:
+  Addr base_;
+  Addr next_;
+};
+
+}  // namespace alpu::mem

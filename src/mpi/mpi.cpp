@@ -1,0 +1,223 @@
+#include "mpi/mpi.hpp"
+
+#include <cassert>
+
+namespace alpu::mpi {
+
+namespace {
+
+std::optional<std::uint32_t> to_field(int value, std::uint32_t max,
+                                      int wildcard) {
+  if (value == wildcard) return std::nullopt;
+  assert(value >= 0 && static_cast<std::uint32_t>(value) <= max &&
+         "match field out of range for the 42-bit packing");
+  return static_cast<std::uint32_t>(value);
+}
+
+/// Tag used internally by barrier traffic.
+constexpr int kBarrierTag = 0;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------------
+
+Machine::Machine(sim::Engine& engine, const SystemConfig& config)
+    : engine_(engine), config_(config) {
+  assert(config.nprocs >= 1);
+  network_ = std::make_unique<net::Network>(engine, config.network);
+  nodes_.resize(static_cast<std::size_t>(config.nprocs));
+  for (int r = 0; r < config.nprocs; ++r) {
+    Node& node = nodes_[static_cast<std::size_t>(r)];
+    node.nic = std::make_unique<nic::Nic>(
+        engine, "nic" + std::to_string(r),
+        static_cast<net::NodeId>(r), config.nic, *network_);
+    node.host = std::make_unique<host::Host>(
+        engine, "host" + std::to_string(r), *node.nic, config.host);
+    node.rank = std::make_unique<Rank>(*this, r, *node.host);
+  }
+}
+
+Machine::~Machine() = default;
+
+std::shared_ptr<const CommGroup> Machine::create_comm(
+    std::vector<int> members) {
+  assert(!members.empty());
+  for (int m : members) {
+    assert(m >= 0 && m < size() && "member is not a valid world rank");
+  }
+  auto group = std::make_shared<CommGroup>();
+  group->p2p_context = next_context_++;
+  group->collective_context = next_context_++;
+  assert(group->collective_context <= match::kMaxContext &&
+         "context id space exhausted (13 bits)");
+  group->members = std::move(members);
+  return group;
+}
+
+// ---------------------------------------------------------------------------
+// Comm
+// ---------------------------------------------------------------------------
+
+Comm::Comm(Machine& machine, std::shared_ptr<const CommGroup> group,
+           int my_world_rank)
+    : machine_(machine), group_(std::move(group)) {
+  for (std::size_t i = 0; i < group_->members.size(); ++i) {
+    if (group_->members[i] == my_world_rank) {
+      my_comm_rank_ = static_cast<int>(i);
+      break;
+    }
+  }
+  assert(my_comm_rank_ >= 0 && "this rank is not a member of the group");
+}
+
+Rank& Comm::world_rank_obj(int comm_rank) const {
+  assert(comm_rank >= 0 && comm_rank < size());
+  return machine_.rank(group_->members[static_cast<std::size_t>(comm_rank)]);
+}
+
+Request Comm::isend(int dest, int tag, std::uint32_t bytes) {
+  Rank& self = machine_.rank(group_->members[
+      static_cast<std::size_t>(my_comm_rank_)]);
+  // The wire envelope's source field carries the WORLD rank (the NIC
+  // stamps it); the private context keeps the traffic inside the comm.
+  return self.isend(group_->members[static_cast<std::size_t>(dest)], tag,
+                    bytes, group_->p2p_context);
+}
+
+Request Comm::irecv(int source, int tag, std::uint32_t max_bytes) {
+  Rank& self = machine_.rank(group_->members[
+      static_cast<std::size_t>(my_comm_rank_)]);
+  const int world_source =
+      source == kAnySource
+          ? kAnySource
+          : group_->members[static_cast<std::size_t>(source)];
+  return self.irecv(world_source, tag, max_bytes, group_->p2p_context);
+}
+
+sim::Process Comm::send(int dest, int tag, std::uint32_t bytes) {
+  co_await wait(isend(dest, tag, bytes));
+}
+
+sim::Process Comm::recv(int source, int tag, std::uint32_t max_bytes,
+                        Request* out) {
+  Request r = irecv(source, tag, max_bytes);
+  co_await wait(r);
+  if (out != nullptr) *out = r;
+}
+
+sim::Process Comm::wait(Request request) {
+  co_await world_rank_obj(my_comm_rank_).wait(std::move(request));
+}
+
+sim::Process Comm::barrier() {
+  const int n = size();
+  if (n == 1) co_return;
+  Rank& self = machine_.rank(group_->members[
+      static_cast<std::size_t>(my_comm_rank_)]);
+  const std::uint32_t ctx = group_->collective_context;
+  if (my_comm_rank_ == 0) {
+    for (int r = 1; r < n; ++r) {
+      co_await self.recv(group_->members[static_cast<std::size_t>(r)],
+                         kBarrierTag, 0, ctx);
+    }
+    for (int r = 1; r < n; ++r) {
+      co_await self.send(group_->members[static_cast<std::size_t>(r)],
+                         kBarrierTag, 0, ctx);
+    }
+  } else {
+    const int root = group_->members[0];
+    co_await self.send(root, kBarrierTag, 0, ctx);
+    co_await self.recv(root, kBarrierTag, 0, ctx);
+  }
+}
+
+int Comm::comm_source(const Request& request) const {
+  const int world = static_cast<int>(request.matched().source);
+  for (std::size_t i = 0; i < group_->members.size(); ++i) {
+    if (group_->members[i] == world) return static_cast<int>(i);
+  }
+  assert(false && "matched source is not a member of this communicator");
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Rank
+// ---------------------------------------------------------------------------
+
+Rank::Rank(Machine& machine, int rank, host::Host& host)
+    : machine_(machine), rank_(rank), host_(host) {}
+
+int Rank::size() const { return machine_.size(); }
+
+sim::Engine& Rank::engine() { return machine_.engine(); }
+
+Request Rank::isend(int dest, int tag, std::uint32_t bytes,
+                    std::uint32_t context) {
+  assert(dest >= 0 && dest < size() && "invalid destination rank");
+  assert(tag >= 0 && "send tags must be explicit");
+  nic::HostRequest req;
+  req.kind = nic::RequestKind::kSend;
+  req.dst = static_cast<net::NodeId>(dest);
+  req.envelope = match::Envelope{context, static_cast<std::uint32_t>(rank_),
+                                 static_cast<std::uint32_t>(tag)};
+  req.send_buffer = host_.alloc_buffer(bytes == 0 ? 1 : bytes);
+  req.send_bytes = bytes;
+  return Request{host_.submit(req)};
+}
+
+Request Rank::irecv(int source, int tag, std::uint32_t max_bytes,
+                    std::uint32_t context) {
+  nic::HostRequest req;
+  req.kind = nic::RequestKind::kPostRecv;
+  req.pattern = match::make_recv_pattern(
+      context, to_field(source, match::kMaxSource, kAnySource),
+      to_field(tag, match::kMaxTag, kAnyTag));
+  req.recv_buffer = host_.alloc_buffer(max_bytes == 0 ? 1 : max_bytes);
+  req.recv_max_bytes = max_bytes;
+  return Request{host_.submit(req)};
+}
+
+sim::Process Rank::wait(Request request) {
+  assert(request.valid() && "waiting on a null request");
+  co_await host_.wait(request.handle());
+}
+
+sim::Process Rank::waitall(std::vector<Request> requests) {
+  for (Request& r : requests) {
+    co_await wait(r);
+  }
+}
+
+sim::Process Rank::send(int dest, int tag, std::uint32_t bytes,
+                        std::uint32_t context) {
+  co_await wait(isend(dest, tag, bytes, context));
+}
+
+sim::Process Rank::recv(int source, int tag, std::uint32_t max_bytes,
+                        std::uint32_t context, Request* out) {
+  Request r = irecv(source, tag, max_bytes, context);
+  co_await wait(r);
+  if (out != nullptr) *out = r;
+}
+
+sim::Process Rank::barrier() {
+  // Linear fan-in to rank 0, then fan-out — built purely from the
+  // point-to-point primitives, as the paper's (†) functions are.
+  const int n = size();
+  if (n == 1) co_return;
+  if (rank_ == 0) {
+    for (int r = 1; r < n; ++r) {
+      co_await recv(r, kBarrierTag, 0, kCollectiveContext);
+    }
+    for (int r = 1; r < n; ++r) {
+      co_await send(r, kBarrierTag, 0, kCollectiveContext);
+    }
+  } else {
+    co_await send(0, kBarrierTag, 0, kCollectiveContext);
+    co_await recv(0, kBarrierTag, 0, kCollectiveContext);
+  }
+}
+
+}  // namespace alpu::mpi

@@ -1,0 +1,205 @@
+// MPI-1.2 subset over the simulated system (Section V-C, Figure 4).
+//
+// The paper's prototype MPI implements basic point-to-point plus
+// MPI_Barrier over the NIC, in ~1600 lines of C++.  This module is that
+// library for the simulator: rank programs are C++20 coroutines holding
+// a `Rank&`, and each call maps onto host requests against the modelled
+// NIC.  Semantics covered:
+//
+//   * matching on {context, source, tag} with MPI_ANY_SOURCE /
+//     MPI_ANY_TAG wildcards (context never wildcards);
+//   * ordering: same (source, context) messages match posted receives
+//     in send order (inherited from in-order links + in-order queues);
+//   * eager and rendezvous protocols chosen by message size;
+//   * MPI_COMM_WORLD only; `Machine` plays MPI_Init/Finalize.
+//
+// Functions marked (†) in Figure 4 are built from the others, exactly
+// as in the paper: Send = Isend+Wait, Recv = Irecv+Wait, Waitall = loop
+// of Wait, Barrier = linear point-to-point fan-in/fan-out.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "host/host.hpp"
+#include "net/network.hpp"
+#include "nic/nic.hpp"
+#include "sim/process.hpp"
+
+namespace alpu::mpi {
+
+/// MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Context id of MPI_COMM_WORLD point-to-point traffic.
+inline constexpr std::uint32_t kWorldContext = 0;
+/// Context id reserved for collective (barrier) traffic, so collectives
+/// can never be intercepted by application wildcard receives.
+inline constexpr std::uint32_t kCollectiveContext = 1;
+
+/// A nonblocking-operation handle (MPI_Request).
+class Request {
+ public:
+  Request() = default;
+  explicit Request(host::PendingHandle handle) : handle_(std::move(handle)) {}
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_->done; }
+
+  /// Bytes transferred (receives) — valid once done.
+  std::uint32_t bytes() const { return handle_->completion.bytes; }
+  /// The matched envelope (receives) — valid once done.
+  match::Envelope matched() const {
+    return match::unpack(handle_->completion.matched_bits);
+  }
+
+  host::PendingHandle handle() const { return handle_; }
+
+ private:
+  host::PendingHandle handle_;
+};
+
+struct SystemConfig {
+  int nprocs = 2;
+  nic::NicConfig nic;
+  net::NetworkConfig network;
+  host::HostConfig host;
+};
+
+class Machine;
+
+/// Per-rank MPI interface (what a rank program calls).
+class Rank {
+ public:
+  Rank(Machine& machine, int rank, host::Host& host);
+
+  int rank() const { return rank_; }       ///< MPI_Comm_rank
+  int size() const;                        ///< MPI_Comm_size
+
+  /// MPI_Isend: start sending `bytes` to `dest` with `tag`.
+  Request isend(int dest, int tag, std::uint32_t bytes,
+                std::uint32_t context = kWorldContext);
+
+  /// MPI_Irecv: post a receive.  `source`/`tag` accept the wildcards.
+  Request irecv(int source, int tag, std::uint32_t max_bytes,
+                std::uint32_t context = kWorldContext);
+
+  /// MPI_Wait.  Optionally copies the finished request out (status).
+  sim::Process wait(Request request);
+
+  /// MPI_Waitall.
+  sim::Process waitall(std::vector<Request> requests);
+
+  /// MPI_Send (†).
+  sim::Process send(int dest, int tag, std::uint32_t bytes,
+                    std::uint32_t context = kWorldContext);
+
+  /// MPI_Recv (†).  The completed request is written to `*out` if given
+  /// (for status: bytes / matched envelope).
+  sim::Process recv(int source, int tag, std::uint32_t max_bytes,
+                    std::uint32_t context = kWorldContext,
+                    Request* out = nullptr);
+
+  /// MPI_Barrier (†): linear fan-in to rank 0, then fan-out.
+  sim::Process barrier();
+
+  host::Host& host() { return host_; }
+  Machine& machine() { return machine_; }
+  /// The simulation engine (for timestamps in rank programs).
+  sim::Engine& engine();
+
+ private:
+  Machine& machine_;
+  int rank_;
+  host::Host& host_;
+};
+
+/// Identity of a communicator: its two private context ids (one for
+/// point-to-point, one for collectives) and the ordered member list
+/// (world ranks).  Shared by every member's Comm handle.
+struct CommGroup {
+  std::uint32_t p2p_context = kWorldContext;
+  std::uint32_t collective_context = kCollectiveContext;
+  std::vector<int> members;  ///< world rank of each communicator rank
+};
+
+/// A communicator handle for one member (an extension beyond the
+/// paper's MPI_COMM_WORLD-only prototype, exercising the context field
+/// the 42-bit match packing reserves 13 bits for).
+///
+/// Ranks and sources are COMMUNICATOR ranks; the handle translates to
+/// and from world ranks at the matching boundary.
+class Comm {
+ public:
+  Comm(Machine& machine, std::shared_ptr<const CommGroup> group,
+       int my_world_rank);
+
+  int rank() const { return my_comm_rank_; }
+  int size() const { return static_cast<int>(group_->members.size()); }
+
+  Request isend(int dest, int tag, std::uint32_t bytes);
+  Request irecv(int source, int tag, std::uint32_t max_bytes);
+  sim::Process send(int dest, int tag, std::uint32_t bytes);
+  sim::Process recv(int source, int tag, std::uint32_t max_bytes,
+                    Request* out = nullptr);
+  sim::Process wait(Request request);
+  sim::Process barrier();
+
+  /// Translate a matched envelope's world source to a comm rank.
+  int comm_source(const Request& request) const;
+
+ private:
+  Rank& world_rank_obj(int comm_rank) const;
+
+  Machine& machine_;
+  std::shared_ptr<const CommGroup> group_;
+  int my_comm_rank_ = -1;
+};
+
+/// The simulated parallel machine: network + per-node NIC/host/rank.
+/// Constructing it is MPI_Init; destruction is MPI_Finalize.
+class Machine {
+ public:
+  Machine(sim::Engine& engine, const SystemConfig& config);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int size() const { return config_.nprocs; }
+  Rank& rank(int r) { return *nodes_[static_cast<std::size_t>(r)].rank; }
+  nic::Nic& nic(int r) { return *nodes_[static_cast<std::size_t>(r)].nic; }
+  host::Host& host(int r) { return *nodes_[static_cast<std::size_t>(r)].host; }
+  net::Network& network() { return *network_; }
+  sim::Engine& engine() { return engine_; }
+  const SystemConfig& config() const { return config_; }
+
+  /// Create a communicator over `members` (world ranks, which become
+  /// comm ranks 0..n-1 in order).  Allocates two fresh context ids.
+  /// Deterministic and local (the simulator stands in for the collective
+  /// agreement a real MPI_Comm_create performs).
+  std::shared_ptr<const CommGroup> create_comm(std::vector<int> members);
+
+  /// This member's handle for a created communicator.
+  Comm comm(std::shared_ptr<const CommGroup> group, int my_world_rank) {
+    return Comm(*this, std::move(group), my_world_rank);
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<nic::Nic> nic;
+    std::unique_ptr<host::Host> host;
+    std::unique_ptr<Rank> rank;
+  };
+
+  sim::Engine& engine_;
+  SystemConfig config_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<Node> nodes_;
+  std::uint32_t next_context_ = 2;  ///< 0/1 are world p2p/collective
+};
+
+}  // namespace alpu::mpi

@@ -1,0 +1,41 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+namespace alpu::net {
+
+Network::Network(sim::Engine& engine, const NetworkConfig& config)
+    : sim::Component(engine, "network"), config_(config) {}
+
+void Network::attach(NodeId node, DeliveryHandler handler) {
+  if (handlers_.size() <= node) handlers_.resize(node + 1);
+  assert(!handlers_[node] && "node already attached");
+  handlers_[node] = std::move(handler);
+}
+
+void Network::send(Packet packet) {
+  assert(packet.dst < handlers_.size() && handlers_[packet.dst] &&
+         "destination not attached");
+  const TimePs now = engine().now();
+  packet.injected_at = now;
+  ++stats_.packets;
+  stats_.payload_bytes += packet.payload_bytes;
+
+  // Serialise header + payload onto the (src, dst) link; the link frees
+  // up when the last byte leaves, and delivery happens one wire latency
+  // after that.  Taking max(now, link_free) keeps per-link packets in
+  // order — a later send can never be delivered before an earlier one.
+  const std::uint64_t bytes = config_.header_bytes + packet.payload_bytes;
+  const TimePs serialise = bytes * config_.ps_per_byte;
+  TimePs& free_at = link_free_[{packet.src, packet.dst}];
+  const TimePs start = std::max(now, free_at);
+  free_at = start + serialise;
+  stats_.busiest_link_busy = std::max(stats_.busiest_link_busy, free_at);
+  const TimePs deliver_at = free_at + config_.wire_latency;
+
+  engine().schedule_at(deliver_at, [this, packet] {
+    handlers_[packet.dst](packet);
+  });
+}
+
+}  // namespace alpu::net

@@ -1,0 +1,88 @@
+// Point-to-point network model.
+//
+// The paper's simulator uses "a simple network" with a 200 ns wire
+// latency (Table III).  This model delivers packets between nodes with
+// (a) per-link serialisation at a configured bandwidth, and (b) a fixed
+// wire latency — and guarantees in-order delivery per (source,
+// destination) pair, the property MPI's ordering semantics build on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "match/match.hpp"
+#include "sim/engine.hpp"
+
+namespace alpu::net {
+
+using common::TimePs;
+
+/// Node address within the simulated machine.
+using NodeId = std::uint32_t;
+
+/// Protocol discriminator for packets (interpreted by the NIC firmware).
+enum class PacketKind : std::uint8_t {
+  kEager,     ///< header + full payload
+  kRtsRendezvous,  ///< rendezvous request-to-send (header only)
+  kCtsRendezvous,  ///< clear-to-send reply carrying the sender's token
+  kRendezvousData, ///< the bulk payload after a CTS
+};
+
+/// One packet on the wire.  The header models the fixed-size envelope a
+/// real NIC would parse; `payload_bytes` drives serialisation time only
+/// (contents are not simulated).
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  PacketKind kind = PacketKind::kEager;
+  match::MatchWord match_bits = 0;  ///< packed {context, source, tag}
+  std::uint32_t payload_bytes = 0;
+  std::uint64_t token = 0;   ///< protocol token (pairs RTS/CTS/DATA legs)
+  TimePs injected_at = 0;    ///< stamped by the network at send time
+};
+
+struct NetworkConfig {
+  TimePs wire_latency = 200'000;  ///< 200 ns (Table III)
+  /// Serialisation cost per byte; 500 ps/B == 2 GB/s links.
+  TimePs ps_per_byte = 500;
+  /// Fixed per-packet header serialisation (the envelope itself).
+  std::uint32_t header_bytes = 32;
+};
+
+struct NetworkStats {
+  std::uint64_t packets = 0;
+  std::uint64_t payload_bytes = 0;
+  TimePs busiest_link_busy = 0;
+};
+
+/// The machine-wide interconnect.
+class Network : public sim::Component {
+ public:
+  using DeliveryHandler = std::function<void(const Packet&)>;
+
+  Network(sim::Engine& engine, const NetworkConfig& config);
+
+  /// Register the receive handler for `node` (its NIC's Rx path).
+  void attach(NodeId node, DeliveryHandler handler);
+
+  /// Inject a packet at the current simulation time.  Delivery fires the
+  /// destination handler after serialisation + wire latency, in order
+  /// with all other packets on the same (src, dst) link.
+  void send(Packet packet);
+
+  const NetworkConfig& config() const { return config_; }
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  NetworkConfig config_;
+  std::vector<DeliveryHandler> handlers_;
+  /// Serialisation horizon per directed link: the time the link's
+  /// injection port frees up.
+  std::map<std::pair<NodeId, NodeId>, TimePs> link_free_;
+  NetworkStats stats_;
+};
+
+}  // namespace alpu::net

@@ -1,0 +1,32 @@
+#include "nic/dma.hpp"
+
+namespace alpu::nic {
+
+DmaEngine::DmaEngine(sim::Engine& engine, std::string name,
+                     const DmaConfig& config)
+    : sim::Component(engine, std::move(name)), config_(config) {}
+
+void DmaEngine::request(std::uint64_t bytes, std::function<void()> done) {
+  pending_.push_back(Job{bytes, std::move(done)});
+  if (!busy_) start_next();
+}
+
+void DmaEngine::start_next() {
+  if (pending_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Job job = std::move(pending_.front());
+  pending_.pop_front();
+  const TimePs duration = config_.setup_ps + job.bytes * config_.ps_per_byte;
+  ++stats_.transfers;
+  stats_.bytes += job.bytes;
+  stats_.busy_time += duration;
+  engine().schedule_in(duration, [this, done = std::move(job.done)] {
+    done();
+    start_next();
+  });
+}
+
+}  // namespace alpu::nic

@@ -1,0 +1,58 @@
+// DMA engine model.
+//
+// The NIC has separate Tx and Rx DMA engines (Figure 1).  Each engine
+// serves one transfer at a time: a fixed setup cost, then bytes at the
+// engine's bandwidth.  Requests queue FIFO when the engine is busy.
+// Completion invokes a callback (the firmware enqueues the follow-up
+// work from it).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/time.hpp"
+#include "sim/engine.hpp"
+
+namespace alpu::nic {
+
+using common::TimePs;
+
+struct DmaConfig {
+  TimePs setup_ps = 60'000;  ///< descriptor fetch + engine start (60 ns)
+  TimePs ps_per_byte = 500;  ///< 2 GB/s
+};
+
+struct DmaStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes = 0;
+  TimePs busy_time = 0;
+};
+
+class DmaEngine : public sim::Component {
+ public:
+  DmaEngine(sim::Engine& engine, std::string name, const DmaConfig& config);
+
+  /// Queue a transfer of `bytes`; `done` fires when the last byte lands.
+  void request(std::uint64_t bytes, std::function<void()> done);
+
+  bool busy() const { return busy_; }
+  std::size_t queued() const { return pending_.size(); }
+  const DmaStats& stats() const { return stats_; }
+
+ private:
+  struct Job {
+    std::uint64_t bytes;
+    std::function<void()> done;
+  };
+
+  void start_next();
+
+  DmaConfig config_;
+  std::deque<Job> pending_;
+  bool busy_ = false;
+  DmaStats stats_;
+};
+
+}  // namespace alpu::nic

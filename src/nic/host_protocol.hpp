@@ -1,0 +1,47 @@
+// The host <-> NIC command interface.
+//
+// In the modelled system (Section V-C) "the main processor is only
+// required to dispatch message requests to the NIC and wait for request
+// completion".  These are the records that cross the host bus in each
+// direction: requests via a doorbell write, completions via a NIC write
+// into host memory that the host polls.
+#pragma once
+
+#include <cstdint>
+
+#include "match/match.hpp"
+#include "mem/cache.hpp"
+#include "net/network.hpp"
+
+namespace alpu::nic {
+
+enum class RequestKind : std::uint8_t {
+  kPostRecv,
+  kSend,
+};
+
+/// A request descriptor written to the NIC.
+struct HostRequest {
+  RequestKind kind = RequestKind::kSend;
+  std::uint64_t req_id = 0;  ///< host-chosen identifier echoed in completion
+
+  // kPostRecv
+  match::Pattern pattern;        ///< receive match criteria (may wildcard)
+  mem::Addr recv_buffer = 0;     ///< host destination buffer
+  std::uint32_t recv_max_bytes = 0;
+
+  // kSend
+  net::NodeId dst = 0;
+  match::Envelope envelope;      ///< explicit {context, source, tag}
+  mem::Addr send_buffer = 0;     ///< host source buffer
+  std::uint32_t send_bytes = 0;
+};
+
+/// A completion record written back to host memory.
+struct Completion {
+  std::uint64_t req_id = 0;
+  std::uint32_t bytes = 0;              ///< bytes delivered (receives)
+  match::MatchWord matched_bits = 0;    ///< actual envelope (receives)
+};
+
+}  // namespace alpu::nic

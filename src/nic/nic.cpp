@@ -1,0 +1,815 @@
+#include "nic/nic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace alpu::nic {
+
+using common::LogLevel;
+using common::TimePs;
+
+namespace {
+
+/// Packet kinds that traverse the posted-receive matching path.
+bool is_matching_kind(net::PacketKind kind) {
+  return kind == net::PacketKind::kEager ||
+         kind == net::PacketKind::kRtsRendezvous;
+}
+
+hw::AlpuConfig with_flavor(hw::AlpuConfig cfg, hw::AlpuFlavor flavor) {
+  cfg.flavor = flavor;
+  return cfg;
+}
+
+/// Build a unit of the configured model kind.
+std::unique_ptr<hw::AlpuDevice> make_unit(sim::Engine& engine,
+                                          std::string name,
+                                          const hw::AlpuConfig& cfg,
+                                          AlpuModelKind kind) {
+  if (kind == AlpuModelKind::kPipelined) {
+    hw::PipelinedAlpuConfig p;
+    p.flavor = cfg.flavor;
+    p.total_cells = cfg.total_cells;
+    p.block_size = cfg.block_size;
+    p.clock = cfg.clock;
+    p.significant_mask = cfg.significant_mask;
+    p.header_fifo_depth = cfg.header_fifo_depth;
+    p.command_fifo_depth = cfg.command_fifo_depth;
+    p.result_fifo_depth = cfg.result_fifo_depth;
+    return std::make_unique<hw::PipelinedAlpu>(engine, std::move(name), p);
+  }
+  return std::make_unique<hw::Alpu>(engine, std::move(name), cfg);
+}
+
+}  // namespace
+
+Nic::Nic(sim::Engine& engine, std::string name, net::NodeId node,
+         const NicConfig& config, net::Network& network)
+    : sim::Component(engine, std::move(name)),
+      node_(node),
+      config_(config),
+      network_(network),
+      memory_(config.memory),
+      match_heap_(0x1000'0000 + (static_cast<mem::Addr>(node) << 32)),
+      state_heap_(0x4000'0000 + (static_cast<mem::Addr>(node) << 32)),
+      tx_dma_(engine, this->name() + ".txdma", config.dma),
+      rx_dma_(engine, this->name() + ".rxdma", config.dma),
+      pool_(engine) {
+  if (config_.posted_alpu.has_value()) {
+    posted_ctx_.emplace();
+    posted_ctx_->unit = make_unit(
+        engine, this->name() + ".alpu.posted",
+        with_flavor(*config_.posted_alpu, hw::AlpuFlavor::kPostedReceive),
+        config_.alpu_model);
+  }
+  if (config_.unexpected_alpu.has_value()) {
+    unexpected_ctx_.emplace();
+    unexpected_ctx_->unit = make_unit(
+        engine, this->name() + ".alpu.unexpected",
+        with_flavor(*config_.unexpected_alpu, hw::AlpuFlavor::kUnexpected),
+        config_.alpu_model);
+  }
+  network_.attach(node_, [this](const net::Packet& p) {
+    on_network_delivery(p);
+  });
+}
+
+void Nic::init() {
+  pool_.spawn(firmware());
+}
+
+// ---------------------------------------------------------------------------
+// Host and network entry points
+// ---------------------------------------------------------------------------
+
+void Nic::host_submit(const HostRequest& request) {
+  host_fifo_.push_back(request);
+  wake_firmware();
+}
+
+void Nic::set_completion_handler(std::function<void(const Completion&)> h) {
+  on_completion_ = std::move(h);
+}
+
+void Nic::on_network_delivery(const net::Packet& packet) {
+  ++stats_.packets_rx;
+  RxItem item{packet, std::nullopt};
+  // Figure 1: headers of matching packets are replicated into the
+  // posted-receive ALPU by hardware, before the firmware ever runs —
+  // but only while the firmware has replication enabled (Section IV-C).
+  // An un-probed packet may never coexist with a non-empty ALPU: the
+  // firmware's full software search would erase entries the hardware
+  // still holds.  The enable/disable points in update_alpu/erase_posted
+  // maintain that invariant.
+  if (posted_ctx_.has_value() && posted_probe_enabled_ &&
+      is_matching_kind(packet.kind)) {
+    hw::Probe probe{packet.match_bits, 0, posted_ctx_->next_probe_seq};
+    const bool pushed = posted_ctx_->unit->push_probe(probe);
+    // The real hardware back-pressures the Rx path instead of dropping;
+    // the modelled FIFO is provisioned deep enough that this cannot
+    // trigger under any benchmark herein.
+    assert(pushed && "posted-ALPU header FIFO overflow");
+    (void)pushed;
+    item.probe_seq = posted_ctx_->next_probe_seq++;
+  }
+  rx_fifo_.push_back(std::move(item));
+  wake_firmware();
+}
+
+void Nic::enqueue_advance(std::function<void()> job) {
+  advance_fifo_.push_back(std::move(job));
+  wake_firmware();
+}
+
+void Nic::complete(const Completion& completion) {
+  ++stats_.completions;
+  assert(on_completion_ && "no completion handler attached");
+  engine().schedule_in(config_.completion_ps,
+                       [this, completion] { on_completion_(completion); });
+}
+
+// ---------------------------------------------------------------------------
+// Cost helpers (mutate the cache model as a side effect)
+// ---------------------------------------------------------------------------
+
+TimePs Nic::walk_cost_posted(std::size_t first, std::size_t visited) {
+  TimePs t = 0;
+  const TimePs now = engine().now();
+  for (std::size_t i = first; i < first + visited; ++i) {
+    t += instr(config_.costs.per_entry_cycles);
+    t += memory_.load(posted_.at(i).addr, now + t);
+  }
+  stats_.posted_entries_walked += visited;
+  return t;
+}
+
+TimePs Nic::walk_cost_unexpected(std::size_t first, std::size_t visited) {
+  TimePs t = 0;
+  const TimePs now = engine().now();
+  for (std::size_t i = first; i < first + visited; ++i) {
+    t += instr(config_.costs.per_entry_cycles);
+    t += memory_.load(unexpected_.at(i).addr, now + t);
+  }
+  stats_.unexpected_entries_walked += visited;
+  return t;
+}
+
+TimePs Nic::erase_cost(mem::Addr state_line) {
+  // Unlink work plus a touch of the entry's request-state line.
+  TimePs t = instr(config_.costs.erase_entry_cycles);
+  t += memory_.load(state_line, engine().now() + t);
+  return t;
+}
+
+TimePs Nic::append_cost(const EntryAddrs& addrs) {
+  TimePs t = instr(config_.costs.append_entry_cycles);
+  t += memory_.store(addrs.match_line, engine().now() + t);
+  t += memory_.store(addrs.state_line, engine().now() + t);
+  return t;
+}
+
+Nic::EntryAddrs Nic::alloc_entry() {
+  if (!entry_freelist_.empty()) {
+    const EntryAddrs a = entry_freelist_.back();
+    entry_freelist_.pop_back();
+    return a;
+  }
+  return EntryAddrs{match_heap_.alloc(64, 64), state_heap_.alloc(64, 64)};
+}
+
+void Nic::release_entry(const EntryAddrs& addrs) {
+  entry_freelist_.push_back(addrs);
+}
+
+// ---------------------------------------------------------------------------
+// Queue bookkeeping
+// ---------------------------------------------------------------------------
+
+void Nic::erase_posted(std::size_t index) {
+  if (posted_ctx_.has_value() && index < posted_ctx_->synced) {
+    // The ALPU matched (and deleted) this entry itself; keep the
+    // software prefix aligned with the hardware array.
+    --posted_ctx_->synced;
+  }
+  const match::Cookie cookie = posted_.at(index).cookie;
+  release_entry(EntryAddrs{posted_.at(index).addr,
+                           posted_info_.at(cookie).state_line});
+  // posted_info_ is NOT erased here: the delivery path still needs the
+  // buffer/request record and removes it itself.
+  posted_.erase(index);
+  if (posted_ctx_.has_value() && posted_ctx_->synced == 0) {
+    // The unit emptied: stop replicating headers until it is reloaded.
+    posted_probe_enabled_ = false;
+  }
+}
+
+void Nic::erase_unexpected(std::size_t index) {
+  if (unexpected_ctx_.has_value() && index < unexpected_ctx_->synced) {
+    --unexpected_ctx_->synced;
+  }
+  const match::Cookie cookie = unexpected_.at(index).cookie;
+  release_entry(EntryAddrs{unexpected_.at(index).addr,
+                           unexpected_info_.at(cookie).state_line});
+  unexpected_info_.erase(cookie);
+  unexpected_.erase(index);
+}
+
+std::size_t Nic::posted_index_of(match::Cookie cookie) const {
+  for (std::size_t i = 0; i < posted_.size(); ++i) {
+    if (posted_.at(i).cookie == cookie) return i;
+  }
+  assert(false && "cookie not present in posted queue");
+  return posted_.size();
+}
+
+std::size_t Nic::unexpected_index_of(match::Cookie cookie) const {
+  for (std::size_t i = 0; i < unexpected_.size(); ++i) {
+    if (unexpected_.at(i).cookie == cookie) return i;
+  }
+  assert(false && "cookie not present in unexpected queue");
+  return unexpected_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Firmware main loop (Section V-C: four actions per iteration)
+// ---------------------------------------------------------------------------
+
+sim::Process Nic::firmware() {
+  auto& eng = engine();
+  for (;;) {
+    bool did_work = false;
+
+    // Conglomeration policy (Section IV-B): under load, defer insert
+    // sessions until min_batch entries are pending; when the firmware
+    // has nothing else to do, sync whatever is left.
+    const bool otherwise_idle =
+        rx_fifo_.empty() && host_fifo_.empty() && advance_fifo_.empty();
+    const std::size_t effective_min_batch =
+        otherwise_idle ? 1 : config_.alpu_policy.min_batch;
+
+    // Action 1: check the network for new incoming messages.
+    if (!rx_fifo_.empty()) {
+      RxItem item = std::move(rx_fifo_.front());
+      rx_fifo_.pop_front();
+      co_await handle_packet(std::move(item));
+      did_work = true;
+    }
+
+    // Action 2: check for new requests from the main processor.
+    if (!host_fifo_.empty()) {
+      HostRequest request = host_fifo_.front();
+      host_fifo_.pop_front();
+      co_await handle_request(request);
+      did_work = true;
+    }
+
+    // Action 3: advance active requests (DMA completions and protocol
+    // continuations staged by hardware events).
+    if (!advance_fifo_.empty()) {
+      auto job = std::move(advance_fifo_.front());
+      advance_fifo_.pop_front();
+      const TimePs t = instr(config_.costs.delivery_setup_cycles);
+      stats_.firmware_busy += t;
+      co_await sim::delay(eng, t);
+      job();
+      did_work = true;
+    }
+
+    // Action 4: update the ALPUs (batch-insert any unsynced suffix).
+    // A full ALPU is left alone until matches free slots — otherwise the
+    // firmware would spin issuing empty insert sessions forever.
+    //
+    // The posted-receive ALPU is additionally gated on "no probes
+    // answered but not yet processed" (rx backlog or drained results):
+    // a MATCH FAILURE produced before an insert session is stale with
+    // respect to that session's entries, and acting on it would lose a
+    // match MPI semantics requires.  Probes that arrive once the session
+    // is underway are safe — the unit holds failed matches for retry
+    // until STOP INSERT (Section III-C).
+    if (posted_ctx_.has_value() && rx_fifo_.empty() &&
+        posted_ctx_->drained.empty() &&
+        posted_.size() >= posted_ctx_->synced + effective_min_batch &&
+        posted_ctx_->synced < posted_ctx_->unit->capacity() &&
+        posted_.size() >= config_.alpu_policy.insert_threshold) {
+      co_await update_alpu(*posted_ctx_, /*is_posted=*/true);
+      did_work = true;
+    }
+    if (unexpected_ctx_.has_value() &&
+        unexpected_.size() >= unexpected_ctx_->synced + effective_min_batch &&
+        unexpected_ctx_->synced < unexpected_ctx_->unit->capacity() &&
+        unexpected_.size() >= config_.alpu_policy.insert_threshold) {
+      co_await update_alpu(*unexpected_ctx_, /*is_posted=*/false);
+      did_work = true;
+    }
+
+    if (did_work) {
+      const TimePs t = instr(config_.costs.loop_overhead_cycles);
+      stats_.firmware_busy += t;
+      co_await sim::delay(eng, t);
+    } else {
+      co_await work_.wait(eng);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ALPU result retrieval
+// ---------------------------------------------------------------------------
+
+sim::Process Nic::read_match_result(AlpuCtx& ctx, std::uint64_t expected_seq,
+                                    hw::Response* out) {
+  auto& eng = engine();
+  // Results drained during an insert session are consumed first; they
+  // are strictly older than anything still in the result FIFO.
+  if (!ctx.drained.empty()) {
+    *out = ctx.drained.front();
+    ctx.drained.pop_front();
+    assert(out->probe_seq == expected_seq &&
+           "drained response out of order with packet stream");
+    const TimePs t = instr(config_.costs.alpu_poll_cycles);
+    stats_.firmware_busy += t;
+    co_await sim::delay(eng, t);
+    co_return;
+  }
+  for (;;) {
+    // Result retrieval: a status read plus a data read across the local
+    // bus (Section VI-B attributes the ~80 ns zero-queue penalty to this
+    // forced processor/ALPU interaction), plus bookkeeping.
+    const TimePs t =
+        config_.costs.alpu_result_bus_reads * config_.bus_ps +
+        instr(config_.costs.alpu_poll_cycles);
+    stats_.firmware_busy += t;
+    co_await sim::delay(eng, t);
+    auto r = ctx.unit->pop_result();
+    if (!r.has_value()) continue;  // spin: result not ready yet
+    assert(r->kind != hw::ResponseKind::kStartAck &&
+           "unexpected START ACK outside an insert session");
+    assert(r->probe_seq == expected_seq && "response/probe order violated");
+    *out = *r;
+    co_return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ALPU update (Section IV-C insert protocol)
+// ---------------------------------------------------------------------------
+
+sim::Process Nic::update_alpu(AlpuCtx& ctx, bool is_posted) {
+  auto& eng = engine();
+  const std::size_t list_size = is_posted ? posted_.size() : unexpected_.size();
+  std::size_t pending = list_size - ctx.synced;
+  if (pending == 0) co_return;
+
+  if (is_posted) {
+    // Turn header replication on BEFORE anything can be inserted, so
+    // every packet delivered from this instant carries a probe (the
+    // rx-empty gate in the caller covers everything delivered earlier).
+    posted_probe_enabled_ = true;
+  }
+
+  ++stats_.alpu_insert_sessions;
+
+  // START INSERT (one bus write).
+  TimePs t = config_.bus_ps + instr(config_.costs.alpu_cmd_cycles);
+  stats_.firmware_busy += t;
+  co_await sim::delay(eng, t);
+  if (!ctx.unit->push_command(hw::Command{hw::CommandKind::kStartInsert,
+                                          0, 0, 0})) {
+    co_return;  // command FIFO full; retry next loop iteration
+  }
+
+  // Drain the result FIFO until START ACKNOWLEDGE; anything else is a
+  // match result for a packet still queued behind us (Section IV-C).
+  std::uint32_t granted = 0;
+  bool stale_failure = false;
+  for (;;) {
+    const TimePs poll =
+        config_.bus_ps + instr(config_.costs.alpu_poll_cycles);
+    stats_.firmware_busy += poll;
+    co_await sim::delay(eng, poll);
+    auto r = ctx.unit->pop_result();
+    if (!r.has_value()) continue;
+    if (r->kind == hw::ResponseKind::kStartAck) {
+      granted = r->free_slots;
+      break;
+    }
+    // A failure that slipped in between our emptiness check and the
+    // unit entering insert mode would be stale once we insert: its
+    // packet must re-search against the entries this session would add.
+    // Abort the session; the packet is processed first, then we retry.
+    if (r->kind == hw::ResponseKind::kMatchFailure) stale_failure = true;
+    ctx.drained.push_back(*r);
+  }
+  if (is_posted && stale_failure) {
+    const TimePs t2 = config_.bus_ps + instr(config_.costs.alpu_cmd_cycles);
+    stats_.firmware_busy += t2;
+    co_await sim::delay(eng, t2);
+    const bool ok_stop = ctx.unit->push_command(
+        hw::Command{hw::CommandKind::kStopInsert, 0, 0, 0});
+    assert(ok_stop && "command FIFO overflow on abort STOP INSERT");
+    (void)ok_stop;
+    co_return;
+  }
+
+  const std::size_t batch = std::min({pending,
+                                      static_cast<std::size_t>(granted),
+                                      config_.alpu_policy.max_batch});
+  common::logf(LogLevel::kTrace, engine().now(), name(),
+               "alpu insert session ({}): pending={} granted={} batch={}",
+               is_posted ? "posted" : "unexpected", pending, granted, batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    // An INSERT carries match bits (+ mask for the posted flavour) and
+    // the tag: two bus writes.
+    const TimePs w = 2 * config_.bus_ps + instr(config_.costs.alpu_cmd_cycles);
+    stats_.firmware_busy += w;
+    co_await sim::delay(eng, w);
+    hw::Command cmd;
+    cmd.kind = hw::CommandKind::kInsert;
+    if (is_posted) {
+      const match::PostedEntry& e = posted_.at(ctx.synced + i);
+      cmd.bits = e.pattern.bits;
+      cmd.mask = e.pattern.mask;
+      cmd.cookie = e.cookie;
+    } else {
+      const match::UnexpectedEntry& e = unexpected_.at(ctx.synced + i);
+      cmd.bits = e.word;
+      cmd.mask = 0;
+      cmd.cookie = e.cookie;
+    }
+    const bool ok = ctx.unit->push_command(cmd);
+    assert(ok && "command FIFO overflow during granted insert batch");
+    (void)ok;
+    ++stats_.alpu_entries_inserted;
+    // Periodically clear successful matches so the result FIFO cannot
+    // fill while we hold the unit in insert mode.
+    while (ctx.unit->result_available()) {
+      const TimePs poll =
+          config_.bus_ps + instr(config_.costs.alpu_poll_cycles);
+      stats_.firmware_busy += poll;
+      co_await sim::delay(eng, poll);
+      auto r = ctx.unit->pop_result();
+      if (r.has_value()) ctx.drained.push_back(*r);
+    }
+  }
+  ctx.synced += batch;
+
+  // STOP INSERT.
+  t = config_.bus_ps + instr(config_.costs.alpu_cmd_cycles);
+  stats_.firmware_busy += t;
+  co_await sim::delay(eng, t);
+  const bool ok = ctx.unit->push_command(
+      hw::Command{hw::CommandKind::kStopInsert, 0, 0, 0});
+  assert(ok && "command FIFO overflow on STOP INSERT");
+  (void)ok;
+}
+
+// ---------------------------------------------------------------------------
+// Incoming packets
+// ---------------------------------------------------------------------------
+
+sim::Process Nic::handle_packet(RxItem item) {
+  auto& eng = engine();
+  const net::Packet& p = item.packet;
+  TimePs t = instr(config_.costs.parse_packet_cycles);
+
+  switch (p.kind) {
+    case net::PacketKind::kEager:
+    case net::PacketKind::kRtsRendezvous: {
+      if (p.kind == net::PacketKind::kEager) {
+        ++stats_.eager_rx;
+      } else {
+        ++stats_.rendezvous_rx;
+      }
+      ++stats_.posted_searches;
+
+      bool matched = false;
+      match::Cookie cookie = 0;
+
+      if (posted_ctx_.has_value() && item.probe_seq.has_value()) {
+        stats_.firmware_busy += t;
+        co_await sim::delay(eng, t);
+        t = 0;
+        hw::Response r;
+        co_await read_match_result(*posted_ctx_, *item.probe_seq, &r);
+        if (r.kind == hw::ResponseKind::kMatchSuccess) {
+          ++stats_.alpu_posted_hits;
+          matched = true;
+          cookie = r.cookie;
+          // The cookie points straight at the entry: one state-line
+          // touch, no list walk.
+          const std::size_t index = posted_index_of(cookie);
+          assert(index < posted_ctx_->synced &&
+                 "ALPU matched an entry outside its synced prefix");
+          t += erase_cost(posted_info_.at(cookie).state_line);
+          erase_posted(index);
+        } else {
+          ++stats_.alpu_posted_misses;
+          // Search the portion not yet loaded into the ALPU.
+          const auto res =
+              posted_.search_from(posted_ctx_->synced, p.match_bits);
+          t += walk_cost_posted(posted_ctx_->synced, res.visited);
+          if (res.found) {
+            matched = true;
+            cookie = res.cookie;
+            t += erase_cost(posted_info_.at(cookie).state_line);
+            erase_posted(res.index);
+          }
+        }
+      } else {
+        // Baseline: walk the full posted queue.
+        const auto res = posted_.search(p.match_bits);
+        t += walk_cost_posted(0, res.visited);
+        if (res.found) {
+          matched = true;
+          cookie = res.cookie;
+          t += erase_cost(posted_info_.at(cookie).state_line);
+          erase_posted(res.index);
+        }
+      }
+
+      common::logf(LogLevel::kDebug, engine().now(), name(),
+                   "rx {} from {}: {}", match::to_string(
+                       match::unpack(p.match_bits)),
+                   p.src, matched ? "matched" : "unexpected");
+      if (matched) {
+        co_await deliver_to_posted(cookie, p, t);
+      } else {
+        // Append to the unexpected queue.
+        const EntryAddrs addrs = alloc_entry();
+        const match::Cookie ck = next_cookie_++;
+        unexpected_.append(
+            match::UnexpectedEntry{p.match_bits, ck, addrs.match_line});
+        unexpected_info_[ck] = UnexpectedInfo{p.kind, p.payload_bytes,
+                                              p.token, p.src,
+                                              addrs.state_line};
+        ++stats_.unexpected_appends;
+        t += append_cost(addrs);
+        stats_.firmware_busy += t;
+        co_await sim::delay(eng, t);
+      }
+      co_return;
+    }
+
+    case net::PacketKind::kCtsRendezvous: {
+      // Sender side: our RTS was matched; stream the payload.
+      auto it = rdvz_send_.find(p.token);
+      assert(it != rdvz_send_.end() && "CTS with unknown token");
+      const RdvzSendState st = it->second;
+      rdvz_send_.erase(it);
+      t += instr(config_.costs.rendezvous_cycles);
+      stats_.firmware_busy += t;
+      co_await sim::delay(eng, t);
+      tx_dma_.request(st.bytes, [this, st, token = p.token] {
+        // Cut-through injection at DMA completion (as for eager sends).
+        net::Packet data;
+        data.src = node_;
+        data.dst = st.dst;
+        data.kind = net::PacketKind::kRendezvousData;
+        data.payload_bytes = st.bytes;
+        data.token = token;
+        network_.send(data);
+        ++stats_.packets_tx;
+        enqueue_advance([this, st] {
+          complete(Completion{st.req_id, st.bytes, 0});
+        });
+      });
+      co_return;
+    }
+
+    case net::PacketKind::kRendezvousData: {
+      // Receiver side: the bulk payload for an earlier CTS.
+      auto it = rdvz_recv_.find(p.token);
+      assert(it != rdvz_recv_.end() && "DATA with unknown token");
+      const RdvzRecvState st = it->second;
+      rdvz_recv_.erase(it);
+      t += instr(config_.costs.rendezvous_cycles);
+      stats_.firmware_busy += t;
+      co_await sim::delay(eng, t);
+      const std::uint32_t bytes = std::min(p.payload_bytes, st.max_bytes);
+      rx_dma_.request(bytes, [this, st, bytes, bits = p.match_bits] {
+        enqueue_advance([this, st, bytes, bits] {
+          complete(Completion{st.req_id, bytes, bits});
+        });
+      });
+      co_return;
+    }
+  }
+}
+
+sim::Process Nic::deliver_to_posted(match::Cookie cookie,
+                                    const net::Packet& packet,
+                                    TimePs accrued) {
+  auto& eng = engine();
+  const auto info_it = posted_info_.find(cookie);
+  assert(info_it != posted_info_.end());
+  const PostedInfo info = info_it->second;
+  posted_info_.erase(info_it);
+
+  TimePs t = accrued + instr(config_.costs.delivery_setup_cycles);
+
+  if (packet.kind == net::PacketKind::kEager) {
+    const std::uint32_t bytes =
+        std::min(packet.payload_bytes, info.max_bytes);
+    stats_.firmware_busy += t;
+    co_await sim::delay(eng, t);
+    rx_dma_.request(bytes, [this, info, bytes, bits = packet.match_bits] {
+      enqueue_advance([this, info, bytes, bits] {
+        complete(Completion{info.req_id, bytes, bits});
+      });
+    });
+    co_return;
+  }
+
+  // Rendezvous RTS matched a posted receive: reply CTS and wait for data.
+  assert(packet.kind == net::PacketKind::kRtsRendezvous);
+  t += instr(config_.costs.rendezvous_cycles);
+  rdvz_recv_[packet.token] =
+      RdvzRecvState{info.buffer, info.max_bytes, info.req_id};
+  stats_.firmware_busy += t;
+  co_await sim::delay(eng, t);
+  net::Packet cts;
+  cts.src = node_;
+  cts.dst = packet.src;
+  cts.kind = net::PacketKind::kCtsRendezvous;
+  cts.token = packet.token;
+  network_.send(cts);
+  ++stats_.packets_tx;
+}
+
+// ---------------------------------------------------------------------------
+// Host requests
+// ---------------------------------------------------------------------------
+
+sim::Process Nic::handle_request(HostRequest request) {
+  auto& eng = engine();
+
+  if (request.kind == RequestKind::kSend) {
+    TimePs t = instr(config_.costs.send_setup_cycles);
+    if (request.send_bytes <= config_.eager_threshold) {
+      stats_.firmware_busy += t;
+      co_await sim::delay(eng, t);
+      // Pull the payload from host memory.  The Tx path is cut-through
+      // hardware: the packet enters the wire straight from the DMA
+      // completion (the firmware staged the descriptor above and is free
+      // to do other work); only the host completion record needs the
+      // processor again.  An eager send is complete once the data has
+      // left the host buffer.
+      tx_dma_.request(request.send_bytes, [this, request] {
+        net::Packet pkt;
+        pkt.src = node_;
+        pkt.dst = request.dst;
+        pkt.kind = net::PacketKind::kEager;
+        pkt.match_bits = match::pack(request.envelope);
+        pkt.payload_bytes = request.send_bytes;
+        network_.send(pkt);
+        ++stats_.packets_tx;
+        enqueue_advance([this, request] {
+          complete(Completion{request.req_id, request.send_bytes, 0});
+        });
+      });
+      co_return;
+    }
+    // Rendezvous: send the RTS header now; data moves on CTS.
+    const std::uint64_t token =
+        (static_cast<std::uint64_t>(node_) << 40) | next_token_++;
+    rdvz_send_[token] = RdvzSendState{request.send_buffer,
+                                      request.send_bytes, request.req_id,
+                                      request.dst};
+    t += instr(config_.costs.rendezvous_cycles);
+    stats_.firmware_busy += t;
+    co_await sim::delay(eng, t);
+    net::Packet rts;
+    rts.src = node_;
+    rts.dst = request.dst;
+    rts.kind = net::PacketKind::kRtsRendezvous;
+    rts.match_bits = match::pack(request.envelope);
+    rts.payload_bytes = request.send_bytes;
+    rts.token = token;
+    network_.send(rts);
+    ++stats_.packets_tx;
+    co_return;
+  }
+
+  // ---- post receive ----
+  assert(request.kind == RequestKind::kPostRecv);
+  ++stats_.unexpected_searches;
+  TimePs t = instr(config_.costs.post_recv_cycles);
+
+  bool matched = false;
+  match::Cookie cookie = 0;
+
+  if (unexpected_ctx_.has_value() && unexpected_ctx_->synced > 0) {
+    // Feed the receive to the unexpected-message ALPU as a probe (one
+    // bus write carrying bits + mask), then collect the verdict.  An
+    // empty unit is skipped entirely — the probing overhead would buy
+    // nothing (the Section IV-B "only use it when adequately long"
+    // heuristic applied on the probe side).
+    const std::uint64_t seq = unexpected_ctx_->next_probe_seq++;
+    t += config_.bus_ps + instr(config_.costs.alpu_cmd_cycles);
+    stats_.firmware_busy += t;
+    co_await sim::delay(eng, t);
+    t = 0;
+    const bool pushed = unexpected_ctx_->unit->push_probe(
+        hw::Probe{request.pattern.bits, request.pattern.mask, seq});
+    assert(pushed && "unexpected-ALPU header FIFO overflow");
+    (void)pushed;
+    hw::Response r;
+    co_await read_match_result(*unexpected_ctx_, seq, &r);
+    if (r.kind == hw::ResponseKind::kMatchSuccess) {
+      ++stats_.alpu_unexpected_hits;
+      matched = true;
+      cookie = r.cookie;
+      assert(unexpected_index_of(cookie) < unexpected_ctx_->synced);
+      t += erase_cost(unexpected_info_.at(cookie).state_line);
+      // Delivery below erases via deliver_from_unexpected.
+    } else {
+      ++stats_.alpu_unexpected_misses;
+      const auto res = unexpected_.search_from(unexpected_ctx_->synced,
+                                               request.pattern);
+      t += walk_cost_unexpected(unexpected_ctx_->synced, res.visited);
+      if (res.found) {
+        matched = true;
+        cookie = res.cookie;
+        t += erase_cost(unexpected_info_.at(cookie).state_line);
+      }
+    }
+  } else {
+    // Baseline, or the ALPU holds nothing: full software search.
+    const auto res = unexpected_.search(request.pattern);
+    t += walk_cost_unexpected(0, res.visited);
+    if (res.found) {
+      matched = true;
+      cookie = res.cookie;
+      t += erase_cost(unexpected_info_.at(cookie).state_line);
+    }
+  }
+
+  common::logf(LogLevel::kDebug, engine().now(), name(),
+               "post recv {}: {}", match::to_string(request.pattern),
+               matched ? "matched unexpected" : "queued");
+  if (matched) {
+    co_await deliver_from_unexpected(cookie, request, t);
+    co_return;
+  }
+
+  // No unexpected match: append to the posted-receive queue.  The search
+  // plus append is atomic with respect to arrivals because the firmware
+  // is single-threaded (the paper's required atomicity).
+  const EntryAddrs addrs = alloc_entry();
+  const match::Cookie ck = next_cookie_++;
+  posted_.append(match::PostedEntry{request.pattern, ck, addrs.match_line});
+  posted_info_[ck] = PostedInfo{request.recv_buffer, request.recv_max_bytes,
+                                request.req_id, addrs.state_line};
+  ++stats_.posted_appends;
+  t += append_cost(addrs);
+  stats_.firmware_busy += t;
+  co_await sim::delay(eng, t);
+}
+
+sim::Process Nic::deliver_from_unexpected(match::Cookie cookie,
+                                          const HostRequest& request,
+                                          TimePs accrued) {
+  auto& eng = engine();
+  const std::size_t index = unexpected_index_of(cookie);
+  const auto info_it = unexpected_info_.find(cookie);
+  assert(info_it != unexpected_info_.end());
+  const UnexpectedInfo info = info_it->second;
+  const match::MatchWord bits = unexpected_.at(index).word;
+  erase_unexpected(index);
+
+  TimePs t = accrued + instr(config_.costs.delivery_setup_cycles);
+
+  if (info.kind == net::PacketKind::kEager) {
+    // The payload was buffered in NIC memory on arrival; stream it to
+    // the host buffer now.
+    const std::uint32_t bytes = std::min(info.bytes, request.recv_max_bytes);
+    stats_.firmware_busy += t;
+    co_await sim::delay(eng, t);
+    rx_dma_.request(bytes, [this, request, bytes, bits] {
+      enqueue_advance([this, request, bytes, bits] {
+        complete(Completion{request.req_id, bytes, bits});
+      });
+    });
+    co_return;
+  }
+
+  // A buffered RTS: reply CTS now that a receive is posted.
+  assert(info.kind == net::PacketKind::kRtsRendezvous);
+  t += instr(config_.costs.rendezvous_cycles);
+  rdvz_recv_[info.token] = RdvzRecvState{request.recv_buffer,
+                                         request.recv_max_bytes,
+                                         request.req_id};
+  stats_.firmware_busy += t;
+  co_await sim::delay(eng, t);
+  net::Packet cts;
+  cts.src = node_;
+  cts.dst = info.src;
+  cts.kind = net::PacketKind::kCtsRendezvous;
+  cts.token = info.token;
+  network_.send(cts);
+  ++stats_.packets_tx;
+}
+
+}  // namespace alpu::nic

@@ -1,0 +1,236 @@
+#include "portals/portals.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace alpu::portals {
+
+namespace {
+
+/// An entry the delete-on-match hardware can serve directly: consumed by
+/// exactly one operation, any initiator, always accepts (truncating).
+/// This is precisely the shape of an MPI posted receive.
+bool alpu_eligible(const MatchEntrySpec& spec) {
+  return spec.unlink == UnlinkPolicy::kUnlink && spec.md.threshold == 1 &&
+         spec.source == kAnyProcess && spec.md.truncate;
+}
+
+}  // namespace
+
+PortalTable::PortalTable(std::size_t indices) : lists_(indices) {
+  assert(indices > 0);
+}
+
+EqHandle PortalTable::eq_alloc(std::size_t capacity) {
+  eqs_.push_back(std::make_unique<EventQueue>(capacity));
+  return static_cast<EqHandle>(eqs_.size() - 1);
+}
+
+EventQueue& PortalTable::eq(EqHandle handle) {
+  assert(handle < eqs_.size());
+  return *eqs_[handle];
+}
+
+bool PortalTable::attach_alpu(std::size_t pti, std::size_t cells,
+                              std::size_t block_size) {
+  assert(pti < lists_.size());
+  List& list = lists_[pti];
+  if (!list.entries.empty() || list.alpu != nullptr) return false;
+  // Full-width comparators: every bit of the 64-bit Portals match word
+  // is significant (the Section III-A "full width mask" configuration).
+  list.alpu = std::make_unique<hw::AlpuArray>(
+      hw::AlpuFlavor::kPostedReceive, cells, block_size, ~hw::MatchWord{0});
+  return true;
+}
+
+MeHandle PortalTable::me_attach(std::size_t pti, const MatchEntrySpec& spec,
+                                EqHandle eq) {
+  assert(pti < lists_.size());
+  assert(eq < eqs_.size());
+  List& list = lists_[pti];
+  Entry entry;
+  entry.handle = next_handle_++;
+  entry.spec = spec;
+  entry.eq = eq;
+  entry.remaining = spec.md.threshold;
+  list.entries.push_back(entry);
+  if (list.alpu != nullptr && !list.degraded) sync_alpu(list);
+  return entry.handle;
+}
+
+void PortalTable::sync_alpu(List& list) {
+  while (list.synced < list.entries.size() && !list.alpu->full()) {
+    const Entry& e = list.entries[list.synced];
+    if (!alpu_eligible(e.spec)) {
+      // Hardware delete-on-match cannot serve this entry; the whole
+      // index degrades to software traversal (see header discussion).
+      list.degraded = true;
+      list.alpu->reset();
+      list.synced = 0;
+      ++stats_.degradations;
+      return;
+    }
+    const bool ok = list.alpu->insert(
+        e.spec.match_bits, e.spec.ignore_bits,
+        static_cast<match::Cookie>(e.handle & 0xffff'ffff));
+    assert(ok);
+    (void)ok;
+    ++list.synced;
+  }
+}
+
+bool PortalTable::me_unlink(MeHandle handle) {
+  for (List& list : lists_) {
+    for (std::size_t i = 0; i < list.entries.size(); ++i) {
+      if (list.entries[i].handle != handle) continue;
+      if (list.alpu != nullptr && !list.degraded && i < list.synced) {
+        // The hardware holds this entry and can only delete on match:
+        // software unlink of a synced entry forces degradation.
+        list.degraded = true;
+        list.alpu->reset();
+        list.synced = 0;
+        ++stats_.degradations;
+      } else if (i < list.synced) {
+        --list.synced;
+      }
+      list.entries.erase(list.entries.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PortalTable::entry_accepts(const Entry& e, ProcessId initiator,
+                                PtlMatchBits match_bits) const {
+  const MatchEntrySpec& s = e.spec;
+  if ((s.source.nid != kAnyNid && s.source.nid != initiator.nid) ||
+      (s.source.pid != kAnyPid && s.source.pid != initiator.pid)) {
+    return false;
+  }
+  return ((s.match_bits ^ match_bits) & ~s.ignore_bits) == 0;
+}
+
+DeliverResult PortalTable::put(std::size_t pti, ProcessId initiator,
+                               PtlMatchBits match_bits,
+                               std::uint32_t bytes) {
+  ++stats_.puts;
+  return deliver(pti, initiator, match_bits, bytes, /*is_put=*/true);
+}
+
+DeliverResult PortalTable::get(std::size_t pti, ProcessId initiator,
+                               PtlMatchBits match_bits,
+                               std::uint32_t bytes) {
+  ++stats_.gets;
+  return deliver(pti, initiator, match_bits, bytes, /*is_put=*/false);
+}
+
+void PortalTable::unlink_at(List& list, std::size_t index) {
+  const Entry& e = list.entries[index];
+  eqs_[e.eq]->post(Event{EventKind::kUnlink, ProcessId{}, e.spec.match_bits,
+                         0, 0, e.local_offset, e.handle});
+  ++stats_.unlinks;
+  if (index < list.synced) --list.synced;
+  list.entries.erase(list.entries.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+}
+
+DeliverResult PortalTable::deliver(std::size_t pti, ProcessId initiator,
+                                   PtlMatchBits match_bits,
+                                   std::uint32_t bytes, bool is_put) {
+  assert(pti < lists_.size());
+  List& list = lists_[pti];
+  DeliverResult r;
+
+  std::size_t start = 0;
+  std::optional<std::size_t> hit_index;
+
+  if (list.alpu != nullptr && !list.degraded && list.synced > 0) {
+    const auto m =
+        list.alpu->match_and_delete(hw::Probe{match_bits, 0, 0});
+    if (m.hit) {
+      // The cookie names the entry; eligibility guarantees acceptance.
+      r.alpu_hit = true;
+      ++stats_.alpu_hits;
+      for (std::size_t i = 0; i < list.synced; ++i) {
+        if ((list.entries[i].handle & 0xffff'ffff) == m.cookie) {
+          hit_index = i;
+          break;
+        }
+      }
+      assert(hit_index.has_value() &&
+             "ALPU cookie does not name a synced entry");
+    } else {
+      start = list.synced;  // overflow portion only
+    }
+  }
+
+  if (!hit_index.has_value()) {
+    for (std::size_t i = start; i < list.entries.size(); ++i) {
+      ++r.entries_walked;
+      ++stats_.entries_walked;
+      const Entry& e = list.entries[i];
+      if (!entry_accepts(e, initiator, match_bits)) continue;
+      // Fit check: a matching but oversized operation against a
+      // no-truncate descriptor is dropped (entry retained).
+      const std::uint64_t space =
+          e.spec.md.length - std::min<std::uint64_t>(e.local_offset,
+                                                     e.spec.md.length);
+      if (bytes > space && !e.spec.md.truncate) {
+        eqs_[e.eq]->post(Event{EventKind::kDropped, initiator, match_bits,
+                               bytes, 0, e.local_offset, e.handle});
+        ++stats_.drops;
+        return r;
+      }
+      hit_index = i;
+      break;
+    }
+  }
+
+  if (!hit_index.has_value()) {
+    ++stats_.drops;
+    return r;  // matched nothing: dropped at the portal
+  }
+
+  Entry& e = list.entries[*hit_index];
+  const std::uint64_t space =
+      e.spec.md.length -
+      std::min<std::uint64_t>(e.local_offset, e.spec.md.length);
+  const auto mlength =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(bytes, space));
+
+  r.accepted = true;
+  r.me = e.handle;
+  r.mlength = mlength;
+  r.offset = e.local_offset;
+
+  eqs_[e.eq]->post(Event{is_put ? EventKind::kPutEnd : EventKind::kGetEnd,
+                         initiator, match_bits, bytes, mlength,
+                         e.local_offset, e.handle});
+  if (is_put) e.local_offset += mlength;  // locally managed offset
+
+  if (e.remaining != kInfiniteThreshold) {
+    assert(e.remaining > 0);
+    --e.remaining;
+    if (e.remaining == 0 && e.spec.unlink == UnlinkPolicy::kUnlink) {
+      // On an ALPU hit the hardware already deleted its cell, and
+      // unlink_at's synced decrement keeps the mirror aligned.
+      unlink_at(list, *hit_index);
+      // Top the hardware back up from the overflow portion.
+      if (list.alpu != nullptr && !list.degraded) sync_alpu(list);
+    }
+  }
+  return r;
+}
+
+std::size_t PortalTable::list_length(std::size_t pti) const {
+  assert(pti < lists_.size());
+  return lists_[pti].entries.size();
+}
+
+bool PortalTable::accelerated(std::size_t pti) const {
+  assert(pti < lists_.size());
+  return lists_[pti].alpu != nullptr && !lists_[pti].degraded;
+}
+
+}  // namespace alpu::portals

@@ -1,0 +1,223 @@
+// Portals 3.0-style protocol building blocks (references [17][22][23]),
+// with optional ALPU offload — the paper's stated future work ("offload
+// significant portions of the Portals interface", Section VIII) and the
+// reason the prototype supports a full-width mask bit per match bit
+// (Section III-A footnote: "supports protocols beyond MPI, such as
+// Portals").
+//
+// Implemented subset:
+//   * a portal table of match lists; match entries carry 64-bit match
+//     bits + ignore bits (full-width masks) and initiator (nid, pid)
+//     matching with wildcards;
+//   * memory descriptors with locally-managed offsets, optional
+//     truncation, and operation thresholds with auto-unlink;
+//   * event queues (fixed-depth rings, overflow counted, never blocking
+//     — Portals semantics);
+//   * PtlPut/PtlGet delivery against the table, first-match in list
+//     order, with traversal-cost accounting;
+//   * optional ALPU acceleration per portal index.  The hardware
+//     deletes matched cells (MPI consume-on-match semantics), so the
+//     offload applies cleanly to USE-ONCE entries; attaching a
+//     persistent entry to an accelerated index degrades that index to
+//     software traversal — an honest limitation of the published design
+//     that DESIGN.md discusses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "alpu/array.hpp"
+#include "common/fifo.hpp"
+
+namespace alpu::portals {
+
+/// Full-width Portals match bits (all 64 bits significant).
+using PtlMatchBits = std::uint64_t;
+
+/// Initiator identity.
+struct ProcessId {
+  std::uint32_t nid = 0;
+  std::uint32_t pid = 0;
+  friend bool operator==(const ProcessId&, const ProcessId&) = default;
+};
+
+inline constexpr std::uint32_t kAnyNid = ~0u;
+inline constexpr std::uint32_t kAnyPid = ~0u;
+inline constexpr ProcessId kAnyProcess{kAnyNid, kAnyPid};
+
+/// Unlimited operation threshold.
+inline constexpr std::uint32_t kInfiniteThreshold =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// What to do with a match entry once its threshold is consumed.
+enum class UnlinkPolicy : std::uint8_t {
+  kUnlink,    ///< use-once (threshold 1) or counted unlink
+  kNoUnlink,  ///< persistent
+};
+
+/// Memory descriptor: where accepted data lands.
+struct MemoryDescriptor {
+  std::uint64_t start = 0;   ///< simulated address
+  std::uint64_t length = 0;  ///< bytes available
+  bool truncate = true;      ///< accept oversized messages truncated
+  /// Operations this MD accepts before the entry auto-unlinks
+  /// (kInfiniteThreshold == never).
+  std::uint32_t threshold = 1;
+};
+
+/// A match entry as attached to a portal index.
+struct MatchEntrySpec {
+  PtlMatchBits match_bits = 0;
+  PtlMatchBits ignore_bits = 0;  ///< 1-bits are "don't care"
+  ProcessId source = kAnyProcess;  ///< initiator filter (wildcardable)
+  MemoryDescriptor md;
+  UnlinkPolicy unlink = UnlinkPolicy::kUnlink;
+};
+
+/// Handle types (dense indices; never reused within one table).
+using MeHandle = std::uint64_t;
+using EqHandle = std::uint32_t;
+inline constexpr MeHandle kInvalidMe = ~MeHandle{0};
+
+/// Event kinds (subset).
+enum class EventKind : std::uint8_t {
+  kPutEnd,   ///< a put landed in a memory descriptor
+  kGetEnd,   ///< a get read out of a memory descriptor
+  kUnlink,   ///< an entry reached its threshold and was unlinked
+  kDropped,  ///< header matched nothing (or did not fit, no-truncate)
+};
+
+struct Event {
+  EventKind kind = EventKind::kDropped;
+  ProcessId initiator;
+  PtlMatchBits match_bits = 0;
+  std::uint32_t rlength = 0;  ///< requested length
+  std::uint32_t mlength = 0;  ///< manipulated (actually moved) length
+  std::uint64_t offset = 0;   ///< local offset within the MD
+  MeHandle me = kInvalidMe;
+};
+
+/// Fixed-depth event ring.  Portals never blocks the network on a full
+/// queue: overflowing events are dropped and counted.
+class EventQueue {
+ public:
+  explicit EventQueue(std::size_t capacity) : ring_(capacity) {}
+
+  bool post(const Event& e) {
+    if (ring_.full()) {
+      ++dropped_;
+      return false;
+    }
+    ring_.push(e);
+    return true;
+  }
+
+  std::optional<Event> poll() { return ring_.try_pop(); }
+  std::size_t pending() const { return ring_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  common::BoundedFifo<Event> ring_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Outcome of delivering one operation.
+struct DeliverResult {
+  bool accepted = false;
+  MeHandle me = kInvalidMe;
+  std::uint32_t mlength = 0;
+  std::uint64_t offset = 0;
+  /// Entries examined by software traversal (0 on an ALPU hit).
+  std::size_t entries_walked = 0;
+  /// True when the accelerated path answered.
+  bool alpu_hit = false;
+};
+
+struct PortalsStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t unlinks = 0;
+  std::uint64_t entries_walked = 0;
+  std::uint64_t alpu_hits = 0;
+  /// Accelerated indices that fell back to software because an entry
+  /// was incompatible with hardware delete-on-match (persistent,
+  /// multi-use, source-filtered, or non-truncating), or was unlinked
+  /// explicitly out of the hardware's synced prefix.
+  std::uint64_t degradations = 0;
+};
+
+/// One process's portal table.
+class PortalTable {
+ public:
+  /// `indices`: number of portal indices (match lists).
+  explicit PortalTable(std::size_t indices);
+
+  /// Create an event queue; all MDs reference queues by handle.
+  EqHandle eq_alloc(std::size_t capacity);
+  EventQueue& eq(EqHandle handle);
+
+  /// Attach an ALPU (functional model, full-width comparators) to a
+  /// portal index.  Call before attaching entries.  Returns false if
+  /// entries are already attached.
+  bool attach_alpu(std::size_t pti, std::size_t cells,
+                   std::size_t block_size);
+
+  /// Append a match entry to the list at `pti` (PtlMEAttach with
+  /// PTL_INS_AFTER).  `eq` receives this entry's events.
+  MeHandle me_attach(std::size_t pti, const MatchEntrySpec& spec,
+                     EqHandle eq);
+
+  /// Explicitly unlink an entry (PtlMEUnlink).  False if unknown/gone.
+  bool me_unlink(MeHandle handle);
+
+  /// Deliver a put header: traverse the list at `pti`, land the bytes.
+  DeliverResult put(std::size_t pti, ProcessId initiator,
+                    PtlMatchBits match_bits, std::uint32_t bytes);
+
+  /// Deliver a get header: same matching; reads instead of writes.
+  DeliverResult get(std::size_t pti, ProcessId initiator,
+                    PtlMatchBits match_bits, std::uint32_t bytes);
+
+  std::size_t list_length(std::size_t pti) const;
+  bool accelerated(std::size_t pti) const;
+  const PortalsStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    MeHandle handle = kInvalidMe;
+    MatchEntrySpec spec;
+    EqHandle eq = 0;
+    std::uint64_t local_offset = 0;  ///< locally-managed offset
+    std::uint32_t remaining = 0;     ///< threshold countdown
+  };
+
+  struct List {
+    std::deque<Entry> entries;
+    std::unique_ptr<hw::AlpuArray> alpu;  ///< full-width functional mirror
+    /// Entries [0, synced) are mirrored in the ALPU.
+    std::size_t synced = 0;
+    /// Set once a persistent entry joins: hardware delete-on-match can't
+    /// serve it, so the whole list degrades to software traversal.
+    bool degraded = false;
+  };
+
+  DeliverResult deliver(std::size_t pti, ProcessId initiator,
+                        PtlMatchBits match_bits, std::uint32_t bytes,
+                        bool is_put);
+  bool entry_accepts(const Entry& e, ProcessId initiator,
+                     PtlMatchBits match_bits) const;
+  void sync_alpu(List& list);
+  void unlink_at(List& list, std::size_t index);
+
+  std::vector<List> lists_;
+  std::vector<std::unique_ptr<EventQueue>> eqs_;
+  MeHandle next_handle_ = 1;
+  PortalsStats stats_;
+};
+
+}  // namespace alpu::portals

@@ -1,0 +1,22 @@
+#include "sim/clock.hpp"
+
+namespace alpu::sim {
+
+void Clock::wake() {
+  if (running_) return;
+  running_ = true;
+  const common::TimePs edge = period_.next_edge(engine_.now());
+  engine_.schedule_at(edge, [this] { tick(); });
+}
+
+void Clock::tick() {
+  ++cycles_;
+  const bool more = handler_();
+  if (more) {
+    engine_.schedule_in(period_.period(), [this] { tick(); });
+  } else {
+    running_ = false;
+  }
+}
+
+}  // namespace alpu::sim

@@ -1,0 +1,47 @@
+// Clocked-component support.
+//
+// Cycle-level models (the ALPU, the NIC firmware loop) advance one cycle
+// at a time on a fixed clock.  A naive implementation would tick every
+// cycle for the whole simulation; instead a Clock sleeps whenever its
+// handler reports it has no work, and owners wake() it when new input
+// arrives — event-driven cycle accuracy.
+#pragma once
+
+#include <functional>
+
+#include "sim/engine.hpp"
+
+namespace alpu::sim {
+
+class Clock {
+ public:
+  /// The per-cycle handler.  Returns true to keep ticking on the next
+  /// edge, false to go idle until wake() is called.
+  using Handler = std::function<bool()>;
+
+  Clock(Engine& engine, common::ClockPeriod period, Handler handler)
+      : engine_(engine), period_(period), handler_(std::move(handler)) {}
+
+  /// Start (or restart) ticking at the next clock edge >= now.
+  /// Idempotent while already running.
+  void wake();
+
+  /// True if a tick is currently scheduled.
+  bool running() const { return running_; }
+
+  common::ClockPeriod period() const { return period_; }
+
+  /// Cycles executed so far (for utilization stats).
+  std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  void tick();
+
+  Engine& engine_;
+  common::ClockPeriod period_;
+  Handler handler_;
+  bool running_ = false;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace alpu::sim

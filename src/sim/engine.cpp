@@ -1,0 +1,65 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace alpu::sim {
+
+Component::Component(Engine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {
+  engine_.components_.push_back(this);
+}
+
+Component::~Component() {
+  auto& v = engine_.components_;
+  v.erase(std::remove(v.begin(), v.end(), this), v.end());
+}
+
+EventId Engine::schedule_at(TimePs when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, id, std::move(fn)});
+  return id;
+}
+
+void Engine::cancel(EventId id) {
+  // Lazy cancellation: the entry stays in the heap and is skipped on pop.
+  cancelled_.insert(id);
+}
+
+void Engine::init_components() {
+  if (components_initialized_) return;
+  components_initialized_ = true;
+  for (Component* c : components_) c->init();
+}
+
+void Engine::finish_components() {
+  for (Component* c : components_) c->finish();
+}
+
+TimePs Engine::run() { return run_until(common::kTimeNever); }
+
+TimePs Engine::run_until(TimePs deadline) {
+  init_components();
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    const Entry& top = queue_.top();
+    if (cancelled_.erase(top.id) != 0) {
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    // Move the callback out before popping so it may schedule new events.
+    Entry entry{top.when, top.id, std::move(const_cast<Entry&>(top).fn)};
+    queue_.pop();
+    now_ = entry.when;
+    ++events_executed_;
+    entry.fn();
+  }
+  if (queue_.empty() && deadline == common::kTimeNever) {
+    finish_components();
+  }
+  return now_;
+}
+
+}  // namespace alpu::sim

@@ -1,0 +1,122 @@
+// Discrete-event simulation kernel.
+//
+// This is the Enkidu substitute described in DESIGN.md: a single-threaded
+// component-based DES.  Time advances only through the event queue; all
+// model state changes happen inside event callbacks, so no locking is ever
+// needed.  Determinism: events at equal timestamps fire in the order they
+// were scheduled (a monotone sequence number breaks ties), which makes
+// every experiment bit-reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace alpu::sim {
+
+using common::TimePs;
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class Engine;
+
+/// Base class for simulation components (NIC, ALPU, network, ...).
+///
+/// Components register themselves with the engine for the init/finish
+/// lifecycle hooks; all interesting behaviour happens via events and
+/// clocks they schedule on the engine.
+class Component {
+ public:
+  Component(Engine& engine, std::string name);
+  virtual ~Component();
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const { return name_; }
+  Engine& engine() const { return engine_; }
+
+  /// Called by Engine::run() once before the first event fires.
+  virtual void init() {}
+  /// Called after the simulation finishes (stats flushing).
+  virtual void finish() {}
+
+ private:
+  Engine& engine_;
+  std::string name_;
+};
+
+/// The event-driven simulation engine.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.  Only meaningful inside callbacks or after run.
+  TimePs now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `when` (>= now).
+  EventId schedule_at(TimePs when, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` after now.
+  EventId schedule_in(TimePs delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event.  Cancelling an already-fired or unknown id is
+  /// a harmless no-op (models e.g. a timeout that lost its race).
+  void cancel(EventId id);
+
+  /// Run until the event queue drains or `stop()` is called.
+  /// Returns the final simulated time.
+  TimePs run();
+
+  /// Run until simulated time would exceed `deadline`; events at exactly
+  /// `deadline` still fire.
+  TimePs run_until(TimePs deadline);
+
+  /// Request that run() return after the current event completes.
+  void stop() { stop_requested_ = true; }
+
+  /// Number of events executed so far (for kernel benchmarks).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// True if no events are pending.
+  bool idle() const { return queue_.size() == cancelled_.size(); }
+
+ private:
+  friend class Component;
+
+  struct Entry {
+    TimePs when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  void init_components();
+  void finish_components();
+
+  TimePs now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::vector<Component*> components_;
+  bool components_initialized_ = false;
+  bool stop_requested_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace alpu::sim

@@ -1,0 +1,37 @@
+#include "sim/process.hpp"
+
+#include <memory>
+
+namespace alpu::sim {
+
+std::size_t ProcessPool::spawn(Process p) {
+  assert(p.valid());
+  auto flag = std::make_unique<bool>(false);
+  p.handle_.promise().done_flag = flag.get();
+  const auto handle = p.handle_;
+  owned_.push_back(std::move(p));
+  flags_.push_back(std::move(flag));
+  // Kick off at the current time, through the queue so that spawning
+  // inside an event callback does not reenter model code immediately.
+  engine_.schedule_in(0, [handle] { handle.resume(); });
+  return owned_.size() - 1;
+}
+
+bool ProcessPool::all_done() const {
+  for (const auto& f : flags_) {
+    if (!*f) return false;
+  }
+  return true;
+}
+
+void Trigger::fire() {
+  // Swap out first: a resumed waiter may immediately wait again, and that
+  // new wait must not be woken by this same fire.
+  std::vector<WaitEntry> current;
+  current.swap(waiters_);
+  for (const WaitEntry& w : current) {
+    w.engine->schedule_in(0, [h = w.handle] { h.resume(); });
+  }
+}
+
+}  // namespace alpu::sim

@@ -1,0 +1,319 @@
+#include "workload/scenarios.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace alpu::workload {
+
+namespace {
+
+// Benchmark message tags.
+constexpr int kReadyTag = 1;
+constexpr int kPingTag = 2;
+constexpr int kNoMatchTag = 3;
+constexpr int kCtrlTag = 4;
+constexpr int kGoTag = 5;
+constexpr int kUnexpTag = 6;
+constexpr int kPongTag = 7;
+
+struct Timestamps {
+  TimePs send_issued = 0;   ///< sender: just before issuing the ping
+  TimePs recv_done = 0;     ///< receiver: ping receive completed
+  TimePs post_started = 0;  ///< receiver: before posting (unexpected bench)
+  std::vector<TimePs> send_times;  ///< per-iteration send issue times
+  std::vector<TimePs> done_times;  ///< per-iteration completion times
+};
+
+// ---- pre-posted queue benchmark (Figure 5) --------------------------------
+
+sim::Process preposted_receiver(mpi::Rank& rank,
+                                const PrepostedParams& params,
+                                Timestamps& times) {
+  if (params.iterations == 1) {
+    const auto front = static_cast<std::size_t>(
+        std::llround(params.fraction_traversed *
+                     static_cast<double>(params.queue_length)));
+    assert(front <= params.queue_length);
+
+    // Build the queue: `front` non-matching entries the message must
+    // walk, the matching entry, then the rest of the queue behind it.
+    for (std::size_t i = 0; i < front; ++i) {
+      (void)rank.irecv(1, kNoMatchTag, 0);
+    }
+    mpi::Request ping = rank.irecv(1, kPingTag, params.message_bytes);
+    for (std::size_t i = front; i < params.queue_length; ++i) {
+      (void)rank.irecv(1, kNoMatchTag, 0);
+    }
+
+    // The ready send is queued behind every post above, so the sender
+    // cannot fire until the NIC has built (and offloaded) the queue.
+    co_await rank.send(1, kReadyTag, 0);
+    co_await rank.wait(ping);
+    times.done_times.push_back(rank.engine().now());
+    co_return;
+  }
+
+  // Iterated (steady-state cache) variant: the matching receive is
+  // re-posted at the queue tail each round, so the message always walks
+  // the full queue.
+  assert(params.fraction_traversed == 1.0 &&
+         "iterated mode always traverses the whole queue");
+  for (std::size_t i = 0; i < params.queue_length; ++i) {
+    (void)rank.irecv(1, kNoMatchTag, 0);
+  }
+  co_await rank.send(1, kReadyTag, 0);
+  for (int k = 0; k < params.iterations; ++k) {
+    co_await rank.recv(1, kPingTag, params.message_bytes);
+    times.done_times.push_back(rank.engine().now());
+    co_await rank.send(1, kPongTag, 0);
+  }
+}
+
+sim::Process preposted_sender(mpi::Rank& rank, const PrepostedParams& params,
+                              Timestamps& times) {
+  co_await rank.recv(0, kReadyTag, 0);
+  for (int k = 0; k < params.iterations; ++k) {
+    times.send_times.push_back(rank.engine().now());
+    co_await rank.send(0, kPingTag, params.message_bytes);
+    if (params.iterations > 1) {
+      co_await rank.recv(0, kPongTag, 0);
+    }
+  }
+}
+
+// ---- unexpected queue benchmark (Figure 6) --------------------------------
+
+sim::Process unexpected_receiver(mpi::Rank& rank,
+                                 const UnexpectedParams& params,
+                                 Timestamps& times) {
+  mpi::Request ctrl = rank.irecv(1, kCtrlTag, 0);
+  co_await rank.send(1, kReadyTag, 0);
+  // The control message is sent after the whole flood on an in-order
+  // link: when it matches, all `queue_length` unexpected messages are in
+  // the receiver's unexpected queue.
+  co_await rank.wait(ctrl);
+
+  times.post_started = rank.engine().now();
+  // Release the sender and immediately post the measured receive, so the
+  // posting (and its unexpected-queue search) overlaps the transfer —
+  // the deliberate benchmark design of Section V-A.
+  mpi::Request go = rank.isend(1, kGoTag, 0);
+  mpi::Request ping = rank.irecv(1, kPingTag, params.message_bytes);
+  co_await rank.wait(ping);
+  times.recv_done = rank.engine().now();
+  co_await rank.wait(go);
+}
+
+sim::Process unexpected_sender(mpi::Rank& rank,
+                               const UnexpectedParams& params,
+                               Timestamps& times) {
+  co_await rank.recv(0, kReadyTag, 0);
+  std::vector<mpi::Request> flood;
+  flood.reserve(params.queue_length);
+  for (std::size_t i = 0; i < params.queue_length; ++i) {
+    flood.push_back(rank.isend(0, kUnexpTag, params.message_bytes));
+  }
+  mpi::Request go = rank.irecv(0, kGoTag, 0);
+  co_await rank.send(0, kCtrlTag, 0);
+  co_await rank.wait(go);
+  times.send_issued = rank.engine().now();
+  co_await rank.send(0, kPingTag, params.message_bytes);
+  co_await rank.waitall(std::move(flood));
+}
+
+// ---- ping-pong -------------------------------------------------------------
+
+sim::Process pingpong_rank0(mpi::Rank& rank, std::uint32_t bytes,
+                            int iterations, Timestamps& times) {
+  // One warm-up round trip, then timed iterations.
+  co_await rank.send(1, kPingTag, bytes);
+  co_await rank.recv(1, kPongTag, bytes);
+  times.send_issued = rank.engine().now();
+  for (int i = 0; i < iterations; ++i) {
+    co_await rank.send(1, kPingTag, bytes);
+    co_await rank.recv(1, kPongTag, bytes);
+  }
+  times.recv_done = rank.engine().now();
+}
+
+sim::Process pingpong_rank1(mpi::Rank& rank, std::uint32_t bytes,
+                            int iterations) {
+  for (int i = 0; i < iterations + 1; ++i) {
+    co_await rank.recv(0, kPingTag, bytes);
+    co_await rank.send(0, kPongTag, bytes);
+  }
+}
+
+LatencyResult collect(mpi::Machine& m, TimePs latency) {
+  LatencyResult out;
+  out.latency = latency;
+  const nic::NicStats& s = m.nic(0).stats();
+  out.sw_entries_walked =
+      s.posted_entries_walked + s.unexpected_entries_walked;
+  out.alpu_hits = s.alpu_posted_hits + s.alpu_unexpected_hits;
+  out.alpu_misses = s.alpu_posted_misses + s.alpu_unexpected_misses;
+  out.l1_hit_rate = m.nic(0).memory().l1_stats().hit_rate();
+  return out;
+}
+
+}  // namespace
+
+hw::AlpuConfig make_alpu_config(std::size_t cells) {
+  hw::AlpuConfig cfg;
+  cfg.total_cells = cells;
+  cfg.block_size = 16;
+  // Simulation assumes an ASIC-speed unit (Section VI-A: ~500 MHz) with
+  // the 7-cycle no-overlap pipeline of Section V-D.
+  cfg.clock = common::ClockPeriod::from_mhz(500);
+  cfg.match_latency_cycles = 7;
+  cfg.insert_interval_cycles = 2;
+  // Deep FIFOs: the modelled network applies no back-pressure, so the
+  // header FIFO must absorb a full benchmark burst.
+  cfg.header_fifo_depth = 8192;
+  cfg.result_fifo_depth = 8192;
+  cfg.command_fifo_depth = 1024;
+  return cfg;
+}
+
+mpi::SystemConfig make_system_config(NicMode mode, int nprocs) {
+  mpi::SystemConfig cfg;
+  cfg.nprocs = nprocs;
+  switch (mode) {
+    case NicMode::kBaseline:
+      break;
+    case NicMode::kAlpu128:
+      cfg.nic.posted_alpu = make_alpu_config(128);
+      cfg.nic.unexpected_alpu = make_alpu_config(128);
+      break;
+    case NicMode::kAlpu256:
+      cfg.nic.posted_alpu = make_alpu_config(256);
+      cfg.nic.unexpected_alpu = make_alpu_config(256);
+      break;
+  }
+  return cfg;
+}
+
+LatencyResult run_preposted(const PrepostedParams& params) {
+  sim::Engine engine;
+  const mpi::SystemConfig cfg =
+      params.system.has_value() ? *params.system
+                                : make_system_config(params.mode);
+  mpi::Machine machine(engine, cfg);
+  Timestamps times;
+  sim::ProcessPool pool(engine);
+  pool.spawn(preposted_receiver(machine.rank(0), params, times));
+  pool.spawn(preposted_sender(machine.rank(1), params, times));
+  const TimePs end = engine.run();
+  assert(pool.all_done() && "benchmark deadlocked");
+  assert(times.send_times.size() == times.done_times.size() &&
+         !times.send_times.empty());
+  TimePs total = 0;
+  for (std::size_t k = 0; k < times.send_times.size(); ++k) {
+    assert(times.done_times[k] >= times.send_times[k]);
+    total += times.done_times[k] - times.send_times[k];
+  }
+  LatencyResult out = collect(machine, total / times.send_times.size());
+  out.total_sim_time = end;
+  return out;
+}
+
+LatencyResult run_unexpected(const UnexpectedParams& params) {
+  sim::Engine engine;
+  const mpi::SystemConfig cfg =
+      params.system.has_value() ? *params.system
+                                : make_system_config(params.mode);
+  mpi::Machine machine(engine, cfg);
+  Timestamps times;
+  sim::ProcessPool pool(engine);
+  pool.spawn(unexpected_receiver(machine.rank(0), params, times));
+  pool.spawn(unexpected_sender(machine.rank(1), params, times));
+  const TimePs end = engine.run();
+  assert(pool.all_done() && "benchmark deadlocked");
+  assert(times.recv_done >= times.post_started);
+  // Figure 6 latency includes the receive-posting time.
+  LatencyResult out = collect(machine, times.recv_done - times.post_started);
+  out.total_sim_time = end;
+  return out;
+}
+
+namespace {
+
+sim::Process message_rate_receiver(mpi::Rank& rank,
+                                   const MessageRateParams& params,
+                                   Timestamps& times) {
+  for (std::size_t i = 0; i < params.queue_length; ++i) {
+    (void)rank.irecv(1, kNoMatchTag, 0);
+  }
+  std::vector<mpi::Request> burst;
+  burst.reserve(static_cast<std::size_t>(params.burst));
+  for (int i = 0; i < params.burst; ++i) {
+    burst.push_back(rank.irecv(1, kPingTag, params.message_bytes));
+  }
+  co_await rank.send(1, kReadyTag, 0);
+  co_await rank.waitall(std::move(burst));
+  times.recv_done = rank.engine().now();
+}
+
+sim::Process message_rate_sender(mpi::Rank& rank,
+                                 const MessageRateParams& params,
+                                 Timestamps& times) {
+  co_await rank.recv(0, kReadyTag, 0);
+  times.send_issued = rank.engine().now();
+  std::vector<mpi::Request> burst;
+  burst.reserve(static_cast<std::size_t>(params.burst));
+  for (int i = 0; i < params.burst; ++i) {
+    burst.push_back(rank.isend(0, kPingTag, params.message_bytes));
+  }
+  co_await rank.waitall(std::move(burst));
+}
+
+}  // namespace
+
+TimePs run_message_rate(const MessageRateParams& params) {
+  assert(params.burst > 0);
+  sim::Engine engine;
+  const mpi::SystemConfig cfg =
+      params.system.has_value() ? *params.system
+                                : make_system_config(params.mode);
+  mpi::Machine machine(engine, cfg);
+  Timestamps times;
+  sim::ProcessPool pool(engine);
+  pool.spawn(message_rate_receiver(machine.rank(0), params, times));
+  pool.spawn(message_rate_sender(machine.rank(1), params, times));
+  engine.run();
+  assert(pool.all_done() && "message-rate benchmark deadlocked");
+  return (times.recv_done - times.send_issued) /
+         static_cast<std::uint64_t>(params.burst);
+}
+
+mpi::SystemConfig make_elan4_like_config() {
+  mpi::SystemConfig cfg;
+  // Section VI-B's comparison point: the Elan4-class NIC processor is
+  // ~2.5x slower-clocked and single-issue, so list traversal costs
+  // ~150 ns per entry instead of ~15 ns.
+  cfg.nic.clock = common::ClockPeriod::from_mhz(200);
+  cfg.nic.costs.per_entry_cycles = 28;  // single-issue walk body
+  cfg.nic.memory.l1_hit_ps = 10'000;    // 2 cycles at 200 MHz
+  cfg.nic.memory.backend_ps = 150'000;  // 30 cycles at 200 MHz
+  return cfg;
+}
+
+TimePs run_pingpong(NicMode mode, std::uint32_t message_bytes,
+                    int iterations) {
+  assert(iterations > 0);
+  sim::Engine engine;
+  mpi::Machine machine(engine, make_system_config(mode));
+  Timestamps times;
+  sim::ProcessPool pool(engine);
+  pool.spawn(pingpong_rank0(machine.rank(0), message_bytes, iterations,
+                            times));
+  pool.spawn(pingpong_rank1(machine.rank(1), message_bytes, iterations));
+  engine.run();
+  assert(pool.all_done() && "ping-pong deadlocked");
+  // Half round trip, averaged.
+  return (times.recv_done - times.send_issued) /
+         (2 * static_cast<std::uint64_t>(iterations));
+}
+
+}  // namespace alpu::workload

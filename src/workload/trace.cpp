@@ -1,0 +1,65 @@
+#include "workload/trace.hpp"
+
+#include <cassert>
+
+namespace alpu::workload {
+
+std::vector<TraceOp> generate_trace(const TraceConfig& config) {
+  assert(config.contexts >= 1 && config.sources >= 1 && config.tags >= 1);
+  common::Xoshiro256 rng(config.seed);
+  std::vector<TraceOp> trace;
+  trace.reserve(config.operations);
+  for (std::size_t i = 0; i < config.operations; ++i) {
+    TraceOp op;
+    const std::uint32_t context =
+        static_cast<std::uint32_t>(rng.below(config.contexts));
+    const std::uint32_t source =
+        static_cast<std::uint32_t>(rng.below(config.sources));
+    const std::uint32_t tag =
+        static_cast<std::uint32_t>(rng.below(config.tags));
+    op.is_post = rng.chance(config.p_post);
+    if (op.is_post) {
+      op.pattern = match::make_recv_pattern(
+          context,
+          rng.chance(config.p_wildcard_source)
+              ? std::nullopt
+              : std::optional<std::uint32_t>{source},
+          rng.chance(config.p_wildcard_tag)
+              ? std::nullopt
+              : std::optional<std::uint32_t>{tag});
+    } else {
+      op.word = match::pack(match::Envelope{context, source, tag});
+    }
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+TraceEvent ReferenceQueues::apply(const TraceOp& op) {
+  TraceEvent event;
+  if (op.is_post) {
+    // A receive being posted first searches the unexpected queue
+    // (atomically with the post, Section II).
+    const auto res = unexpected_.search(op.pattern);
+    if (res.found) {
+      event.matched = true;
+      event.cookie = res.cookie;
+      unexpected_.erase(res.index);
+    } else {
+      posted_.append(match::PostedEntry{op.pattern, next_cookie_++, 0});
+    }
+  } else {
+    // An arriving message traverses the posted-receive queue.
+    const auto res = posted_.search(op.word);
+    if (res.found) {
+      event.matched = true;
+      event.cookie = res.cookie;
+      posted_.erase(res.index);
+    } else {
+      unexpected_.append(match::UnexpectedEntry{op.word, next_cookie_++, 0});
+    }
+  }
+  return event;
+}
+
+}  // namespace alpu::workload

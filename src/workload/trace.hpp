@@ -1,0 +1,70 @@
+// Synthetic MPI queue traces.
+//
+// The motivating studies ([8], [9]) characterised real applications'
+// queue behaviour: queues of tens to hundreds of entries, heavy use of
+// MPI_ANY_SOURCE, rare MPI_ANY_TAG.  This generator produces operation
+// streams with those statistics, used by (a) the property tests that
+// cross-check the ALPU model against the reference software lists on
+// thousands of random schedules, and (b) extended benchmarks of
+// application-shaped behaviour beyond the paper's micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "match/list.hpp"
+#include "match/match.hpp"
+
+namespace alpu::workload {
+
+/// One step of a queue trace.
+struct TraceOp {
+  /// True: a receive is posted (pattern).  False: a message arrives
+  /// (explicit word).
+  bool is_post = false;
+  match::Pattern pattern;  ///< valid when is_post
+  match::MatchWord word = 0;  ///< valid when !is_post
+};
+
+struct TraceConfig {
+  std::size_t operations = 1'000;
+  double p_post = 0.5;             ///< probability an op posts a receive
+  double p_wildcard_source = 0.3;  ///< prevalent per Section II
+  double p_wildcard_tag = 0.02;    ///< rare per Section II
+  std::uint32_t contexts = 2;
+  std::uint32_t sources = 16;
+  std::uint32_t tags = 32;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a random trace with the configured mix.
+std::vector<TraceOp> generate_trace(const TraceConfig& config);
+
+/// What happened when an op was applied to a queue pair.
+struct TraceEvent {
+  bool matched = false;
+  match::Cookie cookie = 0;  ///< cookie of the consumed entry on a match
+};
+
+/// The executable MPI-matching specification: a posted list and an
+/// unexpected list with the Section II protocol (arrivals search posted,
+/// else join unexpected; posts search unexpected, else join posted).
+/// Property tests replay traces through this model and through the
+/// ALPU-based structures and require identical event streams.
+class ReferenceQueues {
+ public:
+  /// Apply one op; newly created entries get cookies from an internal
+  /// counter so independent executors assign identical cookies.
+  TraceEvent apply(const TraceOp& op);
+
+  const match::PostedList& posted() const { return posted_; }
+  const match::UnexpectedList& unexpected() const { return unexpected_; }
+
+ private:
+  match::PostedList posted_;
+  match::UnexpectedList unexpected_;
+  match::Cookie next_cookie_ = 1;
+};
+
+}  // namespace alpu::workload

@@ -1,0 +1,154 @@
+// Protocol fuzzing for the cycle-level ALPU.
+//
+// Random command/probe streams — including protocol violations the
+// firmware is told never to commit — must never deadlock the unit or
+// break its externally guaranteed invariants:
+//   (1) every probe eventually gets exactly one response, in probe order;
+//   (2) MATCH FAILURE is never observed between START ACK and STOP INSERT;
+//   (3) occupancy == inserts - successes - flushed (within a session's
+//       drops), and never exceeds capacity;
+//   (4) the unit goes idle (stops consuming events) when starved.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <tuple>
+
+#include "alpu/alpu.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace alpu::hw {
+namespace {
+
+constexpr common::TimePs kCycle = 2'000;
+
+class AlpuFuzz : public ::testing::TestWithParam<
+                     std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(AlpuFuzz, RandomStreamsPreserveInvariants) {
+  const auto [cells, block, seed] = GetParam();
+  common::Xoshiro256 rng(seed);
+
+  sim::Engine engine;
+  AlpuConfig cfg;
+  cfg.total_cells = cells;
+  cfg.block_size = block;
+  cfg.clock = common::ClockPeriod{kCycle};
+  cfg.header_fifo_depth = 16;
+  cfg.command_fifo_depth = 16;
+  cfg.result_fifo_depth = 16;
+  Alpu unit(engine, "fuzz", cfg);
+
+  std::uint64_t next_seq = 1;
+  std::deque<std::uint64_t> outstanding;  // probes awaiting responses
+  std::uint64_t observed_acks = 0;
+
+  // (Invariant 2 — no failure between ACK and STOP — is checked
+  // deterministically in test_alpu_unit.cpp; observing it from outside a
+  // racing fuzz driver is not well-defined, since a response popped now
+  // may have been emitted before the session we currently see.)
+  const auto drain_results = [&] {
+    while (auto r = unit.pop_result()) {
+      switch (r->kind) {
+        case ResponseKind::kStartAck:
+          ++observed_acks;
+          break;
+        case ResponseKind::kMatchSuccess:
+        case ResponseKind::kMatchFailure:
+          ASSERT_FALSE(outstanding.empty());
+          ASSERT_EQ(r->probe_seq, outstanding.front())
+              << "responses out of probe order";
+          outstanding.pop_front();
+          break;
+      }
+    }
+  };
+
+  for (int step = 0; step < 3'000; ++step) {
+    const double roll = rng.uniform01();
+    if (roll < 0.35) {
+      // A probe (may or may not match).
+      Probe p;
+      p.bits = match::pack(match::Envelope{
+          0, static_cast<std::uint32_t>(rng.below(4)),
+          static_cast<std::uint32_t>(rng.below(4))});
+      p.seq = next_seq;
+      if (unit.push_probe(p)) {
+        outstanding.push_back(next_seq++);
+      }
+    } else if (roll < 0.75) {
+      // A command, sometimes illegal for the current state.
+      Command cmd;
+      const double kind = rng.uniform01();
+      if (kind < 0.3) {
+        cmd.kind = CommandKind::kStartInsert;
+      } else if (kind < 0.75) {
+        cmd.kind = CommandKind::kInsert;
+        const auto pat = match::make_recv_pattern(
+            0,
+            rng.chance(0.3) ? std::nullopt
+                            : std::optional<std::uint32_t>{
+                                  static_cast<std::uint32_t>(rng.below(4))},
+            static_cast<std::uint32_t>(rng.below(4)));
+        cmd.bits = pat.bits;
+        cmd.mask = pat.mask;
+        cmd.cookie = static_cast<Cookie>(step);
+      } else if (kind < 0.9) {
+        cmd.kind = CommandKind::kStopInsert;
+      } else if (kind < 0.97) {
+        cmd.kind = CommandKind::kReset;
+      } else {
+        cmd.kind = CommandKind::kResetMatching;
+        cmd.bits = 0;
+        cmd.mask = ~match::kSourceMask;  // flush everything with src 0
+      }
+      (void)unit.push_command(cmd);
+    }
+    // Let time pass and consume results.
+    engine.run_until(engine.now() +
+                     (1 + rng.below(4)) * kCycle);
+    drain_results();
+    ASSERT_LE(unit.array().occupancy(), cells);  // invariant (3), bound
+  }
+
+  // Close any open session and drain everything.
+  for (int i = 0; i < 4; ++i) {
+    (void)unit.push_command({CommandKind::kStopInsert, 0, 0, 0});
+    engine.run_until(engine.now() + 64 * kCycle);
+    drain_results();
+  }
+  engine.run_until(engine.now() + 2'000 * kCycle);
+  drain_results();
+  EXPECT_TRUE(outstanding.empty())
+      << outstanding.size() << " probes never answered";
+  EXPECT_GT(observed_acks, 0u);
+
+  // Invariant (4): a starved unit stops consuming engine events.
+  const std::uint64_t events = engine.events_executed();
+  engine.run_until(engine.now() + 10'000 * kCycle);
+  EXPECT_LE(engine.events_executed() - events, 4u);
+
+  // Bookkeeping closes: every insert either sits in the array, was
+  // consumed by a success, was flushed, was dropped over capacity, or
+  // vanished in a full RESET (whose per-entry count the unit does not
+  // track, hence the inequality that tightens to equality without one).
+  const AlpuStats& s = unit.stats();
+  const std::uint64_t accounted = unit.array().occupancy() +
+                                  s.match_successes + s.flushed_entries;
+  EXPECT_LE(accounted, s.inserts);
+  if (s.resets == 0) {
+    EXPECT_EQ(s.inserts, accounted)
+        << "insert conservation broken without any RESET";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AlpuFuzz,
+    ::testing::Values(std::make_tuple(16, 8, 1), std::make_tuple(32, 8, 2),
+                      std::make_tuple(32, 16, 3),
+                      std::make_tuple(64, 16, 4),
+                      std::make_tuple(128, 32, 5),
+                      std::make_tuple(16, 16, 6)));
+
+}  // namespace
+}  // namespace alpu::hw

@@ -1,0 +1,297 @@
+// Unit tests for alpu::common — FIFO, RNG, stats, time, tables, logging.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/fifo.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/time.hpp"
+
+namespace alpu::common {
+namespace {
+
+// ---- time ------------------------------------------------------------------
+
+TEST(Time, LiteralsConvert) {
+  EXPECT_EQ(1_ns, 1'000u);
+  EXPECT_EQ(1_us, 1'000'000u);
+  EXPECT_EQ(1_ms, 1'000'000'000u);
+  EXPECT_DOUBLE_EQ(to_ns(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_us(2'500'000), 2.5);
+}
+
+TEST(Time, ClockPeriodFromFrequency) {
+  EXPECT_EQ(ClockPeriod::from_mhz(500).period(), 2'000u);
+  EXPECT_EQ(ClockPeriod::from_ghz(2).period(), 500u);
+  EXPECT_EQ(ClockPeriod::from_mhz(100).period(), 10'000u);
+}
+
+TEST(Time, ClockCycles) {
+  const ClockPeriod clk = ClockPeriod::from_mhz(500);
+  EXPECT_EQ(clk.cycles(7), 14'000u);
+  EXPECT_EQ(clk.cycles_in(14'000), 7u);
+  EXPECT_EQ(clk.cycles_in(14'001), 7u);
+  EXPECT_DOUBLE_EQ(clk.mhz(), 500.0);
+}
+
+TEST(Time, NextEdgeRoundsUp) {
+  const ClockPeriod clk{2'000};
+  EXPECT_EQ(clk.next_edge(0), 0u);        // already on an edge
+  EXPECT_EQ(clk.next_edge(2'000), 2'000u);
+  EXPECT_EQ(clk.next_edge(1), 2'000u);
+  EXPECT_EQ(clk.next_edge(1'999), 2'000u);
+  EXPECT_EQ(clk.next_edge(2'001), 4'000u);
+}
+
+// ---- BoundedFifo -----------------------------------------------------------
+
+TEST(BoundedFifo, StartsEmpty) {
+  BoundedFifo<int> f(4);
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.full());
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.capacity(), 4u);
+  EXPECT_EQ(f.free_slots(), 4u);
+}
+
+TEST(BoundedFifo, PushPopFifoOrder) {
+  BoundedFifo<int> f(3);
+  ASSERT_TRUE(f.try_push(1));
+  ASSERT_TRUE(f.try_push(2));
+  ASSERT_TRUE(f.try_push(3));
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_EQ(f.pop(), 2);
+  EXPECT_EQ(f.pop(), 3);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(BoundedFifo, RejectsWhenFull) {
+  BoundedFifo<int> f(2);
+  ASSERT_TRUE(f.try_push(1));
+  ASSERT_TRUE(f.try_push(2));
+  EXPECT_TRUE(f.full());
+  EXPECT_FALSE(f.try_push(3));
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.front(), 1);  // nothing was dropped or overwritten
+}
+
+TEST(BoundedFifo, WrapsAroundManyTimes) {
+  BoundedFifo<int> f(3);
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(f.try_push(round));
+    ASSERT_TRUE(f.try_push(round + 1000));
+    EXPECT_EQ(f.pop(), round);
+    EXPECT_EQ(f.pop(), round + 1000);
+  }
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(BoundedFifo, TryPopEmptyReturnsNullopt) {
+  BoundedFifo<int> f(1);
+  EXPECT_EQ(f.try_pop(), std::nullopt);
+  f.push(7);
+  EXPECT_EQ(f.try_pop(), std::optional<int>(7));
+}
+
+TEST(BoundedFifo, ClearResets) {
+  BoundedFifo<int> f(2);
+  f.push(1);
+  f.push(2);
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  ASSERT_TRUE(f.try_push(9));
+  EXPECT_EQ(f.front(), 9);
+}
+
+TEST(BoundedFifo, MoveOnlyPayload) {
+  BoundedFifo<std::unique_ptr<int>> f(2);
+  ASSERT_TRUE(f.try_push(std::make_unique<int>(42)));
+  auto p = f.pop();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 42);
+}
+
+// ---- RNG -------------------------------------------------------------------
+
+TEST(Rng, DeterministicFromSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1'000; ++i) {
+    const auto v = rng.range(5, 7);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 7u);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+// ---- RunningStats ----------------------------------------------------------
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsNan) {
+  RunningStats s;
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.min()));
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+// ---- SampleSet -------------------------------------------------------------
+
+TEST(SampleSet, ExactPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.percentile(25), 25.75, 1e-9);
+}
+
+TEST(SampleSet, AddAfterSortResorts) {
+  SampleSet s;
+  s.add(10);
+  s.add(20);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // bin 0
+  h.add(1.9);    // bin 0
+  h.add(2.0);    // bin 1
+  h.add(9.99);   // bin 4
+  h.add(10.0);   // overflow (half-open)
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(1), 4.0);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("2"), std::string::npos);
+  EXPECT_NE(out.find("#"), std::string::npos);
+}
+
+// ---- TextTable -------------------------------------------------------------
+
+TEST(TextTable, AlignsAndRenders) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(FmtDouble, TrailingDigits) {
+  EXPECT_EQ(fmt_double(1.234, 2), "1.23");
+  EXPECT_EQ(fmt_double(1.0, 1), "1.0");
+  EXPECT_EQ(fmt_double(-2.5, 0), "-2");  // round-half-even via printf
+}
+
+// ---- logging ---------------------------------------------------------------
+
+TEST(Log, FormatBracesSubstitutesInOrder) {
+  EXPECT_EQ(format_braces("a={} b={}", 1, "x"), "a=1 b=x");
+  EXPECT_EQ(format_braces("no placeholders"), "no placeholders");
+  EXPECT_EQ(format_braces("extra {} {}", 1), "extra 1 {}");
+  EXPECT_EQ(format_braces("{}{}{}", 1, 2, 3), "123");
+}
+
+TEST(Log, LevelGateDefaultsOff) {
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+}
+
+}  // namespace
+}  // namespace alpu::common

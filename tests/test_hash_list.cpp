@@ -1,0 +1,183 @@
+// Tests for the hash-table matching structures (the Section II
+// alternative), including trace-equivalence against the linear lists.
+#include <gtest/gtest.h>
+
+#include "match/hash_list.hpp"
+#include "workload/trace.hpp"
+
+namespace alpu::match {
+namespace {
+
+using workload::generate_trace;
+using workload::ReferenceQueues;
+using workload::TraceConfig;
+
+// ---- PostedHashList --------------------------------------------------------
+
+TEST(PostedHashList, ExactInsertAndConsume) {
+  PostedHashList list;
+  const Pattern p = exact_pattern(Envelope{0, 1, 7});
+  list.insert(p, 11);
+  EXPECT_EQ(list.size(), 1u);
+  const auto r = list.consume_match(pack(Envelope{0, 1, 7}));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cookie, 11u);
+  EXPECT_EQ(r.hash_probes, 1u);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(PostedHashList, MissLeavesListIntact) {
+  PostedHashList list;
+  list.insert(exact_pattern(Envelope{0, 1, 7}), 1);
+  const auto r = list.consume_match(pack(Envelope{0, 1, 8}));
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(PostedHashList, OrderingArbitrationOlderWildcardWins) {
+  PostedHashList list;
+  // Wildcard posted first, exact second: MPI says wildcard wins.
+  list.insert(make_recv_pattern(0, std::nullopt, 7), 1);
+  list.insert(exact_pattern(Envelope{0, 3, 7}), 2);
+  const auto r = list.consume_match(pack(Envelope{0, 3, 7}));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cookie, 1u);
+  // The exact entry must remain.
+  const auto r2 = list.consume_match(pack(Envelope{0, 3, 7}));
+  ASSERT_TRUE(r2.found);
+  EXPECT_EQ(r2.cookie, 2u);
+}
+
+TEST(PostedHashList, OrderingArbitrationOlderExactWins) {
+  PostedHashList list;
+  list.insert(exact_pattern(Envelope{0, 3, 7}), 1);
+  list.insert(make_recv_pattern(0, std::nullopt, 7), 2);
+  const auto r = list.consume_match(pack(Envelope{0, 3, 7}));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cookie, 1u);
+}
+
+TEST(PostedHashList, SameKeyBucketIsFifo) {
+  PostedHashList list;
+  list.insert(exact_pattern(Envelope{0, 1, 7}), 1);
+  list.insert(exact_pattern(Envelope{0, 1, 7}), 2);
+  EXPECT_EQ(list.consume_match(pack(Envelope{0, 1, 7})).cookie, 1u);
+  EXPECT_EQ(list.consume_match(pack(Envelope{0, 1, 7})).cookie, 2u);
+}
+
+TEST(PostedHashList, WildcardScanCostIsVisible) {
+  PostedHashList list;
+  for (Cookie c = 0; c < 10; ++c) {
+    list.insert(make_recv_pattern(0, std::nullopt, c), c);
+  }
+  EXPECT_EQ(list.wildcard_count(), 10u);
+  const auto r = list.consume_match(pack(Envelope{0, 5, 9}));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.entries_scanned, 10u);  // walked the whole wildcard list
+}
+
+// ---- UnexpectedHashList ----------------------------------------------------
+
+TEST(UnexpectedHashList, ExactProbeIsConstantTime) {
+  UnexpectedHashList list;
+  for (Cookie c = 0; c < 100; ++c) {
+    list.insert(pack(Envelope{0, c % 8, c % 16}), c);
+  }
+  const auto r = list.consume_match(exact_pattern(Envelope{0, 3, 3}));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.hash_probes, 1u);
+  EXPECT_EQ(r.entries_scanned, 0u);
+}
+
+TEST(UnexpectedHashList, WildcardProbeFallsBackToScan) {
+  UnexpectedHashList list;
+  list.insert(pack(Envelope{0, 1, 5}), 1);
+  list.insert(pack(Envelope{0, 2, 6}), 2);
+  list.insert(pack(Envelope{0, 3, 6}), 3);
+  const auto r = list.consume_match(make_recv_pattern(0, std::nullopt, 6));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cookie, 2u);  // oldest arrival with tag 6
+  EXPECT_GT(r.entries_scanned, 0u);
+}
+
+TEST(UnexpectedHashList, ArrivalOrderWithinKey) {
+  UnexpectedHashList list;
+  list.insert(pack(Envelope{0, 1, 5}), 10);
+  list.insert(pack(Envelope{0, 1, 5}), 11);
+  EXPECT_EQ(list.consume_match(exact_pattern(Envelope{0, 1, 5})).cookie, 10u);
+  EXPECT_EQ(list.consume_match(exact_pattern(Envelope{0, 1, 5})).cookie, 11u);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(UnexpectedHashList, TombstonesDoNotResurface) {
+  UnexpectedHashList list;
+  list.insert(pack(Envelope{0, 1, 5}), 1);
+  (void)list.consume_match(exact_pattern(Envelope{0, 1, 5}));
+  // Wildcard scan must not find the consumed entry.
+  const auto r = list.consume_match(make_recv_pattern(0, std::nullopt, 5));
+  EXPECT_FALSE(r.found);
+}
+
+TEST(UnexpectedHashList, SurvivesHeavyChurnWithCompaction) {
+  UnexpectedHashList list;
+  // Force many front-tombstones to exercise the rebuild path.
+  for (Cookie c = 0; c < 500; ++c) list.insert(pack(Envelope{0, 1, 1}), c);
+  for (Cookie c = 0; c < 400; ++c) {
+    const auto r = list.consume_match(exact_pattern(Envelope{0, 1, 1}));
+    ASSERT_TRUE(r.found);
+    ASSERT_EQ(r.cookie, c);
+  }
+  EXPECT_EQ(list.size(), 100u);
+  // Remaining entries still reachable by wildcard scan in order.
+  const auto r = list.consume_match(make_recv_pattern(0, std::nullopt, 1));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cookie, 400u);
+}
+
+// ---- trace equivalence: hash structures == linear-list specification -------
+
+class HashEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HashEquivalence, MatchesReferenceOnRandomTraces) {
+  TraceConfig cfg;
+  cfg.operations = 2'000;
+  cfg.seed = GetParam();
+  cfg.p_wildcard_source = 0.35;
+  cfg.p_wildcard_tag = 0.05;
+  const auto trace = generate_trace(cfg);
+
+  ReferenceQueues reference;
+  PostedHashList posted_hash;
+  UnexpectedHashList unexpected_hash;
+  Cookie next_cookie = 1;
+
+  for (const auto& op : trace) {
+    const auto expected = reference.apply(op);
+    // Cookie discipline mirrors ReferenceQueues: a cookie is assigned
+    // only when an entry is appended (no match), from a shared counter.
+    if (op.is_post) {
+      const auto got = unexpected_hash.consume_match(op.pattern);
+      ASSERT_EQ(got.found, expected.matched);
+      if (expected.matched) {
+        ASSERT_EQ(got.cookie, expected.cookie);
+      } else {
+        posted_hash.insert(op.pattern, next_cookie++);
+      }
+    } else {
+      const auto got = posted_hash.consume_match(op.word);
+      ASSERT_EQ(got.found, expected.matched);
+      if (expected.matched) {
+        ASSERT_EQ(got.cookie, expected.cookie);
+      } else {
+        unexpected_hash.insert(op.word, next_cookie++);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HashEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace alpu::match

@@ -1,0 +1,510 @@
+// Integration tests: MPI semantics end-to-end on the simulated machine.
+//
+// These exercise the full stack (host -> NIC firmware -> network -> NIC
+// -> host) and pin down the semantics MPI requires: matching, ordering,
+// wildcards, eager vs rendezvous, and — crucially — that the
+// ALPU-accelerated NIC is observably EQUIVALENT to the baseline NIC in
+// everything except timing.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mpi/mpi.hpp"
+#include "workload/scenarios.hpp"
+
+namespace alpu::mpi {
+namespace {
+
+using workload::make_system_config;
+using workload::NicMode;
+
+/// Run rank programs to completion on a fresh machine.
+template <typename... Spawner>
+void run_machine(const SystemConfig& cfg, Spawner&&... spawner) {
+  sim::Engine engine;
+  Machine machine(engine, cfg);
+  sim::ProcessPool pool(engine);
+  (pool.spawn(spawner(machine)), ...);
+  engine.run();
+  ASSERT_TRUE(pool.all_done()) << "rank program deadlocked";
+}
+
+// ---- basic point-to-point ---------------------------------------------------
+
+TEST(Mpi, BlockingSendRecvDeliversBytes) {
+  auto sender = [](Machine& m) -> sim::Process {
+    co_await m.rank(1).send(0, /*tag=*/7, /*bytes=*/256);
+  };
+  auto receiver = [](Machine& m) -> sim::Process {
+    Request r;
+    co_await m.rank(0).recv(1, 7, 1024, kWorldContext, &r);
+    EXPECT_EQ(r.bytes(), 256u);
+    EXPECT_EQ(r.matched().source, 1u);
+    EXPECT_EQ(r.matched().tag, 7u);
+  };
+  run_machine(make_system_config(NicMode::kBaseline), receiver, sender);
+}
+
+TEST(Mpi, UnexpectedMessageMatchedByLaterRecv) {
+  // The send fires immediately; the receiver dawdles, so the message
+  // lands in the unexpected queue and the recv must find it there.
+  auto sender = [](Machine& m) -> sim::Process {
+    co_await m.rank(1).send(0, 3, 64);
+  };
+  auto receiver = [](Machine& m) -> sim::Process {
+    co_await sim::delay(m.engine(), 50'000'000);  // 50 us
+    EXPECT_GT(m.nic(0).unexpected_queue_length(), 0u);
+    Request r;
+    co_await m.rank(0).recv(1, 3, 64, kWorldContext, &r);
+    EXPECT_EQ(r.bytes(), 64u);
+    EXPECT_EQ(m.nic(0).unexpected_queue_length(), 0u);
+  };
+  run_machine(make_system_config(NicMode::kBaseline), receiver, sender);
+}
+
+TEST(Mpi, SameSourceSameTagMessagesArriveInOrder) {
+  // MPI's ordering rule: messages between one (sender, context) pair
+  // match posted receives in send order.  Distinguish them by size.
+  constexpr int kCount = 8;
+  auto sender = [](Machine& m) -> sim::Process {
+    for (int i = 0; i < kCount; ++i) {
+      co_await m.rank(1).send(0, 5, static_cast<std::uint32_t>(16 * (i + 1)));
+    }
+  };
+  auto receiver = [](Machine& m) -> sim::Process {
+    for (int i = 0; i < kCount; ++i) {
+      Request r;
+      co_await m.rank(0).recv(1, 5, 4096, kWorldContext, &r);
+      EXPECT_EQ(r.bytes(), static_cast<std::uint32_t>(16 * (i + 1)))
+          << "message " << i << " out of order";
+    }
+  };
+  run_machine(make_system_config(NicMode::kBaseline), receiver, sender);
+}
+
+TEST(Mpi, WildcardSourceMatchesAnySender) {
+  auto sender1 = [](Machine& m) -> sim::Process {
+    co_await m.rank(1).send(0, 9, 32);
+  };
+  auto sender2 = [](Machine& m) -> sim::Process {
+    co_await m.rank(2).send(0, 9, 48);
+  };
+  auto receiver = [](Machine& m) -> sim::Process {
+    std::vector<std::uint32_t> sources;
+    for (int i = 0; i < 2; ++i) {
+      Request r;
+      co_await m.rank(0).recv(kAnySource, 9, 64, kWorldContext, &r);
+      sources.push_back(r.matched().source);
+    }
+    // Both senders matched, each exactly once.
+    EXPECT_NE(sources[0], sources[1]);
+    EXPECT_TRUE(sources[0] == 1 || sources[0] == 2);
+    EXPECT_TRUE(sources[1] == 1 || sources[1] == 2);
+  };
+  run_machine(make_system_config(NicMode::kBaseline, 3), receiver, sender1,
+              sender2);
+}
+
+TEST(Mpi, WildcardTagMatchesInArrivalOrder) {
+  auto sender = [](Machine& m) -> sim::Process {
+    co_await m.rank(1).send(0, 100, 10);
+    co_await m.rank(1).send(0, 200, 20);
+  };
+  auto receiver = [](Machine& m) -> sim::Process {
+    co_await sim::delay(m.engine(), 30'000'000);  // both queue unexpected
+    Request r1, r2;
+    co_await m.rank(0).recv(1, kAnyTag, 64, kWorldContext, &r1);
+    co_await m.rank(0).recv(1, kAnyTag, 64, kWorldContext, &r2);
+    EXPECT_EQ(r1.matched().tag, 100u);  // arrival order preserved
+    EXPECT_EQ(r2.matched().tag, 200u);
+  };
+  run_machine(make_system_config(NicMode::kBaseline), receiver, sender);
+}
+
+TEST(Mpi, ContextsAreIsolated) {
+  auto sender = [](Machine& m) -> sim::Process {
+    co_await m.rank(1).send(0, 7, 40, /*context=*/2);
+  };
+  auto receiver = [](Machine& m) -> sim::Process {
+    // A same-tag receive in a DIFFERENT context must not match.
+    Request wrong = m.rank(0).irecv(1, 7, 64, /*context=*/3);
+    Request right;
+    co_await m.rank(0).recv(1, 7, 64, /*context=*/2, &right);
+    EXPECT_EQ(right.bytes(), 40u);
+    EXPECT_FALSE(wrong.done());
+    // Drain the stuck receive so the simulation can end cleanly.
+    co_await m.rank(1).send(0, 7, 8, 3);
+    co_await m.rank(0).wait(wrong);
+  };
+  run_machine(make_system_config(NicMode::kBaseline), receiver, sender);
+}
+
+TEST(Mpi, RecvTruncatesToPostedSize) {
+  auto sender = [](Machine& m) -> sim::Process {
+    co_await m.rank(1).send(0, 1, 1000);
+  };
+  auto receiver = [](Machine& m) -> sim::Process {
+    Request r;
+    co_await m.rank(0).recv(1, 1, /*max_bytes=*/100, kWorldContext, &r);
+    EXPECT_EQ(r.bytes(), 100u);
+  };
+  run_machine(make_system_config(NicMode::kBaseline), receiver, sender);
+}
+
+// ---- rendezvous --------------------------------------------------------------
+
+TEST(Mpi, LargeMessageUsesRendezvousAndDelivers) {
+  SystemConfig cfg = make_system_config(NicMode::kBaseline);
+  ASSERT_LT(cfg.nic.eager_threshold, 64u * 1024u);
+  auto sender = [](Machine& m) -> sim::Process {
+    co_await m.rank(1).send(0, 4, 64 * 1024);
+  };
+  auto receiver = [&](Machine& m) -> sim::Process {
+    Request r;
+    co_await m.rank(0).recv(1, 4, 64 * 1024, kWorldContext, &r);
+    EXPECT_EQ(r.bytes(), 64u * 1024u);
+    EXPECT_GT(m.nic(0).stats().rendezvous_rx, 0u);
+  };
+  run_machine(cfg, receiver, sender);
+}
+
+TEST(Mpi, RendezvousToUnexpectedRtsStillDelivers) {
+  // RTS arrives before the receive is posted: it must be buffered as an
+  // unexpected entry and the CTS sent when the receive appears.
+  auto sender = [](Machine& m) -> sim::Process {
+    co_await m.rank(1).send(0, 4, 128 * 1024);
+  };
+  auto receiver = [](Machine& m) -> sim::Process {
+    co_await sim::delay(m.engine(), 50'000'000);
+    Request r;
+    co_await m.rank(0).recv(1, 4, 128 * 1024, kWorldContext, &r);
+    EXPECT_EQ(r.bytes(), 128u * 1024u);
+  };
+  run_machine(make_system_config(NicMode::kBaseline), receiver, sender);
+}
+
+// ---- nonblocking / collectives ----------------------------------------------
+
+TEST(Mpi, WaitallCompletesOutOfOrderRequests) {
+  auto sender = [](Machine& m) -> sim::Process {
+    // Send in reverse tag order; receives posted in forward order.
+    for (int tag = 4; tag >= 1; --tag) {
+      co_await m.rank(1).send(0, tag, static_cast<std::uint32_t>(tag * 8));
+    }
+  };
+  auto receiver = [](Machine& m) -> sim::Process {
+    std::vector<Request> reqs;
+    for (int tag = 1; tag <= 4; ++tag) {
+      reqs.push_back(m.rank(0).irecv(1, tag, 64));
+    }
+    std::vector<Request> copy = reqs;
+    co_await m.rank(0).waitall(std::move(copy));
+    for (int tag = 1; tag <= 4; ++tag) {
+      EXPECT_TRUE(reqs[static_cast<std::size_t>(tag - 1)].done());
+      EXPECT_EQ(reqs[static_cast<std::size_t>(tag - 1)].bytes(),
+                static_cast<std::uint32_t>(tag * 8));
+    }
+  };
+  run_machine(make_system_config(NicMode::kBaseline), receiver, sender);
+}
+
+TEST(Mpi, BarrierSynchronisesFourRanks) {
+  // Each rank records its pre- and post-barrier times; no rank may leave
+  // the barrier before the last rank entered it.
+  static common::TimePs enter[4], leave[4];
+  auto program = [](Machine& m, int r) -> sim::Process {
+    // Stagger arrivals.
+    co_await sim::delay(m.engine(),
+                        static_cast<common::TimePs>(r) * 5'000'000);
+    enter[r] = m.engine().now();
+    co_await m.rank(r).barrier();
+    leave[r] = m.engine().now();
+  };
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kBaseline, 4));
+  sim::ProcessPool pool(engine);
+  for (int r = 0; r < 4; ++r) pool.spawn(program(machine, r));
+  engine.run();
+  ASSERT_TRUE(pool.all_done());
+  common::TimePs last_enter = 0;
+  for (int r = 0; r < 4; ++r) last_enter = std::max(last_enter, enter[r]);
+  for (int r = 0; r < 4; ++r) EXPECT_GE(leave[r], last_enter);
+}
+
+// ---- communicators (context isolation extension) -----------------------------
+
+TEST(Comm, RanksTranslateAndTrafficFlows) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kBaseline, 4));
+  // Comm over world ranks {2, 0}: comm rank 0 == world 2.
+  auto group = machine.create_comm({2, 0});
+  sim::ProcessPool pool(engine);
+  auto at_world2 = [&](Machine& m) -> sim::Process {
+    Comm comm = m.comm(group, 2);
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 2);
+    co_await comm.send(/*dest=*/1, /*tag=*/5, 64);  // to world rank 0
+  };
+  auto at_world0 = [&](Machine& m) -> sim::Process {
+    Comm comm = m.comm(group, 0);
+    EXPECT_EQ(comm.rank(), 1);
+    Request r;
+    co_await comm.recv(/*source=*/0, 5, 64, &r);
+    EXPECT_EQ(r.bytes(), 64u);
+    EXPECT_EQ(r.matched().source, 2u);   // world rank on the wire
+    EXPECT_EQ(comm.comm_source(r), 0);   // translated back
+  };
+  pool.spawn(at_world2(machine));
+  pool.spawn(at_world0(machine));
+  engine.run();
+  ASSERT_TRUE(pool.all_done());
+}
+
+TEST(Comm, ContextsIsolateIdenticalTagsAcrossComms) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kBaseline, 4));
+  auto ab = machine.create_comm({0, 1});
+  auto cd = machine.create_comm({2, 3});
+  ASSERT_NE(ab->p2p_context, cd->p2p_context);
+  sim::ProcessPool pool(engine);
+  // Same tags in both comms; also identical traffic in the WORLD
+  // context between the same nodes — three planes that must not mix.
+  auto sender = [&](Machine& m, std::shared_ptr<const CommGroup> g,
+                    int world, std::uint32_t bytes) -> sim::Process {
+    Comm comm = m.comm(g, world);
+    co_await comm.send(1, /*tag=*/7, bytes);
+  };
+  auto receiver = [&](Machine& m, std::shared_ptr<const CommGroup> g,
+                      int world, std::uint32_t expect) -> sim::Process {
+    Comm comm = m.comm(g, world);
+    Request r;
+    co_await comm.recv(0, 7, 4096, &r);
+    EXPECT_EQ(r.bytes(), expect);
+  };
+  pool.spawn(sender(machine, ab, 0, 100));
+  pool.spawn(receiver(machine, ab, 1, 100));
+  pool.spawn(sender(machine, cd, 2, 200));
+  pool.spawn(receiver(machine, cd, 3, 200));
+  engine.run();
+  ASSERT_TRUE(pool.all_done());
+}
+
+TEST(Comm, WildcardReceiveStaysInsideTheComm) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kBaseline, 3));
+  auto pair = machine.create_comm({0, 1});
+  sim::ProcessPool pool(engine);
+  auto outsider = [&](Machine& m) -> sim::Process {
+    // World-context message with the same tag: must NOT match the comm's
+    // ANY_SOURCE receive.
+    co_await m.rank(2).send(0, 9, 32);
+  };
+  auto insider = [&](Machine& m) -> sim::Process {
+    co_await sim::delay(m.engine(), 20'000'000);  // outsider lands first
+    Comm comm = m.comm(pair, 1);
+    co_await comm.send(0, 9, 64);
+  };
+  auto receiver = [&](Machine& m) -> sim::Process {
+    Comm comm = m.comm(pair, 0);
+    Request r;
+    co_await comm.recv(mpi::kAnySource, 9, 4096, &r);
+    EXPECT_EQ(r.bytes(), 64u);  // the comm member's message, not rank 2's
+    EXPECT_EQ(comm.comm_source(r), 1);
+    // Drain the world-context message to finish cleanly.
+    co_await m.rank(0).recv(2, 9, 32);
+  };
+  pool.spawn(receiver(machine));
+  pool.spawn(outsider(machine));
+  pool.spawn(insider(machine));
+  engine.run();
+  ASSERT_TRUE(pool.all_done());
+}
+
+TEST(Comm, SubgroupBarrierDoesNotWaitForOutsiders) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kBaseline, 4));
+  auto trio = machine.create_comm({0, 1, 3});
+  sim::ProcessPool pool(engine);
+  static common::TimePs leave[4];
+  auto member = [&](Machine& m, int world) -> sim::Process {
+    Comm comm = m.comm(trio, world);
+    co_await comm.barrier();
+    leave[world] = m.engine().now();
+  };
+  // World rank 2 never participates and never communicates.
+  pool.spawn(member(machine, 0));
+  pool.spawn(member(machine, 1));
+  pool.spawn(member(machine, 3));
+  engine.run();
+  ASSERT_TRUE(pool.all_done());
+  EXPECT_GT(leave[0], 0u);
+  EXPECT_GT(leave[1], 0u);
+  EXPECT_GT(leave[3], 0u);
+}
+
+// ---- baseline vs ALPU observable equivalence ---------------------------------
+
+struct MatchRecord {
+  std::uint32_t source;
+  std::uint32_t tag;
+  std::uint32_t bytes;
+  friend bool operator==(const MatchRecord&, const MatchRecord&) = default;
+};
+
+/// Phase-separated exchange: all sends are queued unexpected before any
+/// receive posts (giving a timing-independent matching problem), then
+/// receives with a wildcard mix consume them.  Returns the matched
+/// envelope sequence in receive-post order.
+std::vector<MatchRecord> run_unexpected_exchange(NicMode mode,
+                                                 std::uint64_t seed) {
+  constexpr int kMessages = 60;
+  std::vector<MatchRecord> records;
+  common::Xoshiro256 rng(seed);
+  // Pre-generate the send tags and the receive patterns.
+  std::vector<int> send_tags;
+  for (int i = 0; i < kMessages; ++i) {
+    send_tags.push_back(static_cast<int>(rng.below(6)));
+  }
+  struct RecvSpec {
+    int source;
+    int tag;
+  };
+  std::vector<RecvSpec> recvs;
+  for (int i = 0; i < kMessages; ++i) {
+    recvs.push_back(RecvSpec{rng.chance(0.4) ? kAnySource : 1,
+                             rng.chance(0.5) ? kAnyTag
+                                             : static_cast<int>(rng.below(6))});
+  }
+
+  auto sender = [&](Machine& m) -> sim::Process {
+    co_await m.rank(1).recv(0, 99, 0);  // wait for go
+    for (int i = 0; i < kMessages; ++i) {
+      co_await m.rank(1).send(0, send_tags[static_cast<std::size_t>(i)],
+                              static_cast<std::uint32_t>(8 + i));
+    }
+    co_await m.rank(1).send(0, 98, 0);  // all-queued marker
+  };
+  auto receiver = [&](Machine& m) -> sim::Process {
+    Request marker = m.rank(0).irecv(1, 98, 0);
+    co_await m.rank(0).send(1, 99, 0);
+    co_await m.rank(0).wait(marker);  // in-order link: all 60 are queued
+    // Now consume with the wildcard mix.  Some receives may not match
+    // the remaining pool; to keep it deadlock-free we use only patterns
+    // that are guaranteed to match something: fall back to ANY/ANY when
+    // the pool lacks the exact tag.
+    std::multiset<int> pool(send_tags.begin(), send_tags.end());
+    for (int i = 0; i < kMessages; ++i) {
+      RecvSpec spec = recvs[static_cast<std::size_t>(i)];
+      if (spec.tag != kAnyTag && pool.find(spec.tag) == pool.end()) {
+        spec.tag = kAnyTag;
+      }
+      Request r;
+      co_await m.rank(0).recv(spec.source, spec.tag, 4096, kWorldContext,
+                              &r);
+      records.push_back(
+          MatchRecord{r.matched().source, r.matched().tag, r.bytes()});
+      pool.erase(pool.find(static_cast<int>(r.matched().tag)));
+    }
+  };
+
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(mode));
+  sim::ProcessPool pool(engine);
+  pool.spawn(receiver(machine));
+  pool.spawn(sender(machine));
+  engine.run();
+  EXPECT_TRUE(pool.all_done());
+  EXPECT_EQ(machine.nic(0).unexpected_queue_length(), 0u);
+  return records;
+}
+
+class ModeEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModeEquivalence, UnexpectedPathMatchesBaseline) {
+  const auto base = run_unexpected_exchange(NicMode::kBaseline, GetParam());
+  const auto a128 = run_unexpected_exchange(NicMode::kAlpu128, GetParam());
+  const auto a256 = run_unexpected_exchange(NicMode::kAlpu256, GetParam());
+  EXPECT_EQ(base, a128);
+  EXPECT_EQ(base, a256);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModeEquivalence,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+/// Posted-path variant: receives are all posted first (exact patterns,
+/// then trailing catch-all wildcards so every message finds a home and
+/// the exchange cannot starve), then the messages arrive and must match
+/// in MPI posted order.
+std::vector<MatchRecord> run_posted_exchange(NicMode mode,
+                                             std::uint64_t seed) {
+  constexpr int kExact = 40;
+  constexpr int kWild = 20;
+  constexpr int kMessages = kExact + kWild;
+  common::Xoshiro256 rng(seed);
+  std::vector<int> exact_tags;
+  for (int i = 0; i < kExact; ++i) {
+    exact_tags.push_back(static_cast<int>(rng.below(6)));
+  }
+  // Sends: every exact tag once, plus extras for the wildcards, shuffled.
+  std::vector<int> send_tags = exact_tags;
+  for (int i = 0; i < kWild; ++i) {
+    send_tags.push_back(static_cast<int>(rng.below(6)));
+  }
+  for (std::size_t i = send_tags.size(); i > 1; --i) {
+    std::swap(send_tags[i - 1], send_tags[rng.below(i)]);
+  }
+
+  std::vector<Request> reqs;
+  std::vector<MatchRecord> records;
+  auto receiver = [&](Machine& m) -> sim::Process {
+    for (int i = 0; i < kExact; ++i) {
+      reqs.push_back(
+          m.rank(0).irecv(1, exact_tags[static_cast<std::size_t>(i)], 4096));
+    }
+    for (int i = 0; i < kWild; ++i) {
+      reqs.push_back(m.rank(0).irecv(kAnySource, kAnyTag, 4096));
+    }
+    co_await m.rank(0).send(1, 99, 0);  // all posted
+    std::vector<Request> copy = reqs;
+    co_await m.rank(0).waitall(std::move(copy));
+    for (const Request& r : reqs) {
+      records.push_back(
+          MatchRecord{r.matched().source, r.matched().tag, r.bytes()});
+    }
+  };
+  auto sender = [&](Machine& m) -> sim::Process {
+    co_await m.rank(1).recv(0, 99, 0);
+    for (int i = 0; i < kMessages; ++i) {
+      co_await m.rank(1).send(0, send_tags[static_cast<std::size_t>(i)],
+                              static_cast<std::uint32_t>(8 + i));
+    }
+  };
+
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(mode));
+  sim::ProcessPool pool(engine);
+  pool.spawn(receiver(machine));
+  pool.spawn(sender(machine));
+  engine.run();
+  EXPECT_TRUE(pool.all_done());
+  return records;
+}
+
+class PostedModeEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PostedModeEquivalence, PostedPathMatchesBaseline) {
+  const auto base = run_posted_exchange(NicMode::kBaseline, GetParam());
+  const auto a128 = run_posted_exchange(NicMode::kAlpu128, GetParam());
+  const auto a256 = run_posted_exchange(NicMode::kAlpu256, GetParam());
+  EXPECT_EQ(base, a128);
+  EXPECT_EQ(base, a256);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostedModeEquivalence,
+                         ::testing::Values(7, 17, 27, 37, 47));
+
+}  // namespace
+}  // namespace alpu::mpi

@@ -1,0 +1,264 @@
+// NIC-level integration tests: firmware accounting, queue management,
+// ALPU offload bookkeeping, DMA, policies.
+#include <gtest/gtest.h>
+
+#include "mpi/mpi.hpp"
+#include "workload/scenarios.hpp"
+
+namespace alpu::nic {
+namespace {
+
+using mpi::Machine;
+using mpi::Request;
+using mpi::SystemConfig;
+using workload::make_system_config;
+using workload::NicMode;
+
+/// Post `n` receives on rank 0 (never matched) and run to quiescence.
+void post_n_receives(Machine& machine, sim::Engine& engine, int n) {
+  sim::ProcessPool pool(engine);
+  auto program = [n](Machine& m) -> sim::Process {
+    for (int i = 0; i < n; ++i) {
+      (void)m.rank(0).irecv(1, 1000, 0);
+    }
+    co_await sim::delay(m.engine(), 1'000'000);  // let firmware drain
+  };
+  pool.spawn(program(machine));
+  engine.run();
+  ASSERT_TRUE(pool.all_done());
+}
+
+TEST(Nic, PostedQueueLengthTracksReceives) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kBaseline));
+  post_n_receives(machine, engine, 37);
+  EXPECT_EQ(machine.nic(0).posted_queue_length(), 37u);
+  EXPECT_EQ(machine.nic(0).stats().posted_appends, 37u);
+}
+
+TEST(Nic, AlpuMirrorsPostedQueuePrefix) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kAlpu128));
+  post_n_receives(machine, engine, 50);
+  ASSERT_NE(machine.nic(0).posted_alpu(), nullptr);
+  // Everything fits: the ALPU holds the whole queue.
+  EXPECT_EQ(machine.nic(0).posted_alpu()->array().occupancy(), 50u);
+  EXPECT_EQ(machine.nic(0).stats().alpu_entries_inserted, 50u);
+}
+
+TEST(Nic, AlpuStopsAtCapacityAndQueueOverflowsInSoftware) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kAlpu128));
+  post_n_receives(machine, engine, 200);
+  EXPECT_EQ(machine.nic(0).posted_queue_length(), 200u);
+  EXPECT_EQ(machine.nic(0).posted_alpu()->array().occupancy(), 128u);
+  EXPECT_EQ(machine.nic(0).posted_alpu()->stats().inserts_dropped, 0u);
+}
+
+TEST(Nic, InsertThresholdDefersOffload) {
+  SystemConfig cfg = make_system_config(NicMode::kAlpu128);
+  cfg.nic.alpu_policy.insert_threshold = 10;
+  sim::Engine engine;
+  Machine machine(engine, cfg);
+  post_n_receives(machine, engine, 5);
+  // Below threshold: nothing moves into the ALPU.
+  EXPECT_EQ(machine.nic(0).posted_alpu()->array().occupancy(), 0u);
+  EXPECT_EQ(machine.nic(0).stats().alpu_insert_sessions, 0u);
+}
+
+TEST(Nic, InsertThresholdCrossedLoadsWholeQueue) {
+  SystemConfig cfg = make_system_config(NicMode::kAlpu128);
+  cfg.nic.alpu_policy.insert_threshold = 10;
+  sim::Engine engine;
+  Machine machine(engine, cfg);
+  post_n_receives(machine, engine, 12);
+  EXPECT_EQ(machine.nic(0).posted_alpu()->array().occupancy(), 12u);
+}
+
+TEST(Nic, FirmwareBusyTimeAccrues) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kBaseline));
+  post_n_receives(machine, engine, 10);
+  EXPECT_GT(machine.nic(0).stats().firmware_busy, 0u);
+}
+
+TEST(Nic, EveryRequestGetsExactlyOneCompletion) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kBaseline));
+  sim::ProcessPool pool(engine);
+  auto sender = [](Machine& m) -> sim::Process {
+    for (int i = 0; i < 10; ++i) {
+      co_await m.rank(1).send(0, 1, 16);
+    }
+  };
+  auto receiver = [](Machine& m) -> sim::Process {
+    for (int i = 0; i < 10; ++i) {
+      co_await m.rank(0).recv(1, 1, 16);
+    }
+  };
+  pool.spawn(receiver(machine));
+  pool.spawn(sender(machine));
+  engine.run();
+  ASSERT_TRUE(pool.all_done());
+  EXPECT_EQ(machine.host(0).completions_seen(), 10u);  // 10 recvs
+  EXPECT_EQ(machine.host(1).completions_seen(), 10u);  // 10 sends
+}
+
+TEST(Nic, DmaMovesTheBytes) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kBaseline));
+  sim::ProcessPool pool(engine);
+  auto sender = [](Machine& m) -> sim::Process {
+    co_await m.rank(1).send(0, 1, 4096);
+  };
+  auto receiver = [](Machine& m) -> sim::Process {
+    co_await m.rank(0).recv(1, 1, 4096);
+  };
+  pool.spawn(receiver(machine));
+  pool.spawn(sender(machine));
+  engine.run();
+  ASSERT_TRUE(pool.all_done());
+  // Tx side pulled 4096 from host memory; Rx side pushed 4096 up.
+  EXPECT_EQ(machine.nic(1).stats().packets_tx, 1u);
+  EXPECT_EQ(machine.nic(0).stats().eager_rx, 1u);
+}
+
+TEST(Nic, UnexpectedQueueDrainsOnMatch) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kAlpu128));
+  sim::ProcessPool pool(engine);
+  auto sender = [](Machine& m) -> sim::Process {
+    for (int i = 0; i < 30; ++i) {
+      co_await m.rank(1).send(0, i, 8);
+    }
+  };
+  auto receiver = [](Machine& m) -> sim::Process {
+    co_await sim::delay(m.engine(), 100'000'000);  // all land unexpected
+    EXPECT_EQ(m.nic(0).unexpected_queue_length(), 30u);
+    // The unexpected ALPU mirrors them.
+    EXPECT_EQ(m.nic(0).unexpected_alpu()->array().occupancy(), 30u);
+    for (int i = 0; i < 30; ++i) {
+      Request r;
+      co_await m.rank(0).recv(1, i, 8, mpi::kWorldContext, &r);
+      EXPECT_EQ(r.matched().tag, static_cast<std::uint32_t>(i));
+    }
+    EXPECT_EQ(m.nic(0).unexpected_queue_length(), 0u);
+    EXPECT_EQ(m.nic(0).unexpected_alpu()->array().occupancy(), 0u);
+  };
+  pool.spawn(receiver(machine));
+  pool.spawn(sender(machine));
+  engine.run();
+  ASSERT_TRUE(pool.all_done());
+}
+
+TEST(Nic, AlpuRefillsAfterMatchesFreeSlots) {
+  // Fill the 128-entry ALPU from a 150-entry queue, match 30 via the
+  // ALPU, and verify the firmware tops the unit back up from the
+  // software overflow portion.
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kAlpu128));
+  sim::ProcessPool pool(engine);
+  auto receiver = [](Machine& m) -> sim::Process {
+    std::vector<Request> head;
+    for (int i = 0; i < 30; ++i) {
+      head.push_back(m.rank(0).irecv(1, i, 8));  // will be matched
+    }
+    for (int i = 0; i < 120; ++i) {
+      (void)m.rank(0).irecv(1, 5000, 0);  // never matched
+    }
+    co_await m.rank(0).send(1, 99, 0);
+    co_await m.rank(0).waitall(std::move(head));
+    co_await sim::delay(m.engine(), 10'000'000);  // let refill happen
+    EXPECT_EQ(m.nic(0).posted_queue_length(), 120u);
+    EXPECT_EQ(m.nic(0).posted_alpu()->array().occupancy(), 120u);
+  };
+  auto sender = [](Machine& m) -> sim::Process {
+    co_await m.rank(1).recv(0, 99, 0);
+    for (int i = 0; i < 30; ++i) {
+      co_await m.rank(1).send(0, i, 8);
+    }
+  };
+  pool.spawn(receiver(machine));
+  pool.spawn(sender(machine));
+  engine.run();
+  ASSERT_TRUE(pool.all_done());
+}
+
+TEST(Nic, MinBatchDefersSessionsUnderLoadButSyncsWhenIdle) {
+  SystemConfig cfg = make_system_config(NicMode::kAlpu128);
+  cfg.nic.alpu_policy.min_batch = 16;
+  sim::Engine engine;
+  Machine machine(engine, cfg);
+  post_n_receives(machine, engine, 40);
+  // Everything ends up in the unit (idle sync covers the tail)...
+  EXPECT_EQ(machine.nic(0).posted_alpu()->array().occupancy(), 40u);
+  // ...but in far fewer sessions than the eager default's one-per-post.
+  EXPECT_LE(machine.nic(0).stats().alpu_insert_sessions, 8u);
+}
+
+TEST(Nic, EagerSyncRunsManySmallSessions) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kAlpu128));
+  post_n_receives(machine, engine, 40);
+  EXPECT_EQ(machine.nic(0).posted_alpu()->array().occupancy(), 40u);
+  // min_batch=1 (the paper's behaviour): roughly one session per post.
+  EXPECT_GE(machine.nic(0).stats().alpu_insert_sessions, 20u);
+}
+
+TEST(Nic, BaselineHasNoAlpu) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kBaseline));
+  EXPECT_EQ(machine.nic(0).posted_alpu(), nullptr);
+  EXPECT_EQ(machine.nic(0).unexpected_alpu(), nullptr);
+}
+
+TEST(Nic, WalkStatsCountSoftwareTraversal) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kBaseline));
+  sim::ProcessPool pool(engine);
+  auto receiver = [](Machine& m) -> sim::Process {
+    for (int i = 0; i < 20; ++i) {
+      (void)m.rank(0).irecv(1, 1000 + i, 0);  // 20 non-matching entries
+    }
+    Request r = m.rank(0).irecv(1, 7, 8);
+    co_await m.rank(0).send(1, 99, 0);
+    co_await m.rank(0).wait(r);
+    // The match walked all 20 decoys plus the hit.
+    EXPECT_EQ(m.nic(0).stats().posted_entries_walked, 21u);
+  };
+  auto sender = [](Machine& m) -> sim::Process {
+    co_await m.rank(1).recv(0, 99, 0);
+    co_await m.rank(1).send(0, 7, 8);
+  };
+  pool.spawn(receiver(machine));
+  pool.spawn(sender(machine));
+  engine.run();
+  ASSERT_TRUE(pool.all_done());
+}
+
+TEST(Nic, AlpuHitSkipsSoftwareWalk) {
+  sim::Engine engine;
+  Machine machine(engine, make_system_config(NicMode::kAlpu128));
+  sim::ProcessPool pool(engine);
+  auto receiver = [](Machine& m) -> sim::Process {
+    for (int i = 0; i < 20; ++i) {
+      (void)m.rank(0).irecv(1, 1000 + i, 0);
+    }
+    Request r = m.rank(0).irecv(1, 7, 8);
+    co_await m.rank(0).send(1, 99, 0);
+    co_await m.rank(0).wait(r);
+    EXPECT_EQ(m.nic(0).stats().alpu_posted_hits, 1u);  // the ping
+    EXPECT_EQ(m.nic(0).stats().posted_entries_walked, 0u);
+  };
+  auto sender = [](Machine& m) -> sim::Process {
+    co_await m.rank(1).recv(0, 99, 0);
+    co_await m.rank(1).send(0, 7, 8);
+  };
+  pool.spawn(receiver(machine));
+  pool.spawn(sender(machine));
+  engine.run();
+  ASSERT_TRUE(pool.all_done());
+}
+
+}  // namespace
+}  // namespace alpu::nic

@@ -1,0 +1,329 @@
+// Tests for the Portals building-block substrate (Section VIII offload).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "portals/portals.hpp"
+
+namespace alpu::portals {
+namespace {
+
+MatchEntrySpec use_once(PtlMatchBits bits, PtlMatchBits ignore = 0,
+                        std::uint64_t length = 4096) {
+  MatchEntrySpec spec;
+  spec.match_bits = bits;
+  spec.ignore_bits = ignore;
+  spec.md.length = length;
+  spec.md.threshold = 1;
+  spec.unlink = UnlinkPolicy::kUnlink;
+  return spec;
+}
+
+// ---- basic matching ----------------------------------------------------------
+
+TEST(Portals, PutMatchesFirstEntryInListOrder) {
+  PortalTable table(4);
+  const EqHandle eq = table.eq_alloc(16);
+  const MeHandle a = table.me_attach(0, use_once(0x1111), eq);
+  const MeHandle b = table.me_attach(0, use_once(0x1111), eq);
+  const auto r = table.put(0, {1, 1}, 0x1111, 64);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(r.me, a);
+  EXPECT_EQ(r.mlength, 64u);
+  // The second identical entry answers the next put.
+  const auto r2 = table.put(0, {1, 1}, 0x1111, 64);
+  ASSERT_TRUE(r2.accepted);
+  EXPECT_EQ(r2.me, b);
+}
+
+TEST(Portals, IgnoreBitsWildcardExactPositions) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(16);
+  // Ignore the low 16 bits — matches any "tag" in that range.
+  (void)table.me_attach(0, use_once(0xABCD'0000, 0xFFFF), eq);
+  EXPECT_TRUE(table.put(0, {0, 0}, 0xABCD'1234, 8).accepted);
+  EXPECT_FALSE(table.put(0, {0, 0}, 0xABCE'0000, 8).accepted);
+}
+
+TEST(Portals, FullWidthBitsParticipate) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(16);
+  // Bits above position 42 (beyond the MPI packing) must still match.
+  const PtlMatchBits high = PtlMatchBits{0xF} << 60;
+  (void)table.me_attach(0, use_once(high), eq);
+  EXPECT_FALSE(table.put(0, {0, 0}, 0, 8).accepted);
+  EXPECT_TRUE(table.put(0, {0, 0}, high, 8).accepted);
+}
+
+TEST(Portals, SourceFilterRestrictsInitiator) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(16);
+  MatchEntrySpec spec = use_once(0x7);
+  spec.source = ProcessId{3, 9};
+  (void)table.me_attach(0, spec, eq);
+  EXPECT_FALSE(table.put(0, {3, 8}, 0x7, 8).accepted);
+  EXPECT_FALSE(table.put(0, {4, 9}, 0x7, 8).accepted);
+  EXPECT_TRUE(table.put(0, {3, 9}, 0x7, 8).accepted);
+}
+
+TEST(Portals, SourceNidWildcard) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(16);
+  MatchEntrySpec spec = use_once(0x7);
+  spec.source = ProcessId{kAnyNid, 9};
+  (void)table.me_attach(0, spec, eq);
+  EXPECT_TRUE(table.put(0, {42, 9}, 0x7, 8).accepted);
+}
+
+TEST(Portals, NoMatchIsDroppedAndCounted) {
+  PortalTable table(2);
+  const EqHandle eq = table.eq_alloc(16);
+  (void)table.me_attach(0, use_once(0x1), eq);
+  const auto r = table.put(0, {0, 0}, 0x2, 8);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.entries_walked, 1u);
+  EXPECT_EQ(table.stats().drops, 1u);
+  EXPECT_EQ(table.list_length(0), 1u);  // entry retained
+}
+
+TEST(Portals, IndicesAreIndependent) {
+  PortalTable table(2);
+  const EqHandle eq = table.eq_alloc(16);
+  (void)table.me_attach(0, use_once(0x1), eq);
+  EXPECT_FALSE(table.put(1, {0, 0}, 0x1, 8).accepted);
+  EXPECT_TRUE(table.put(0, {0, 0}, 0x1, 8).accepted);
+}
+
+// ---- memory descriptors --------------------------------------------------------
+
+TEST(Portals, LocallyManagedOffsetAdvances) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(16);
+  MatchEntrySpec spec = use_once(0x5, 0, /*length=*/1024);
+  spec.md.threshold = kInfiniteThreshold;
+  spec.unlink = UnlinkPolicy::kNoUnlink;
+  (void)table.me_attach(0, spec, eq);
+  const auto r1 = table.put(0, {0, 0}, 0x5, 100);
+  const auto r2 = table.put(0, {0, 0}, 0x5, 100);
+  ASSERT_TRUE(r1.accepted);
+  ASSERT_TRUE(r2.accepted);
+  EXPECT_EQ(r1.offset, 0u);
+  EXPECT_EQ(r2.offset, 100u);
+}
+
+TEST(Portals, TruncationCapsAtRemainingSpace) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(16);
+  MatchEntrySpec spec = use_once(0x5, 0, /*length=*/100);
+  spec.md.threshold = kInfiniteThreshold;
+  spec.unlink = UnlinkPolicy::kNoUnlink;
+  (void)table.me_attach(0, spec, eq);
+  EXPECT_EQ(table.put(0, {0, 0}, 0x5, 80).mlength, 80u);
+  EXPECT_EQ(table.put(0, {0, 0}, 0x5, 80).mlength, 20u);  // truncated
+  EXPECT_EQ(table.put(0, {0, 0}, 0x5, 80).mlength, 0u);   // full
+}
+
+TEST(Portals, NoTruncateOversizedIsDropped) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(16);
+  MatchEntrySpec spec = use_once(0x5, 0, /*length=*/64);
+  spec.md.truncate = false;
+  (void)table.me_attach(0, spec, eq);
+  const auto r = table.put(0, {0, 0}, 0x5, 128);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(table.stats().drops, 1u);
+  EXPECT_EQ(table.list_length(0), 1u);  // entry survives
+  // A fitting put still lands afterwards.
+  EXPECT_TRUE(table.put(0, {0, 0}, 0x5, 32).accepted);
+}
+
+TEST(Portals, ThresholdCountsDownAndUnlinks) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(16);
+  MatchEntrySpec spec = use_once(0x9, 0, 4096);
+  spec.md.threshold = 3;
+  (void)table.me_attach(0, spec, eq);
+  EXPECT_TRUE(table.put(0, {0, 0}, 0x9, 8).accepted);
+  EXPECT_TRUE(table.put(0, {0, 0}, 0x9, 8).accepted);
+  EXPECT_EQ(table.list_length(0), 1u);
+  EXPECT_TRUE(table.put(0, {0, 0}, 0x9, 8).accepted);  // third: unlinks
+  EXPECT_EQ(table.list_length(0), 0u);
+  EXPECT_EQ(table.stats().unlinks, 1u);
+  EXPECT_FALSE(table.put(0, {0, 0}, 0x9, 8).accepted);
+}
+
+TEST(Portals, GetReadsWithoutAdvancingOffset) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(16);
+  MatchEntrySpec spec = use_once(0x5, 0, 1024);
+  spec.md.threshold = kInfiniteThreshold;
+  spec.unlink = UnlinkPolicy::kNoUnlink;
+  (void)table.me_attach(0, spec, eq);
+  EXPECT_EQ(table.get(0, {0, 0}, 0x5, 64).offset, 0u);
+  EXPECT_EQ(table.get(0, {0, 0}, 0x5, 64).offset, 0u);
+  EXPECT_EQ(table.stats().gets, 2u);
+}
+
+// ---- event queues ---------------------------------------------------------------
+
+TEST(Portals, EventsCarryOperationDetails) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(16);
+  const MeHandle me = table.me_attach(0, use_once(0x5, 0, 32), eq);
+  (void)table.put(0, {7, 8}, 0x5, 64);
+  const auto put_end = table.eq(eq).poll();
+  ASSERT_TRUE(put_end.has_value());
+  EXPECT_EQ(put_end->kind, EventKind::kPutEnd);
+  EXPECT_EQ(put_end->initiator, (ProcessId{7, 8}));
+  EXPECT_EQ(put_end->rlength, 64u);
+  EXPECT_EQ(put_end->mlength, 32u);  // truncated to MD length
+  EXPECT_EQ(put_end->me, me);
+  const auto unlink = table.eq(eq).poll();
+  ASSERT_TRUE(unlink.has_value());
+  EXPECT_EQ(unlink->kind, EventKind::kUnlink);
+}
+
+TEST(Portals, FullEventQueueDropsEventsNotMessages) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(2);
+  MatchEntrySpec spec = use_once(0x5, 0, 1 << 20);
+  spec.md.threshold = kInfiniteThreshold;
+  spec.unlink = UnlinkPolicy::kNoUnlink;
+  (void)table.me_attach(0, spec, eq);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(table.put(0, {0, 0}, 0x5, 8).accepted);  // data still lands
+  }
+  EXPECT_EQ(table.eq(eq).pending(), 2u);
+  EXPECT_EQ(table.eq(eq).dropped(), 3u);
+}
+
+// ---- explicit unlink --------------------------------------------------------------
+
+TEST(Portals, MeUnlinkRemovesEntry) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(16);
+  const MeHandle me = table.me_attach(0, use_once(0x5), eq);
+  EXPECT_TRUE(table.me_unlink(me));
+  EXPECT_FALSE(table.me_unlink(me));  // second unlink: gone
+  EXPECT_FALSE(table.put(0, {0, 0}, 0x5, 8).accepted);
+}
+
+// ---- ALPU acceleration ---------------------------------------------------------
+
+TEST(PortalsAlpu, AcceleratedIndexAnswersWithoutWalking) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(64);
+  ASSERT_TRUE(table.attach_alpu(0, 64, 16));
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    (void)table.me_attach(0, use_once(0x1000 + i), eq);
+  }
+  const auto r = table.put(0, {0, 0}, 0x1000 + 31, 8);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_TRUE(r.alpu_hit);
+  EXPECT_EQ(r.entries_walked, 0u);
+  EXPECT_EQ(table.list_length(0), 31u);
+}
+
+TEST(PortalsAlpu, OverflowBeyondCapacityWalksOnlyTheTail) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(64);
+  ASSERT_TRUE(table.attach_alpu(0, 16, 8));
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    (void)table.me_attach(0, use_once(0x2000 + i), eq);
+  }
+  // Entry 20 lives past the 16-cell capacity: software walks 5 entries
+  // (16..20), not 21.
+  const auto r = table.put(0, {0, 0}, 0x2000 + 20, 8);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_FALSE(r.alpu_hit);
+  EXPECT_EQ(r.entries_walked, 5u);
+  // The freed slot is refilled from the overflow portion.
+  const auto r2 = table.put(0, {0, 0}, 0x2000 + 15, 8);
+  EXPECT_TRUE(r2.alpu_hit);
+}
+
+TEST(PortalsAlpu, PersistentEntryDegradesTheIndex) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(64);
+  ASSERT_TRUE(table.attach_alpu(0, 16, 8));
+  (void)table.me_attach(0, use_once(0x1), eq);
+  EXPECT_TRUE(table.accelerated(0));
+  MatchEntrySpec persistent = use_once(0x2);
+  persistent.unlink = UnlinkPolicy::kNoUnlink;
+  persistent.md.threshold = kInfiniteThreshold;
+  (void)table.me_attach(0, persistent, eq);
+  EXPECT_FALSE(table.accelerated(0));
+  EXPECT_EQ(table.stats().degradations, 1u);
+  // Matching still works, in software, in the right order.
+  const auto r = table.put(0, {0, 0}, 0x1, 8);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_FALSE(r.alpu_hit);
+  EXPECT_GT(r.entries_walked, 0u);
+}
+
+TEST(PortalsAlpu, SourceFilteredEntryDegradesTheIndex) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(64);
+  ASSERT_TRUE(table.attach_alpu(0, 16, 8));
+  MatchEntrySpec filtered = use_once(0x2);
+  filtered.source = ProcessId{1, 1};
+  (void)table.me_attach(0, filtered, eq);
+  EXPECT_FALSE(table.accelerated(0));
+}
+
+TEST(PortalsAlpu, ExplicitUnlinkOfSyncedEntryDegrades) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(64);
+  ASSERT_TRUE(table.attach_alpu(0, 16, 8));
+  const MeHandle me = table.me_attach(0, use_once(0x1), eq);
+  (void)table.me_attach(0, use_once(0x2), eq);
+  EXPECT_TRUE(table.me_unlink(me));
+  EXPECT_FALSE(table.accelerated(0));
+  // The remaining entry still matches in software.
+  EXPECT_TRUE(table.put(0, {0, 0}, 0x2, 8).accepted);
+}
+
+TEST(PortalsAlpu, AttachAlpuRejectedOncePopulated) {
+  PortalTable table(1);
+  const EqHandle eq = table.eq_alloc(16);
+  (void)table.me_attach(0, use_once(0x1), eq);
+  EXPECT_FALSE(table.attach_alpu(0, 16, 8));
+}
+
+// ---- equivalence property: accelerated == software -----------------------------
+
+class PortalsEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PortalsEquivalence, AcceleratedMatchesSoftwareExactly) {
+  common::Xoshiro256 rng(GetParam());
+  PortalTable sw(1), hwacc(1);
+  const EqHandle eq_sw = sw.eq_alloc(4096);
+  const EqHandle eq_hw = hwacc.eq_alloc(4096);
+  ASSERT_TRUE(hwacc.attach_alpu(0, 64, 16));
+
+  for (int step = 0; step < 2'000; ++step) {
+    const PtlMatchBits bits = 0x100 + rng.below(64);
+    if (rng.chance(0.5) && sw.list_length(0) < 64) {
+      // Use-once entries only (the accelerable shape).
+      const PtlMatchBits ignore = rng.chance(0.25) ? 0xF : 0;
+      (void)sw.me_attach(0, use_once(bits, ignore), eq_sw);
+      (void)hwacc.me_attach(0, use_once(bits, ignore), eq_hw);
+    } else {
+      const auto a = sw.put(0, {0, 0}, bits, 16);
+      const auto b = hwacc.put(0, {0, 0}, bits, 16);
+      ASSERT_EQ(a.accepted, b.accepted);
+      if (a.accepted) {
+        ASSERT_EQ(a.mlength, b.mlength);
+        ASSERT_EQ(a.offset, b.offset);
+      }
+      ASSERT_EQ(sw.list_length(0), hwacc.list_length(0));
+    }
+  }
+  EXPECT_TRUE(hwacc.accelerated(0));
+  EXPECT_GT(hwacc.stats().alpu_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PortalsEquivalence,
+                         ::testing::Values(3, 6, 9, 12, 15));
+
+}  // namespace
+}  // namespace alpu::portals

@@ -1,0 +1,371 @@
+// Unit tests for the DES kernel: engine, clock, coroutine processes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+
+namespace alpu::sim {
+namespace {
+
+using common::TimePs;
+
+// ---- Engine ----------------------------------------------------------------
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(e.run(), 30u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SameTimeEventsFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  TimePs seen = 0;
+  e.schedule_at(100, [&] {
+    e.schedule_in(50, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  const EventId id = e.schedule_at(10, [&] { ran = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelUnknownIdIsNoop) {
+  Engine e;
+  e.cancel(999);
+  bool ran = false;
+  e.schedule_at(1, [&] { ran = true; });
+  e.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  std::vector<TimePs> fired;
+  e.schedule_at(10, [&] { fired.push_back(10); });
+  e.schedule_at(20, [&] { fired.push_back(20); });
+  e.schedule_at(30, [&] { fired.push_back(30); });
+  e.run_until(20);
+  EXPECT_EQ(fired, (std::vector<TimePs>{10, 20}));  // deadline inclusive
+  e.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Engine, StopReturnsEarly) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1, [&] {
+    ++count;
+    e.stop();
+  });
+  e.schedule_at(2, [&] { ++count; });
+  e.run();
+  EXPECT_EQ(count, 1);
+  e.run();  // resumes where it left off
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, EventsExecutedCounts) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_executed(), 5u);
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) e.schedule_in(1, chain);
+  };
+  e.schedule_at(0, chain);
+  EXPECT_EQ(e.run(), 99u);
+  EXPECT_EQ(depth, 100);
+}
+
+// ---- Component lifecycle ---------------------------------------------------
+
+class Probe : public Component {
+ public:
+  Probe(Engine& e, int* inits, int* finishes)
+      : Component(e, "probe"), inits_(inits), finishes_(finishes) {}
+  void init() override { ++*inits_; }
+  void finish() override { ++*finishes_; }
+
+ private:
+  int* inits_;
+  int* finishes_;
+};
+
+TEST(Component, InitAndFinishCalledOnce) {
+  Engine e;
+  int inits = 0, finishes = 0;
+  Probe p(e, &inits, &finishes);
+  e.schedule_at(1, [] {});
+  e.run();
+  EXPECT_EQ(inits, 1);
+  EXPECT_EQ(finishes, 1);
+}
+
+// ---- Clock -----------------------------------------------------------------
+
+TEST(Clock, TicksOnEdgesUntilIdle) {
+  Engine e;
+  std::vector<TimePs> ticks;
+  int remaining = 3;
+  Clock clk(e, common::ClockPeriod{2'000}, [&] {
+    ticks.push_back(e.now());
+    return --remaining > 0;
+  });
+  e.schedule_at(500, [&] { clk.wake(); });
+  e.run();
+  // Woken at 500 -> first edge at 2000, then 4000, 6000.
+  EXPECT_EQ(ticks, (std::vector<TimePs>{2'000, 4'000, 6'000}));
+  EXPECT_FALSE(clk.running());
+  EXPECT_EQ(clk.cycles(), 3u);
+}
+
+TEST(Clock, WakeWhileRunningIsIdempotent) {
+  Engine e;
+  int ticks = 0;
+  Clock clk(e, common::ClockPeriod{1'000}, [&] { return ++ticks < 2; });
+  clk.wake();
+  clk.wake();  // must not double-schedule
+  e.run();
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(Clock, ReWakeAfterSleep) {
+  Engine e;
+  int ticks = 0;
+  Clock clk(e, common::ClockPeriod{1'000}, [&] {
+    ++ticks;
+    return false;  // sleep immediately
+  });
+  clk.wake();
+  e.schedule_at(10'000, [&] { clk.wake(); });
+  e.run();
+  EXPECT_EQ(ticks, 2);
+}
+
+// ---- Processes -------------------------------------------------------------
+
+Process simple_delays(Engine& e, std::vector<TimePs>& log) {
+  log.push_back(e.now());
+  co_await delay(e, 100);
+  log.push_back(e.now());
+  co_await delay(e, 50);
+  log.push_back(e.now());
+}
+
+TEST(Process, DelaysAdvanceTime) {
+  Engine e;
+  ProcessPool pool(e);
+  std::vector<TimePs> log;
+  pool.spawn(simple_delays(e, log));
+  e.run();
+  EXPECT_TRUE(pool.all_done());
+  EXPECT_EQ(log, (std::vector<TimePs>{0, 100, 150}));
+}
+
+Process child(Engine& e, int& state) {
+  state = 1;
+  co_await delay(e, 10);
+  state = 2;
+}
+
+Process parent(Engine& e, int& state, int& after) {
+  co_await child(e, state);
+  after = state;  // child fully completed before we resume
+  co_await delay(e, 1);
+}
+
+TEST(Process, NestedAwaitRunsChildToCompletion) {
+  Engine e;
+  ProcessPool pool(e);
+  int state = 0, after = -1;
+  pool.spawn(parent(e, state, after));
+  e.run();
+  EXPECT_TRUE(pool.all_done());
+  EXPECT_EQ(state, 2);
+  EXPECT_EQ(after, 2);
+}
+
+Process waiter(Engine& e, Trigger& t, int& wakes) {
+  co_await t.wait(e);
+  ++wakes;
+  co_await t.wait(e);
+  ++wakes;
+}
+
+TEST(Trigger, FireWakesAllCurrentWaitersOnly) {
+  Engine e;
+  ProcessPool pool(e);
+  Trigger t;
+  int wakes = 0;
+  pool.spawn(waiter(e, t, wakes));
+  e.schedule_at(10, [&] { t.fire(); });
+  e.run();
+  // Only the first wait was satisfied; the re-wait needs a second fire.
+  EXPECT_EQ(wakes, 1);
+  EXPECT_FALSE(pool.all_done());
+  t.fire();
+  e.run();
+  EXPECT_EQ(wakes, 2);
+  EXPECT_TRUE(pool.all_done());
+}
+
+TEST(Trigger, MultipleWaitersAllWake) {
+  Engine e;
+  ProcessPool pool(e);
+  Trigger t;
+  int wakes = 0;
+  auto one_shot = [](Engine& eng, Trigger& trig, int& w) -> Process {
+    co_await trig.wait(eng);
+    ++w;
+  };
+  pool.spawn(one_shot(e, t, wakes));
+  pool.spawn(one_shot(e, t, wakes));
+  pool.spawn(one_shot(e, t, wakes));
+  e.schedule_at(5, [&] { t.fire(); });
+  e.run();
+  EXPECT_EQ(wakes, 3);
+  EXPECT_TRUE(pool.all_done());
+}
+
+TEST(ProcessPool, TracksPerProcessCompletion) {
+  Engine e;
+  ProcessPool pool(e);
+  auto quick = [](Engine& eng) -> Process { co_await delay(eng, 1); };
+  auto slow = [](Engine& eng) -> Process { co_await delay(eng, 100); };
+  const std::size_t a = pool.spawn(quick(e));
+  const std::size_t b = pool.spawn(slow(e));
+  e.run_until(10);
+  EXPECT_TRUE(pool.done(a));
+  EXPECT_FALSE(pool.done(b));
+  e.run();
+  EXPECT_TRUE(pool.done(b));
+  EXPECT_TRUE(pool.all_done());
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ProcessPool, DestroyingSuspendedProcessesIsSafe) {
+  Engine e;
+  {
+    ProcessPool pool(e);
+    auto forever = [](Engine& eng) -> Process {
+      Trigger never;
+      co_await never.wait(eng);
+    };
+    pool.spawn(forever(e));
+    e.run();
+    EXPECT_FALSE(pool.all_done());
+  }  // pool destroys the still-suspended coroutine here
+  SUCCEED();
+}
+
+TEST(Process, ZeroDelayYieldsThroughQueue) {
+  Engine e;
+  ProcessPool pool(e);
+  std::vector<int> order;
+  auto proc = [](Engine& eng, std::vector<int>& log) -> Process {
+    log.push_back(1);
+    co_await delay(eng, 0);
+    log.push_back(3);
+  };
+  pool.spawn(proc(e, order));
+  e.schedule_at(0, [&] { order.push_back(2); });
+  e.run();
+  // The spawn kick-off was enqueued first, so the process starts first;
+  // its zero-delay then yields behind the already-queued event before
+  // the continuation runs — a zero delay is not a no-op.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// ---- parameterized clock properties -----------------------------------------
+
+class ClockPeriods : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClockPeriods, EdgesAlignToMultiplesOfThePeriod) {
+  const common::TimePs period = GetParam();
+  Engine e;
+  std::vector<TimePs> ticks;
+  Clock clk(e, common::ClockPeriod{period}, [&] {
+    ticks.push_back(e.now());
+    return ticks.size() < 5;
+  });
+  // Wake at an off-edge instant.
+  e.schedule_at(period / 2 + 1, [&] { clk.wake(); });
+  e.run();
+  ASSERT_EQ(ticks.size(), 5u);
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    EXPECT_EQ(ticks[i] % period, 0u) << "tick " << i << " off-edge";
+    if (i > 0) {
+      EXPECT_EQ(ticks[i] - ticks[i - 1], period);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, ClockPeriods,
+                         ::testing::Values(500,      // 2 GHz host
+                                           2'000,    // 500 MHz NIC/ASIC
+                                           8'929,    // ~112 MHz FPGA
+                                           10'000)); // 100 MHz
+
+// ---- determinism -------------------------------------------------------------
+
+TEST(Engine, IdenticalProgramsProduceIdenticalSchedules) {
+  // The reproducibility guarantee every experiment relies on: two
+  // engines fed the same (randomized) event program execute the same
+  // number of events and end at the same time.
+  auto run_once = [](std::uint64_t seed) {
+    common::Xoshiro256 rng(seed);
+    Engine e;
+    std::uint64_t checksum = 0;
+    std::function<void(int)> cascade = [&](int depth) {
+      checksum = checksum * 31 + e.now();
+      if (depth < 3) {
+        const auto fan = 1 + rng.below(3);
+        for (std::uint64_t i = 0; i < fan; ++i) {
+          e.schedule_in(rng.below(1'000), [&cascade, depth] {
+            cascade(depth + 1);
+          });
+        }
+      }
+    };
+    for (int i = 0; i < 50; ++i) {
+      e.schedule_at(rng.below(10'000), [&cascade] { cascade(0); });
+    }
+    e.run();
+    return std::make_pair(e.events_executed(), checksum);
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+}  // namespace
+}  // namespace alpu::sim

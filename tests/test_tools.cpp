@@ -1,0 +1,103 @@
+// Tests for the flags parser and the machine report renderer.
+#include <gtest/gtest.h>
+
+#include "common/flags.hpp"
+#include "workload/report.hpp"
+#include "workload/scenarios.hpp"
+
+namespace alpu {
+namespace {
+
+common::Flags parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  auto f = common::Flags::parse(static_cast<int>(args.size()),
+                                const_cast<char**>(args.data()));
+  EXPECT_TRUE(f.has_value());
+  return *f;
+}
+
+TEST(Flags, EqualsForm) {
+  const auto f = parse({"--length=42", "--fraction=0.5"});
+  EXPECT_EQ(f.get_int("length", 0), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("fraction", 0), 0.5);
+}
+
+TEST(Flags, SpaceForm) {
+  const auto f = parse({"--mode", "alpu128", "--length", "7"});
+  EXPECT_EQ(f.get("mode", ""), "alpu128");
+  EXPECT_EQ(f.get_int("length", 0), 7);
+}
+
+TEST(Flags, BooleanForm) {
+  // Positionals come first (the tools' convention): space-form parsing
+  // is greedy, so a word after a bare flag would bind as its value.
+  const auto f = parse({"scenario", "--report", "--verbose"});
+  EXPECT_TRUE(f.get_bool("report"));
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_FALSE(f.get_bool("missing"));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "scenario");
+}
+
+TEST(Flags, GreedySpaceFormBindsFollowingWord) {
+  const auto f = parse({"--report", "scenario"});
+  EXPECT_EQ(f.get("report", ""), "scenario");
+  EXPECT_TRUE(f.positional().empty());
+}
+
+TEST(Flags, PositionalBeforeAndAfterFlags) {
+  const auto f = parse({"run", "--x=1", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "run");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(Flags, FallbacksApply) {
+  const auto f = parse({});
+  EXPECT_EQ(f.get("mode", "baseline"), "baseline");
+  EXPECT_EQ(f.get_int("n", 5), 5);
+  EXPECT_FALSE(f.has("anything"));
+}
+
+TEST(Flags, ExplicitFalse) {
+  const auto f = parse({"--report=false", "--x=0"});
+  EXPECT_FALSE(f.get_bool("report", true));
+  EXPECT_FALSE(f.get_bool("x", true));
+}
+
+// ---- report ------------------------------------------------------------------
+
+TEST(Report, RendersAllSectionsForAllNodes) {
+  sim::Engine engine;
+  mpi::Machine machine(
+      engine, workload::make_system_config(workload::NicMode::kAlpu128, 3));
+  sim::ProcessPool pool(engine);
+  pool.spawn([](mpi::Machine& m) -> sim::Process {
+    co_await m.rank(0).send(1, 1, 64);
+  }(machine));
+  pool.spawn([](mpi::Machine& m) -> sim::Process {
+    co_await m.rank(1).recv(0, 1, 64);
+  }(machine));
+  engine.run();
+  ASSERT_TRUE(pool.all_done());
+
+  const std::string report = workload::machine_report(machine);
+  EXPECT_NE(report.find("--- NIC ---"), std::string::npos);
+  EXPECT_NE(report.find("--- ALPU ---"), std::string::npos);
+  EXPECT_NE(report.find("--- NIC memory ---"), std::string::npos);
+  EXPECT_NE(report.find("--- network ---"), std::string::npos);
+  EXPECT_NE(report.find("node2.unexpected"), std::string::npos);
+}
+
+TEST(Report, BaselineShowsDashesForMissingAlpus) {
+  sim::Engine engine;
+  mpi::Machine machine(
+      engine, workload::make_system_config(workload::NicMode::kBaseline));
+  const std::string report = workload::machine_report(machine);
+  EXPECT_NE(report.find("node0.posted"), std::string::npos);
+  // Dash cells mark absent units.
+  EXPECT_NE(report.find("-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alpu

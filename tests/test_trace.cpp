@@ -1,0 +1,172 @@
+// Tests for the synthetic trace generator and the reference queue model.
+#include <gtest/gtest.h>
+
+#include "alpu/array.hpp"
+#include "workload/trace.hpp"
+
+namespace alpu::workload {
+namespace {
+
+TEST(TraceGenerator, DeterministicForSeed) {
+  TraceConfig cfg;
+  cfg.operations = 100;
+  cfg.seed = 7;
+  const auto a = generate_trace(cfg);
+  const auto b = generate_trace(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].is_post, b[i].is_post);
+    EXPECT_EQ(a[i].word, b[i].word);
+    EXPECT_EQ(a[i].pattern, b[i].pattern);
+  }
+}
+
+TEST(TraceGenerator, RespectsOperationCount) {
+  TraceConfig cfg;
+  cfg.operations = 321;
+  EXPECT_EQ(generate_trace(cfg).size(), 321u);
+}
+
+TEST(TraceGenerator, MixRoughlyMatchesProbabilities) {
+  TraceConfig cfg;
+  cfg.operations = 20'000;
+  cfg.p_post = 0.4;
+  cfg.p_wildcard_source = 0.3;
+  cfg.p_wildcard_tag = 0.02;
+  const auto trace = generate_trace(cfg);
+  std::size_t posts = 0, wild_src = 0, wild_tag = 0;
+  for (const auto& op : trace) {
+    if (!op.is_post) continue;
+    ++posts;
+    if ((op.pattern.mask & match::kSourceMask) != 0) ++wild_src;
+    if ((op.pattern.mask & match::kTagMask) != 0) ++wild_tag;
+  }
+  EXPECT_NEAR(static_cast<double>(posts) / 20'000.0, 0.4, 0.02);
+  EXPECT_NEAR(static_cast<double>(wild_src) / static_cast<double>(posts),
+              0.3, 0.03);
+  EXPECT_NEAR(static_cast<double>(wild_tag) / static_cast<double>(posts),
+              0.02, 0.01);
+}
+
+TEST(TraceGenerator, FieldsWithinConfiguredRanges) {
+  TraceConfig cfg;
+  cfg.operations = 1'000;
+  cfg.contexts = 3;
+  cfg.sources = 5;
+  cfg.tags = 7;
+  for (const auto& op : generate_trace(cfg)) {
+    const match::Envelope e =
+        match::unpack(op.is_post ? op.pattern.bits : op.word);
+    EXPECT_LT(e.context, 3u);
+    if (!op.is_post) {
+      EXPECT_LT(e.source, 5u);
+      EXPECT_LT(e.tag, 7u);
+    }
+  }
+}
+
+// ---- ReferenceQueues invariants --------------------------------------------
+
+TEST(ReferenceQueues, PostMatchingUnexpectedConsumesIt) {
+  ReferenceQueues q;
+  TraceOp arrival;
+  arrival.is_post = false;
+  arrival.word = match::pack(match::Envelope{0, 1, 7});
+  EXPECT_FALSE(q.apply(arrival).matched);  // goes unexpected
+  EXPECT_EQ(q.unexpected().size(), 1u);
+
+  TraceOp post;
+  post.is_post = true;
+  post.pattern = match::make_recv_pattern(0, 1, 7);
+  const auto ev = q.apply(post);
+  EXPECT_TRUE(ev.matched);
+  EXPECT_TRUE(q.unexpected().empty());
+  EXPECT_TRUE(q.posted().empty());
+}
+
+TEST(ReferenceQueues, ArrivalMatchingPostedConsumesIt) {
+  ReferenceQueues q;
+  TraceOp post;
+  post.is_post = true;
+  post.pattern = match::make_recv_pattern(0, std::nullopt, 7);
+  EXPECT_FALSE(q.apply(post).matched);
+  EXPECT_EQ(q.posted().size(), 1u);
+
+  TraceOp arrival;
+  arrival.is_post = false;
+  arrival.word = match::pack(match::Envelope{0, 3, 7});
+  EXPECT_TRUE(q.apply(arrival).matched);
+  EXPECT_TRUE(q.posted().empty());
+  EXPECT_TRUE(q.unexpected().empty());
+}
+
+TEST(ReferenceQueues, EntryNeverInBothQueues) {
+  TraceConfig cfg;
+  cfg.operations = 5'000;
+  cfg.seed = 3;
+  ReferenceQueues q;
+  std::size_t appended = 0, matched = 0;
+  for (const auto& op : generate_trace(cfg)) {
+    if (q.apply(op).matched) {
+      ++matched;
+    } else {
+      ++appended;
+    }
+    // Conservation: appended entries are either still queued or matched.
+    ASSERT_EQ(q.posted().size() + q.unexpected().size(),
+              appended - matched);
+  }
+  EXPECT_GT(matched, 0u);
+}
+
+// ---- cross-structure property: ALPU array == reference posted queue --------
+
+class ArrayVsReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArrayVsReference, PostedQueueSemanticsIdentical) {
+  // Replay a trace against (a) the reference posted/unexpected lists and
+  // (b) an AlpuArray pair large enough to never overflow.  The matched
+  // cookies must be identical at every step — the functional core of the
+  // hardware implements exactly the MPI queue discipline.
+  TraceConfig cfg;
+  cfg.operations = 1'500;
+  cfg.seed = GetParam();
+  const auto trace = generate_trace(cfg);
+
+  ReferenceQueues reference;
+  hw::AlpuArray posted(hw::AlpuFlavor::kPostedReceive, 2048, 16);
+  hw::AlpuArray unexpected(hw::AlpuFlavor::kUnexpected, 2048, 16);
+  match::Cookie next_cookie = 1;
+
+  for (const auto& op : trace) {
+    const auto expected = reference.apply(op);
+    if (op.is_post) {
+      const hw::Probe probe{op.pattern.bits, op.pattern.mask, 0};
+      const auto got = unexpected.match_and_delete(probe);
+      ASSERT_EQ(got.hit, expected.matched);
+      if (expected.matched) {
+        ASSERT_EQ(got.cookie, expected.cookie);
+      } else {
+        ASSERT_TRUE(
+            posted.insert(op.pattern.bits, op.pattern.mask, next_cookie++));
+      }
+    } else {
+      const hw::Probe probe{op.word, 0, 0};
+      const auto got = posted.match_and_delete(probe);
+      ASSERT_EQ(got.hit, expected.matched);
+      if (expected.matched) {
+        ASSERT_EQ(got.cookie, expected.cookie);
+      } else {
+        ASSERT_TRUE(unexpected.insert(op.word, 0, next_cookie++));
+      }
+    }
+    ASSERT_EQ(posted.occupancy(), reference.posted().size());
+    ASSERT_EQ(unexpected.occupancy(), reference.unexpected().size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArrayVsReference,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace alpu::workload

@@ -1,0 +1,180 @@
+// alpusim — command-line driver for the simulated machine.
+//
+// One binary to run any of the calibrated scenarios with explicit
+// parameters, for exploration beyond the canned benchmark sweeps:
+//
+//   alpusim preposted  --mode alpu128 --length 300 --fraction 0.5
+//   alpusim unexpected --mode baseline --length 200 --bytes 1024
+//   alpusim pingpong   --mode alpu256 --bytes 4096 --iterations 16
+//   alpusim msgrate    --mode alpu128 --length 100 --burst 64
+//   alpusim fpga       --cells 256 --block 16 --flavor posted
+//   alpusim preposted  --length 300 --report      # dump machine state
+//
+// Output is a small key=value block (machine-parsable) plus optional
+// full component tables with --report.
+#include <cstdio>
+#include <string>
+
+#include "common/flags.hpp"
+#include "common/log.hpp"
+#include "fpga/area_model.hpp"
+#include "workload/report.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace alpu;
+using workload::NicMode;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: alpusim <preposted|unexpected|pingpong|msgrate|fpga>"
+               " [--mode baseline|alpu128|alpu256] [--length N]\n"
+               "               [--fraction F] [--bytes N] [--iterations N]"
+               " [--burst N] [--threshold N]\n"
+               "               [--minbatch N] [--alpu-model"
+               " transaction|pipelined]\n"
+               "               [--cells N] [--block N] [--width N]"
+               " [--flavor posted|unexpected] [--report]\n");
+  return 2;
+}
+
+NicMode mode_of(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "baseline") return NicMode::kBaseline;
+  if (name == "alpu128") return NicMode::kAlpu128;
+  if (name == "alpu256") return NicMode::kAlpu256;
+  *ok = false;
+  return NicMode::kBaseline;
+}
+
+void print_result(const workload::LatencyResult& r) {
+  std::printf("latency_ns=%.1f\n", common::to_ns(r.latency));
+  std::printf("sw_entries_walked=%llu\n",
+              static_cast<unsigned long long>(r.sw_entries_walked));
+  std::printf("alpu_hits=%llu\n",
+              static_cast<unsigned long long>(r.alpu_hits));
+  std::printf("alpu_misses=%llu\n",
+              static_cast<unsigned long long>(r.alpu_misses));
+  std::printf("l1_hit_rate=%.4f\n", r.l1_hit_rate);
+  std::printf("total_sim_time_ns=%.1f\n", common::to_ns(r.total_sim_time));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags_opt = common::Flags::parse(argc, argv);
+  if (!flags_opt.has_value() || flags_opt->positional().empty()) {
+    return usage();
+  }
+  const common::Flags& flags = *flags_opt;
+  const std::string scenario = flags.positional()[0];
+
+  bool mode_ok = true;
+  const NicMode mode = mode_of(flags.get("mode", "baseline"), &mode_ok);
+  if (!mode_ok) {
+    std::fprintf(stderr, "unknown --mode\n");
+    return usage();
+  }
+
+  if (flags.get_bool("trace")) {
+    common::set_log_level(common::LogLevel::kTrace);
+  } else if (flags.get_bool("debug")) {
+    common::set_log_level(common::LogLevel::kDebug);
+  }
+
+  auto system = workload::make_system_config(mode);
+  if (flags.get("alpu-model", "transaction") == "pipelined") {
+    system.nic.alpu_model = nic::AlpuModelKind::kPipelined;
+  }
+  if (flags.has("threshold")) {
+    system.nic.alpu_policy.insert_threshold =
+        static_cast<std::size_t>(flags.get_int("threshold", 0));
+  }
+  if (flags.has("minbatch")) {
+    system.nic.alpu_policy.min_batch =
+        static_cast<std::size_t>(flags.get_int("minbatch", 1));
+  }
+
+  if (scenario == "preposted") {
+    workload::PrepostedParams p;
+    p.mode = mode;
+    p.system = system;
+    p.queue_length = static_cast<std::size_t>(flags.get_int("length", 0));
+    p.fraction_traversed = flags.get_double("fraction", 1.0);
+    p.message_bytes =
+        static_cast<std::uint32_t>(flags.get_int("bytes", 0));
+    p.iterations = static_cast<int>(flags.get_int("iterations", 1));
+    print_result(workload::run_preposted(p));
+  } else if (scenario == "unexpected") {
+    workload::UnexpectedParams p;
+    p.mode = mode;
+    p.system = system;
+    p.queue_length = static_cast<std::size_t>(flags.get_int("length", 0));
+    p.message_bytes =
+        static_cast<std::uint32_t>(flags.get_int("bytes", 0));
+    print_result(workload::run_unexpected(p));
+  } else if (scenario == "pingpong") {
+    const common::TimePs t = workload::run_pingpong(
+        mode, static_cast<std::uint32_t>(flags.get_int("bytes", 0)),
+        static_cast<int>(flags.get_int("iterations", 8)));
+    std::printf("half_rtt_ns=%.1f\n", common::to_ns(t));
+  } else if (scenario == "msgrate") {
+    workload::MessageRateParams p;
+    p.mode = mode;
+    p.system = system;
+    p.queue_length = static_cast<std::size_t>(flags.get_int("length", 0));
+    p.burst = static_cast<int>(flags.get_int("burst", 64));
+    p.message_bytes =
+        static_cast<std::uint32_t>(flags.get_int("bytes", 0));
+    const common::TimePs gap = workload::run_message_rate(p);
+    std::printf("gap_ns=%.1f\n", common::to_ns(gap));
+    std::printf("mmsgs_per_s=%.3f\n", 1e3 / common::to_ns(gap));
+  } else if (scenario == "fpga") {
+    fpga::PrototypeParams p;
+    p.total_cells = static_cast<std::size_t>(flags.get_int("cells", 256));
+    p.block_size = static_cast<std::size_t>(flags.get_int("block", 16));
+    p.match_width =
+        static_cast<unsigned>(flags.get_int("width", 42));
+    p.flavor = flags.get("flavor", "posted") == "unexpected"
+                   ? hw::AlpuFlavor::kUnexpected
+                   : hw::AlpuFlavor::kPostedReceive;
+    const auto est = fpga::estimate(p);
+    std::printf("luts=%llu\nffs=%llu\nslices=%llu\n",
+                static_cast<unsigned long long>(est.luts),
+                static_cast<unsigned long long>(est.flip_flops),
+                static_cast<unsigned long long>(est.slices));
+    std::printf("clock_mhz=%.1f\nasic_mhz=%.0f\npipeline=%u\n",
+                est.clock_mhz, est.asic_clock_mhz, est.pipeline_latency);
+  } else {
+    return usage();
+  }
+
+  // --report reruns the scenario with the machine kept alive for a full
+  // component dump (latency scenarios only).
+  if (flags.get_bool("report") &&
+      (scenario == "preposted" || scenario == "unexpected")) {
+    // The scenario runners tear the machine down; run a fresh machine
+    // with equivalent traffic and dump it.
+    sim::Engine engine;
+    mpi::Machine machine(engine, system);
+    sim::ProcessPool pool(engine);
+    const auto length =
+        static_cast<std::size_t>(flags.get_int("length", 0));
+    pool.spawn([](mpi::Machine& m, std::size_t n) -> sim::Process {
+      for (std::size_t i = 0; i < n; ++i) {
+        (void)m.rank(0).irecv(1, 1000, 0);
+      }
+      mpi::Request ping = m.rank(0).irecv(1, 7, 4096);
+      co_await m.rank(0).send(1, 1, 0);
+      co_await m.rank(0).wait(ping);
+    }(machine, length));
+    pool.spawn([](mpi::Machine& m) -> sim::Process {
+      co_await m.rank(1).recv(0, 1, 0);
+      co_await m.rank(1).send(0, 7, 64);
+    }(machine));
+    engine.run();
+    workload::print_machine_report(machine);
+  }
+  return 0;
+}
