@@ -3,6 +3,9 @@
 // experiment the simulator can sweep).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "alpu/array.hpp"
 #include "common/fifo.hpp"
 #include "common/rng.hpp"
@@ -32,6 +35,52 @@ void BM_EngineScheduleRun(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EngineScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void BM_EngineScheduleCancelChurn(benchmark::State& state) {
+  // Schedule/cancel churn: half the scheduled events are cancelled
+  // before they fire, the pattern timeout-guarded protocols produce.
+  // Exercises the slot pool's O(1) cancel and tombstone pop path.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t sink = 0;
+    std::vector<sim::EventId> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(engine.schedule_at(i, [&sink] { ++sink; }));
+    }
+    for (std::size_t i = 0; i < n; i += 2) {
+      engine.cancel(ids[i]);
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineScheduleCancelChurn)->Arg(1'000)->Arg(100'000);
+
+void BM_EngineTimeoutGuardPattern(benchmark::State& state) {
+  // The hot pattern from the NIC model: each "operation" schedules a
+  // guard event far in the future, does its work, then cancels the
+  // guard.  Every guard is cancelled; none ever fires.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const sim::EventId guard = engine.schedule_at(
+          static_cast<common::TimePs>(i) + 1'000'000, [&sink] { sink += 100; });
+      engine.schedule_at(i, [&sink] { ++sink; });
+      engine.cancel(guard);
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_EngineTimeoutGuardPattern)->Arg(10'000);
 
 void BM_FifoPushPop(benchmark::State& state) {
   common::BoundedFifo<std::uint64_t> fifo(1024);
@@ -146,13 +195,20 @@ void BM_FullPingPongSimulation(benchmark::State& state) {
 BENCHMARK(BM_FullPingPongSimulation);
 
 void BM_PrepostedDataPoint(benchmark::State& state) {
+  // Full-machine cost of one Figure 5 data point, with the DES-kernel
+  // event rate surfaced as items/sec (LatencyResult.events_executed).
   const auto len = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
   for (auto _ : state) {
     workload::PrepostedParams p;
     p.mode = workload::NicMode::kAlpu256;
     p.queue_length = len;
-    benchmark::DoNotOptimize(workload::run_preposted(p).latency);
+    const workload::LatencyResult r = workload::run_preposted(p);
+    events += r.events_executed;
+    benchmark::DoNotOptimize(r.latency);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items=sim events");
 }
 BENCHMARK(BM_PrepostedDataPoint)->Arg(0)->Arg(500);
 

@@ -6,44 +6,36 @@
 // the 2D projections shown in the paper's right-hand panels, and the
 // headline scalar checks (ns/entry in- and out-of-cache, zero-queue ALPU
 // overhead, break-even queue length).
+//
+// Every data point is an independent fresh-machine simulation, so the
+// surface is computed on a parallel sweep pool (--jobs N, default
+// hardware_concurrency; output is byte-identical to --jobs 1).  --quick
+// runs the reduced CI grid and skips the auxiliary sections.
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/flags.hpp"
 #include "common/table.hpp"
 #include "workload/scenarios.hpp"
+#include "workload/sweep.hpp"
 
 namespace {
 
 using namespace alpu;
 using workload::NicMode;
 
-const char* mode_name(NicMode m) {
-  switch (m) {
-    case NicMode::kBaseline: return "baseline";
-    case NicMode::kAlpu128: return "alpu128";
-    case NicMode::kAlpu256: return "alpu256";
-  }
-  return "?";
-}
-
-double measure(NicMode mode, std::size_t length, double fraction,
-               std::uint32_t bytes) {
-  workload::PrepostedParams p;
-  p.mode = mode;
-  p.queue_length = length;
-  p.fraction_traversed = fraction;
-  p.message_bytes = bytes;
-  return common::to_ns(workload::run_preposted(p).latency);
-}
-
 }  // namespace
 
-int main() {
-  const std::vector<std::size_t> lengths = {0,  1,   2,   5,   10,  20,
-                                            50, 100, 150, 200, 250, 300,
-                                            350, 400, 450, 500};
-  const std::vector<double> fractions = {0.0, 0.25, 0.5, 0.75, 1.0};
+int main(int argc, char** argv) {
+  const auto flags = common::Flags::parse(argc, argv);
+  const bool quick = flags.has_value() && flags->get_bool("quick");
+  workload::SweepOptions sweep;
+  sweep.jobs = flags.has_value()
+                   ? static_cast<int>(flags->get_int("jobs", 0))
+                   : 0;
+
+  const std::vector<std::size_t> lengths = workload::fig5_queue_lengths(quick);
   const std::vector<NicMode> modes = {NicMode::kBaseline, NicMode::kAlpu128,
                                       NicMode::kAlpu256};
 
@@ -51,55 +43,48 @@ int main() {
   std::printf("(one-way latency, 0-byte payload; queue length counts the\n"
               " non-matching entries ahead of/behind the match)\n\n");
 
-  // Full surface as CSV (the paper's 3D panels a/c/e).
-  std::printf("surface_csv_begin\n");
-  std::printf("mode,queue_length,fraction_traversed,latency_ns\n");
-  // Cache results for the projections below.
-  struct Row {
-    NicMode mode;
-    std::size_t length;
-    double fraction;
-    double ns;
-  };
-  std::vector<Row> rows;
-  for (NicMode mode : modes) {
-    for (std::size_t len : lengths) {
-      for (double f : fractions) {
-        const double ns = measure(mode, len, f, 0);
-        rows.push_back({mode, len, f, ns});
-        std::printf("%s,%zu,%.2f,%.1f\n", mode_name(mode), len, f, ns);
-      }
-    }
-  }
-  std::printf("surface_csv_end\n\n");
+  // Full surface as CSV (the paper's 3D panels a/c/e), computed on the
+  // sweep pool.
+  const std::vector<workload::SurfaceRow> rows =
+      workload::run_preposted_surface(workload::fig5_surface_points(quick),
+                                      sweep);
+  std::printf("surface_csv_begin\n%ssurface_csv_end\n\n",
+              workload::surface_csv(rows).c_str());
 
-  // 2D projections (panels b/d/f): latency vs length at full traversal.
-  for (NicMode mode : modes) {
-    common::TextTable t;
-    t.set_header({"queue_length", "f=0.25 (ns)", "f=0.50 (ns)",
-                  "f=0.75 (ns)", "f=1.00 (ns)"});
-    for (std::size_t len : lengths) {
-      std::vector<std::string> cells{std::to_string(len)};
-      for (double f : {0.25, 0.5, 0.75, 1.0}) {
-        for (const Row& r : rows) {
-          if (r.mode == mode && r.length == len && r.fraction == f) {
-            cells.push_back(common::fmt_double(r.ns, 1));
-          }
-        }
-      }
-      t.add_row(std::move(cells));
-    }
-    std::printf("--- projection: %s ---\n%s\n", mode_name(mode),
-                t.render().c_str());
-  }
-
-  // Headline scalar checks against the paper's Section VI-B numbers.
   auto at = [&](NicMode m, std::size_t len, double f) {
-    for (const Row& r : rows) {
-      if (r.mode == m && r.length == len && r.fraction == f) return r.ns;
+    for (const workload::SurfaceRow& r : rows) {
+      if (r.point.mode == m && r.point.queue_length == len &&
+          r.point.fraction_traversed == f) {
+        return common::to_ns(r.result.latency);
+      }
     }
     return -1.0;
   };
+
+  // 2D projections (panels b/d/f): latency vs length per fraction.
+  std::vector<double> proj_fractions = workload::fig5_fractions(quick);
+  if (!quick) proj_fractions.erase(proj_fractions.begin());  // drop f=0
+  for (NicMode mode : modes) {
+    common::TextTable t;
+    std::vector<std::string> header{"queue_length"};
+    for (double f : proj_fractions) {
+      header.push_back("f=" + common::fmt_double(f, 2) + " (ns)");
+    }
+    t.set_header(std::move(header));
+    for (std::size_t len : lengths) {
+      std::vector<std::string> cells{std::to_string(len)};
+      for (double f : proj_fractions) {
+        cells.push_back(common::fmt_double(at(mode, len, f), 1));
+      }
+      t.add_row(std::move(cells));
+    }
+    std::printf("--- projection: %s ---\n%s\n",
+                workload::nic_mode_name(mode), t.render().c_str());
+  }
+
+  if (quick) return 0;  // CI grid: surface + projections only
+
+  // Headline scalar checks against the paper's Section VI-B numbers.
   const double base0 = at(NicMode::kBaseline, 0, 1.0);
   const double base50 = at(NicMode::kBaseline, 50, 1.0);
   const double base100 = at(NicMode::kBaseline, 100, 1.0);
@@ -137,22 +122,35 @@ int main() {
   // traversed lines warm, the regime the paper's averaged-iteration
   // numbers (13 us for a full 400-entry walk) reflect.
   std::printf("\n=== steady-state (iterated) full-traversal latency ===\n");
+  const std::vector<std::size_t> warm_lengths = {100, 200, 300, 400, 500};
+  struct WarmPoint {
+    double cold_ns = 0.0;
+    double steady_ns = 0.0;
+  };
+  const std::vector<WarmPoint> warm_points = workload::sweep_map(
+      warm_lengths,
+      [](std::size_t len) {
+        workload::PrepostedParams p;
+        p.mode = NicMode::kBaseline;
+        p.queue_length = len;
+        p.fraction_traversed = 1.0;
+        WarmPoint out;
+        out.cold_ns = common::to_ns(workload::run_preposted(p).latency);
+        p.iterations = 8;
+        out.steady_ns = common::to_ns(workload::run_preposted(p).latency);
+        return out;
+      },
+      sweep);
   common::TextTable warm;
   warm.set_header({"queue_length", "cold 1-shot (us)", "steady state (us)",
                    "steady ns/entry"});
-  for (std::size_t len : {100ul, 200ul, 300ul, 400ul, 500ul}) {
-    workload::PrepostedParams p;
-    p.mode = NicMode::kBaseline;
-    p.queue_length = len;
-    p.fraction_traversed = 1.0;
-    const double cold = common::to_ns(workload::run_preposted(p).latency);
-    p.iterations = 8;
-    const double steady = common::to_ns(workload::run_preposted(p).latency);
-    warm.add_row({std::to_string(len),
-                  common::fmt_double(cold / 1000.0, 2),
-                  common::fmt_double(steady / 1000.0, 2),
-                  common::fmt_double((steady - at(NicMode::kBaseline, 0, 1.0)) /
-                                         static_cast<double>(len), 1)});
+  for (std::size_t i = 0; i < warm_lengths.size(); ++i) {
+    warm.add_row({std::to_string(warm_lengths[i]),
+                  common::fmt_double(warm_points[i].cold_ns / 1000.0, 2),
+                  common::fmt_double(warm_points[i].steady_ns / 1000.0, 2),
+                  common::fmt_double(
+                      (warm_points[i].steady_ns - base0) /
+                          static_cast<double>(warm_lengths[i]), 1)});
   }
   std::printf("%s", warm.render().c_str());
   std::printf("(paper's 13 us / 400 entries = 32.5 ns/entry sits between\n"
@@ -163,22 +161,33 @@ int main() {
   // the same at every size — and proportionally least visible for large
   // messages, which is why the paper's panels use small ones.
   std::printf("\n=== message-size dimension (f=1.0) ===\n");
+  const std::vector<std::uint32_t> sizes = {0, 1024, 8192};
+  struct SizeRow {
+    double base_0 = 0.0, base_200 = 0.0, alpu_0 = 0.0, alpu_200 = 0.0;
+  };
+  const std::vector<SizeRow> size_rows = workload::sweep_map(
+      sizes,
+      [](std::uint32_t bytes) {
+        auto run = [&](NicMode m, std::size_t len) {
+          workload::PrepostedParams p;
+          p.mode = m;
+          p.queue_length = len;
+          p.message_bytes = bytes;
+          return common::to_us(workload::run_preposted(p).latency);
+        };
+        return SizeRow{run(NicMode::kBaseline, 0), run(NicMode::kBaseline, 200),
+                       run(NicMode::kAlpu256, 0), run(NicMode::kAlpu256, 200)};
+      },
+      sweep);
   common::TextTable sz;
   sz.set_header({"bytes", "L=0 base (us)", "L=200 base (us)",
                  "L=0 alpu256 (us)", "L=200 alpu256 (us)"});
-  for (std::uint32_t bytes : {0u, 1024u, 8192u}) {
-    auto run = [&](NicMode m, std::size_t len) {
-      workload::PrepostedParams p;
-      p.mode = m;
-      p.queue_length = len;
-      p.message_bytes = bytes;
-      return common::to_us(workload::run_preposted(p).latency);
-    };
-    sz.add_row({std::to_string(bytes),
-                common::fmt_double(run(NicMode::kBaseline, 0), 2),
-                common::fmt_double(run(NicMode::kBaseline, 200), 2),
-                common::fmt_double(run(NicMode::kAlpu256, 0), 2),
-                common::fmt_double(run(NicMode::kAlpu256, 200), 2)});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    sz.add_row({std::to_string(sizes[i]),
+                common::fmt_double(size_rows[i].base_0, 2),
+                common::fmt_double(size_rows[i].base_200, 2),
+                common::fmt_double(size_rows[i].alpu_0, 2),
+                common::fmt_double(size_rows[i].alpu_200, 2)});
   }
   std::printf("%s", sz.render().c_str());
   return 0;

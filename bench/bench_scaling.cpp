@@ -7,17 +7,30 @@
 // in a staggered order so matches land mid-list.  Per-message latency at
 // the busiest rank is reported against job size, for the baseline NIC
 // and both ALPU sizes.
+//
+// Each (ranks, mode) cell is an independent fresh-machine run, computed
+// on the parallel sweep pool (--jobs N; --quick for the CI grid).
 #include <cstdio>
 #include <vector>
 
+#include "common/flags.hpp"
 #include "common/table.hpp"
 #include "mpi/mpi.hpp"
 #include "workload/scenarios.hpp"
+#include "workload/sweep.hpp"
 
 namespace {
 
 using namespace alpu;
 using workload::NicMode;
+
+/// Drain window timestamps, written by the rank-0 coroutine.  A local
+/// per-run struct (the earlier file-static pair raced under parallel
+/// sweeps).
+struct Window {
+  common::TimePs t0 = 0;
+  common::TimePs t1 = 0;
+};
 
 /// All-to-one exchange: rank 0 pre-posts `fan_in` receives per peer,
 /// peers send in reverse-tag order (deep traversals), time to drain.
@@ -25,9 +38,9 @@ common::TimePs run_fan_in(NicMode mode, int nprocs, int per_peer) {
   sim::Engine engine;
   mpi::Machine machine(engine, workload::make_system_config(mode, nprocs));
   sim::ProcessPool pool(engine);
-  static common::TimePs t0, t1;
+  Window window;
 
-  pool.spawn([](mpi::Machine& m, int n, int k) -> sim::Process {
+  pool.spawn([](mpi::Machine& m, int n, int k, Window& w) -> sim::Process {
     std::vector<mpi::Request> recvs;
     // Pre-post everything: queue depth = (n-1) * k.
     for (int tag = 0; tag < k; ++tag) {
@@ -38,10 +51,10 @@ common::TimePs run_fan_in(NicMode mode, int nprocs, int per_peer) {
     for (int src = 1; src < n; ++src) {
       co_await m.rank(0).send(src, 999, 0);  // release the peers
     }
-    t0 = m.engine().now();
+    w.t0 = m.engine().now();
     co_await m.rank(0).waitall(std::move(recvs));
-    t1 = m.engine().now();
-  }(machine, nprocs, per_peer));
+    w.t1 = m.engine().now();
+  }(machine, nprocs, per_peer, window));
 
   for (int src = 1; src < nprocs; ++src) {
     pool.spawn([](mpi::Machine& m, int self, int k) -> sim::Process {
@@ -59,30 +72,60 @@ common::TimePs run_fan_in(NicMode mode, int nprocs, int per_peer) {
     std::fprintf(stderr, "fan-in deadlocked\n");
     std::abort();
   }
-  return t1 - t0;
+  return window.t1 - window.t0;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto flags = common::Flags::parse(argc, argv);
+  const bool quick = flags.has_value() && flags->get_bool("quick");
+  workload::SweepOptions sweep;
+  sweep.jobs = flags.has_value()
+                   ? static_cast<int>(flags->get_int("jobs", 0))
+                   : 0;
+
   constexpr int kPerPeer = 16;
   std::printf("=== queue length scales with job size (Section II) ===\n");
   std::printf("(all-to-one: rank 0 pre-posts %d receives per peer; peers\n"
               " deliver reverse-ordered; drain time per message at rank 0)\n\n",
               kPerPeer);
 
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{2, 4, 8} : std::vector<int>{2, 4, 8, 16, 24};
+  const std::vector<NicMode> modes = {NicMode::kBaseline, NicMode::kAlpu128,
+                                      NicMode::kAlpu256};
+
+  struct Cell {
+    NicMode mode;
+    int nprocs;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(sizes.size() * modes.size());
+  for (int n : sizes) {
+    for (NicMode mode : modes) {
+      cells.push_back({mode, n});
+    }
+  }
+  const std::vector<double> ns_per_msg = workload::sweep_map(
+      cells,
+      [](const Cell& cell) {
+        const double msgs =
+            static_cast<double>((cell.nprocs - 1) * kPerPeer);
+        return common::to_ns(run_fan_in(cell.mode, cell.nprocs, kPerPeer)) /
+               msgs;
+      },
+      sweep);
+
   common::TextTable t;
   t.set_header({"ranks", "posted Q depth", "baseline ns/msg",
                 "alpu128 ns/msg", "alpu256 ns/msg", "speedup (256)"});
-  for (int n : {2, 4, 8, 16, 24}) {
-    const double msgs = static_cast<double>((n - 1) * kPerPeer);
-    const double base =
-        common::to_ns(run_fan_in(NicMode::kBaseline, n, kPerPeer)) / msgs;
-    const double a128 =
-        common::to_ns(run_fan_in(NicMode::kAlpu128, n, kPerPeer)) / msgs;
-    const double a256 =
-        common::to_ns(run_fan_in(NicMode::kAlpu256, n, kPerPeer)) / msgs;
-    t.add_row({std::to_string(n), std::to_string((n - 1) * kPerPeer),
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double base = ns_per_msg[i * 3 + 0];
+    const double a128 = ns_per_msg[i * 3 + 1];
+    const double a256 = ns_per_msg[i * 3 + 2];
+    t.add_row({std::to_string(sizes[i]),
+               std::to_string((sizes[i] - 1) * kPerPeer),
                common::fmt_double(base, 1), common::fmt_double(a128, 1),
                common::fmt_double(a256, 1),
                common::fmt_double(base / a256, 2)});

@@ -1,12 +1,13 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 
 namespace alpu::common {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,12 +21,16 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
+// fprintf(stderr, ...) is locale-locked per call, so concurrent sweep
+// workers interleave whole lines, never bytes.
 void log_line(LogLevel level, TimePs now, std::string_view tag,
               std::string_view message) {
-  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
   std::fprintf(stderr, "%s [%12.3f ns] %.*s: %.*s\n", level_name(level),
                to_ns(now), static_cast<int>(tag.size()), tag.data(),
                static_cast<int>(message.size()), message.data());

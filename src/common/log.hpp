@@ -22,7 +22,10 @@ enum class LogLevel : int {
   kTrace = 5,
 };
 
-/// Process-global log level.  Single-threaded simulator: a plain global.
+/// Process-global log level.  Stored atomically so parallel sweep workers
+/// (each running its own single-threaded Engine) can read it without
+/// racing a concurrent set_log_level(); the relaxed load costs nothing on
+/// the hot path.
 LogLevel log_level();
 void set_log_level(LogLevel level);
 

@@ -15,16 +15,78 @@ Component::~Component() {
   v.erase(std::remove(v.begin(), v.end(), this), v.end());
 }
 
-EventId Engine::schedule_at(TimePs when, std::function<void()> fn) {
+std::uint32_t Engine::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t index = free_head_;
+    Slot& s = slot(index);
+    free_head_ = s.next_free;
+    s.next_free = kNoFreeSlot;
+    return index;
+  }
+  assert(slot_count_ < kSlotMask && "too many concurrent events");
+  if ((slot_count_ & kBlockMask) == 0) {
+    blocks_.push_back(std::make_unique<Slot[]>(kSlotsPerBlock));
+  }
+  return slot_count_++;
+}
+
+void Engine::heap_push(const QueueItem& item) {
+  heap_.push_back(item);
+  std::size_t hole = heap_.size() - 1;
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) >> 3;
+    if (!earlier(item, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = item;
+}
+
+void Engine::heap_pop() {
+  const QueueItem last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first_child = (hole << 3) + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t limit = std::min(first_child + 8, n);
+    for (std::size_t c = first_child + 1; c < limit; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], last)) break;
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = last;
+}
+
+EventId Engine::schedule_at(TimePs when, EventCallback fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  const EventId id = next_id_++;
-  queue_.push(Entry{when, id, std::move(fn)});
+  assert(next_seq_ < kMaxSeq && "sequence space exhausted");
+  const std::uint32_t index = acquire_slot();
+  Slot& s = slot(index);
+  s.fn = std::move(fn);
+  const EventId id = (next_seq_++ << kSlotBits) | index;
+  s.key = id;
+  heap_push(QueueItem{when, id});
+  ++live_events_;
   return id;
 }
 
 void Engine::cancel(EventId id) {
-  // Lazy cancellation: the entry stays in the heap and is skipped on pop.
-  cancelled_.insert(id);
+  const std::uint32_t index = static_cast<std::uint32_t>(id & kSlotMask);
+  if (index >= slot_count_) return;  // never-issued id
+  Slot& s = slot(index);
+  if (s.key != id) return;           // fired, already cancelled, or unknown
+  // O(1) cancel: drop the callback and recycle the slot.  The heap item
+  // stays behind as a 16-byte tombstone and is skipped on pop by the key
+  // compare (sequence numbers are never reused, so it can't false-match).
+  s.fn.reset();
+  release_slot(index);
+  --live_events_;
 }
 
 void Engine::init_components() {
@@ -42,21 +104,27 @@ TimePs Engine::run() { return run_until(common::kTimeNever); }
 TimePs Engine::run_until(TimePs deadline) {
   init_components();
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    const Entry& top = queue_.top();
-    if (cancelled_.erase(top.id) != 0) {
-      queue_.pop();
+  while (!heap_.empty() && !stop_requested_) {
+    const QueueItem top = heap_.front();  // trivially-copyable, cheap
+    const std::uint32_t index = static_cast<std::uint32_t>(top.id & kSlotMask);
+    Slot& s = slot(index);
+    if (s.key != top.id) {
+      heap_pop();  // tombstone of a cancelled event
       continue;
     }
     if (top.when > deadline) break;
-    // Move the callback out before popping so it may schedule new events.
-    Entry entry{top.when, top.id, std::move(const_cast<Entry&>(top).fn)};
-    queue_.pop();
-    now_ = entry.when;
+    heap_pop();
+    // Move the callback out and release the slot before invoking: the
+    // callback may schedule new events (growing or reusing the pool) or
+    // cancel its own id, both of which must see a consistent pool.
+    EventCallback fn = std::move(s.fn);
+    release_slot(index);
+    --live_events_;
+    now_ = top.when;
     ++events_executed_;
-    entry.fn();
+    fn();
   }
-  if (queue_.empty() && deadline == common::kTimeNever) {
+  if (heap_.empty() && deadline == common::kTimeNever) {
     finish_components();
   }
   return now_;

@@ -6,13 +6,33 @@
 // needed.  Determinism: events at equal timestamps fire in the order they
 // were scheduled (a monotone sequence number breaks ties), which makes
 // every experiment bit-reproducible from its seed.
+//
+// Hot-path design (see docs/SIMULATOR.md, "Event pool"):
+//
+//  * Callbacks are stored in an EventCallback — a small-buffer-optimized
+//    move-only callable.  Every capture the simulator's components
+//    actually schedule (coroutine handles, `this` pointers, Packet and
+//    Completion copies) fits in the 48-byte inline buffer, so the steady
+//    state allocates nothing per event; larger captures (the ~90-byte
+//    HostRequest copy, once per MPI call) fall back to the heap and stay
+//    correct.
+//
+//  * Pending events live in a slot pool indexed by the low bits of the
+//    EventId; the high bits carry the slot's generation.  Cancellation
+//    validates the generation and releases the slot in O(1) — no hash
+//    lookup per cancel, no hash probe per pop (the heap item is a 24-byte
+//    POD whose staleness is a single generation compare), and cancelling
+//    an already-fired id is a true no-op (nothing is remembered forever).
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
 #include <string>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -21,8 +41,114 @@ namespace alpu::sim {
 
 using common::TimePs;
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event.  Encodes {generation, slot}.
 using EventId = std::uint64_t;
+
+/// Move-only type-erased `void()` callable with inline storage for the
+/// capture sizes the simulator schedules on its hot path.
+class EventCallback {
+ public:
+  /// Sized for the largest hot-path capture (a network Packet copy plus
+  /// `this`); coroutine resumes — the dominant event — use 8 bytes.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& f) {  // NOLINT: implicit by design (lambda -> callback)
+    emplace(std::forward<F>(f));
+  }
+
+  EventCallback(EventCallback&& other) noexcept { move_from(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+  ~EventCallback() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() {
+    assert(ops_ != nullptr);
+    ops_->invoke(&storage_);
+  }
+
+  /// Destroy the held callable (releases captured resources eagerly —
+  /// used on cancel so a dead timeout does not pin its captures).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void* storage);
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline_v =
+      sizeof(F) <= kInlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  struct InlineOps {
+    static F* get(void* s) { return std::launder(reinterpret_cast<F*>(s)); }
+    static void invoke(void* s) { (*get(s))(); }
+    static void relocate(void* dst, void* src) {
+      F* from = get(src);
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void destroy(void* s) { get(s)->~F(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F* get(void* s) { return *std::launder(reinterpret_cast<F**>(s)); }
+    static void invoke(void* s) { (*get(s))(); }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) (F*)(get(src));  // the pointer moves; the object stays put
+    }
+    static void destroy(void* s) { delete get(s); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F0>
+  void emplace(F0&& f) {
+    using F = std::decay_t<F0>;
+    if constexpr (fits_inline_v<F>) {
+      ::new (static_cast<void*>(&storage_)) F(std::forward<F0>(f));
+      ops_ = &InlineOps<F>::ops;
+    } else {
+      ::new (static_cast<void*>(&storage_)) (F*)(new F(std::forward<F0>(f)));
+      ops_ = &HeapOps<F>::ops;
+    }
+  }
+
+  void move_from(EventCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
 
 class Engine;
 
@@ -63,15 +189,16 @@ class Engine {
   TimePs now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `when` (>= now).
-  EventId schedule_at(TimePs when, std::function<void()> fn);
+  EventId schedule_at(TimePs when, EventCallback fn);
 
   /// Schedule `fn` to run `delay` after now.
-  EventId schedule_in(TimePs delay, std::function<void()> fn) {
+  EventId schedule_in(TimePs delay, EventCallback fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Cancel a pending event.  Cancelling an already-fired or unknown id is
-  /// a harmless no-op (models e.g. a timeout that lost its race).
+  /// Cancel a pending event in O(1).  Cancelling an already-fired,
+  /// already-cancelled, or unknown id is a harmless no-op (models e.g. a
+  /// timeout that lost its race) and leaves no residue behind.
   void cancel(EventId id);
 
   /// Run until the event queue drains or `stop()` is called.
@@ -88,31 +215,89 @@ class Engine {
   /// Number of events executed so far (for kernel benchmarks).
   std::uint64_t events_executed() const { return events_executed_; }
 
-  /// True if no events are pending.
-  bool idle() const { return queue_.size() == cancelled_.size(); }
+  /// Scheduled events that are still live (not fired, not cancelled).
+  std::uint64_t pending_events() const { return live_events_; }
+
+  /// True if no live events are pending.  Cancelled events never count
+  /// (regression: the lazy-cancel scheme compared queue size against a
+  /// tombstone set, which drifted once an already-fired id was cancelled).
+  bool idle() const { return live_events_ == 0; }
 
  private:
   friend class Component;
 
-  struct Entry {
+  // EventId layout: low kSlotBits = pool slot index, high 40 bits = the
+  // monotone schedule sequence number.  The sequence number does double
+  // duty: it is the FIFO tie-break among same-time events, and — because
+  // it is never reused — it makes every id unique for the engine's
+  // lifetime, so a stale id (fired or cancelled) can never be confused
+  // with the slot's current occupant.
+  static constexpr unsigned kSlotBits = 24;  // 16.7M concurrent events
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint64_t kMaxSeq =
+      (std::uint64_t{1} << (64 - kSlotBits)) - 1;
+  static constexpr std::uint32_t kNoFreeSlot = 0xFFFF'FFFF;
+
+  // Slots live in fixed-size blocks with stable addresses: growing the
+  // pool never relocates live callbacks (a measured hotspot with a flat
+  // vector once pending-event counts reach the tens of thousands).
+  // 512 slots/block keeps the first-touch cost of a fresh Engine small
+  // (a two-node machine run uses well under one block) while bounding
+  // the block-pointer vector for million-event floods.
+  static constexpr unsigned kBlockBits = 9;
+  static constexpr std::size_t kSlotsPerBlock = std::size_t{1} << kBlockBits;
+  static constexpr std::size_t kBlockMask = kSlotsPerBlock - 1;
+
+  struct Slot {
+    EventCallback fn;
+    EventId key = 0;  // id of the pending occupant; 0 = free (seq >= 1)
+    std::uint32_t next_free = kNoFreeSlot;
+  };
+
+  /// 16-byte trivially-copyable heap element: sift operations are plain
+  /// copies, and staleness needs no hash lookup (one compare against the
+  /// slot's current key).
+  struct QueueItem {
     TimePs when;
     EventId id;
-    std::function<void()> fn;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;  // FIFO among same-time events
-    }
-  };
+  /// Strict total order: ids embed the unique monotone sequence number in
+  /// their high bits, so comparing ids compares schedule order, no two
+  /// items are equal, and the pop order — and therefore determinism — is
+  /// independent of the heap's shape.
+  static bool earlier(const QueueItem& a, const QueueItem& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.id < b.id;  // FIFO among same-time events
+  }
+
+  Slot& slot(std::uint32_t index) {
+    return blocks_[index >> kBlockBits][index & kBlockMask];
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index) {
+    Slot& s = slot(index);
+    s.key = 0;
+    s.next_free = free_head_;
+    free_head_ = index;
+  }
+
+  // 8-ary min-heap with hole percolation: a third the depth of a binary
+  // heap, with each child group spanning two consecutive cache lines —
+  // the pop path is memory bound at large pending-event counts, and the
+  // shallower, denser layout measurably beats both binary and 4-ary here.
+  void heap_push(const QueueItem& item);
+  void heap_pop();
 
   void init_components();
   void finish_components();
 
   TimePs now_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 1;
+  std::vector<QueueItem> heap_;
+  std::vector<std::unique_ptr<Slot[]>> blocks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNoFreeSlot;
+  std::uint64_t live_events_ = 0;
   std::vector<Component*> components_;
   bool components_initialized_ = false;
   bool stop_requested_ = false;

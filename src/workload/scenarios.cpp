@@ -215,6 +215,7 @@ LatencyResult run_preposted(const PrepostedParams& params) {
   }
   LatencyResult out = collect(machine, total / times.send_times.size());
   out.total_sim_time = end;
+  out.events_executed = engine.events_executed();
   return out;
 }
 
@@ -234,6 +235,7 @@ LatencyResult run_unexpected(const UnexpectedParams& params) {
   // Figure 6 latency includes the receive-posting time.
   LatencyResult out = collect(machine, times.recv_done - times.post_started);
   out.total_sim_time = end;
+  out.events_executed = engine.events_executed();
   return out;
 }
 

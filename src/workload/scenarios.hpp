@@ -78,6 +78,8 @@ struct LatencyResult {
   std::uint64_t alpu_misses = 0;
   double l1_hit_rate = 0.0;
   TimePs total_sim_time = 0;
+  /// Kernel events the whole run executed (events/sec yardstick).
+  std::uint64_t events_executed = 0;
 };
 
 /// Run one pre-posted-queue measurement (Figure 5 data point).

@@ -1,0 +1,130 @@
+#include "workload/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace alpu::workload {
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace detail {
+
+void parallel_for_index(std::size_t n, int jobs,
+                        const std::function<void(std::size_t)>& body) {
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(resolve_jobs(jobs)), n);
+  if (workers <= 1) {
+    // Serial path: no thread machinery, trivially deterministic, and what
+    // --jobs 1 means.  (Parallel output matches it byte for byte because
+    // results land in per-index slots either way.)
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();  // the caller is worker 0
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+
+const char* nic_mode_name(NicMode mode) {
+  switch (mode) {
+    case NicMode::kBaseline: return "baseline";
+    case NicMode::kAlpu128: return "alpu128";
+    case NicMode::kAlpu256: return "alpu256";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> fig5_queue_lengths(bool quick) {
+  if (quick) return {0, 5, 20, 50, 100, 200};
+  return {0,  1,   2,   5,   10,  20,  50,  100,
+          150, 200, 250, 300, 350, 400, 450, 500};
+}
+
+std::vector<double> fig5_fractions(bool quick) {
+  if (quick) return {0.0, 0.5, 1.0};
+  return {0.0, 0.25, 0.5, 0.75, 1.0};
+}
+
+std::vector<SurfacePoint> fig5_surface_points(bool quick) {
+  const std::vector<std::size_t> lengths = fig5_queue_lengths(quick);
+  const std::vector<double> fractions = fig5_fractions(quick);
+  const NicMode modes[] = {NicMode::kBaseline, NicMode::kAlpu128,
+                           NicMode::kAlpu256};
+  std::vector<SurfacePoint> points;
+  points.reserve(3 * lengths.size() * fractions.size());
+  for (NicMode mode : modes) {
+    for (std::size_t len : lengths) {
+      for (double f : fractions) {
+        points.push_back({mode, len, f, 0});
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<SurfaceRow> run_preposted_surface(
+    const std::vector<SurfacePoint>& points, const SweepOptions& options) {
+  std::vector<LatencyResult> results = sweep_map(
+      points,
+      [](const SurfacePoint& pt) {
+        PrepostedParams p;
+        p.mode = pt.mode;
+        p.queue_length = pt.queue_length;
+        p.fraction_traversed = pt.fraction_traversed;
+        p.message_bytes = pt.message_bytes;
+        return run_preposted(p);
+      },
+      options);
+  std::vector<SurfaceRow> rows;
+  rows.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    rows.push_back({points[i], results[i]});
+  }
+  return rows;
+}
+
+std::string surface_csv(const std::vector<SurfaceRow>& rows) {
+  std::string out = "mode,queue_length,fraction_traversed,latency_ns\n";
+  char line[128];
+  for (const SurfaceRow& row : rows) {
+    std::snprintf(line, sizeof(line), "%s,%zu,%.2f,%.1f\n",
+                  nic_mode_name(row.point.mode), row.point.queue_length,
+                  row.point.fraction_traversed,
+                  common::to_ns(row.result.latency));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace alpu::workload

@@ -1,6 +1,7 @@
 // Unit tests for the DES kernel: engine, clock, coroutine processes.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -61,6 +62,116 @@ TEST(Engine, CancelUnknownIdIsNoop) {
   e.schedule_at(1, [&] { ran = true; });
   e.run();
   EXPECT_TRUE(ran);
+}
+
+TEST(Engine, CancelAfterFireIsNoop) {
+  // Regression: cancelling an id that already fired used to insert it
+  // into a lazy-cancel set that was never drained, so idle() stayed
+  // false forever and the set grew without bound.  With the slot pool
+  // the stale id no longer matches any live slot and the cancel is a
+  // pure no-op.
+  Engine e;
+  int ran = 0;
+  const EventId id = e.schedule_at(10, [&] { ++ran; });
+  e.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(e.idle());
+  e.cancel(id);  // stale: event already executed
+  EXPECT_TRUE(e.idle());
+  EXPECT_EQ(e.pending_events(), 0u);
+  // The engine keeps working normally afterwards.
+  e.schedule_at(20, [&] { ++ran; });
+  e.run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, StaleIdAfterSlotReuseIsNoop) {
+  // A stale id whose slot has been recycled by a newer event must not
+  // cancel that newer event (the sequence half of the packed id
+  // protects against ABA).
+  Engine e;
+  bool first = false;
+  const EventId id = e.schedule_at(1, [&] { first = true; });
+  e.run();
+  EXPECT_TRUE(first);
+  bool second = false;
+  e.schedule_at(2, [&] { second = true; });  // reuses the freed slot
+  e.cancel(id);                              // stale id, recycled slot
+  e.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(Engine, DoubleCancelIsNoop) {
+  Engine e;
+  bool ran = false;
+  const EventId id = e.schedule_at(10, [&] { ran = true; });
+  bool other = false;
+  e.schedule_at(11, [&] { other = true; });
+  e.cancel(id);
+  e.cancel(id);  // second cancel must not free the slot twice
+  e.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(other);
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, PendingEventsCountsLiveOnly) {
+  Engine e;
+  const EventId a = e.schedule_at(10, [] {});
+  e.schedule_at(20, [] {});
+  e.schedule_at(30, [] {});
+  EXPECT_EQ(e.pending_events(), 3u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending_events(), 2u);  // cancelled leaves no residue
+  e.run();
+  EXPECT_EQ(e.pending_events(), 0u);
+  EXPECT_EQ(e.events_executed(), 2u);  // cancelled events never execute
+}
+
+TEST(Engine, CancelledEventsDoNotExecute) {
+  Engine e;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(e.schedule_at(static_cast<TimePs>(i), [] {}));
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) e.cancel(ids[i]);
+  e.run();
+  EXPECT_EQ(e.events_executed(), 50u);
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, FifoOrderSurvivesCancelChurn) {
+  // Cancelling interleaved same-time events must not disturb the FIFO
+  // order of the survivors (determinism contract).
+  Engine e;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(e.schedule_at(5, [&order, i] { order.push_back(i); }));
+  }
+  for (size_t i = 0; i < ids.size(); i += 3) e.cancel(ids[i]);
+  e.run();
+  std::vector<int> expect;
+  for (int i = 0; i < 20; ++i) {
+    if (i % 3 != 0) expect.push_back(i);
+  }
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Engine, LargeCaptureCallbacksWork) {
+  // Captures beyond the inline buffer take the heap fallback; both
+  // paths must run and destroy correctly.
+  Engine e;
+  struct Big {
+    std::uint64_t vals[16] = {};
+  };
+  Big big;
+  big.vals[15] = 42;
+  std::uint64_t seen = 0;
+  e.schedule_at(1, [big, &seen] { seen = big.vals[15]; });
+  e.run();
+  EXPECT_EQ(seen, 42u);
 }
 
 TEST(Engine, RunUntilStopsAtDeadline) {

@@ -9,17 +9,22 @@
 //   alpusim msgrate    --mode alpu128 --length 100 --burst 64
 //   alpusim fpga       --cells 256 --block 16 --flavor posted
 //   alpusim preposted  --length 300 --report      # dump machine state
+//   alpusim sweep      --figure 5 --jobs 8        # parallel figure CSV
 //
 // Output is a small key=value block (machine-parsable) plus optional
-// full component tables with --report.
+// full component tables with --report.  `sweep` regenerates a whole
+// figure surface on a thread pool (--jobs N, default
+// hardware_concurrency); its CSV is byte-identical at every job count.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/flags.hpp"
 #include "common/log.hpp"
 #include "fpga/area_model.hpp"
 #include "workload/report.hpp"
 #include "workload/scenarios.hpp"
+#include "workload/sweep.hpp"
 
 namespace {
 
@@ -28,14 +33,69 @@ using workload::NicMode;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: alpusim <preposted|unexpected|pingpong|msgrate|fpga>"
-               " [--mode baseline|alpu128|alpu256] [--length N]\n"
+               "usage: alpusim <preposted|unexpected|pingpong|msgrate|fpga"
+               "|sweep>\n"
+               "               [--mode baseline|alpu128|alpu256] [--length N]\n"
                "               [--fraction F] [--bytes N] [--iterations N]"
                " [--burst N] [--threshold N]\n"
                "               [--minbatch N] [--alpu-model"
                " transaction|pipelined]\n"
                "               [--cells N] [--block N] [--width N]"
-               " [--flavor posted|unexpected] [--report]\n");
+               " [--flavor posted|unexpected] [--report]\n"
+               "               [--figure 5|6] [--jobs N] [--quick]"
+               "   (sweep mode)\n");
+  return 2;
+}
+
+/// `alpusim sweep`: regenerate a figure surface on the parallel sweep
+/// pool and print it as CSV.
+int run_sweep(const common::Flags& flags) {
+  workload::SweepOptions sweep;
+  sweep.jobs = static_cast<int>(flags.get_int("jobs", 0));
+  const bool quick = flags.get_bool("quick");
+  const std::int64_t figure = flags.get_int("figure", 5);
+
+  if (figure == 5) {
+    const auto rows = workload::run_preposted_surface(
+        workload::fig5_surface_points(quick), sweep);
+    std::printf("%s", workload::surface_csv(rows).c_str());
+    return 0;
+  }
+  if (figure == 6) {
+    const std::vector<std::size_t> lengths =
+        quick ? std::vector<std::size_t>{0, 1, 5, 10, 20, 35, 50, 70, 100,
+                                         150, 200, 300}
+              : std::vector<std::size_t>{0,   1,   5,   10,  20,  35,
+                                         50,  70,  100, 128, 150, 200,
+                                         256, 300, 400, 500, 600};
+    struct Point {
+      NicMode mode;
+      std::size_t length;
+    };
+    std::vector<Point> points;
+    for (std::size_t len : lengths) {
+      for (NicMode mode : {NicMode::kBaseline, NicMode::kAlpu128,
+                           NicMode::kAlpu256}) {
+        points.push_back({mode, len});
+      }
+    }
+    const std::vector<double> ns = workload::sweep_map(
+        points,
+        [](const Point& pt) {
+          workload::UnexpectedParams p;
+          p.mode = pt.mode;
+          p.queue_length = pt.length;
+          return common::to_ns(workload::run_unexpected(p).latency);
+        },
+        sweep);
+    std::printf("queue_length,baseline_ns,alpu128_ns,alpu256_ns\n");
+    for (std::size_t i = 0; i < lengths.size(); ++i) {
+      std::printf("%zu,%.1f,%.1f,%.1f\n", lengths[i], ns[i * 3],
+                  ns[i * 3 + 1], ns[i * 3 + 2]);
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "unknown --figure (5 or 6)\n");
   return 2;
 }
 
@@ -69,6 +129,10 @@ int main(int argc, char** argv) {
   }
   const common::Flags& flags = *flags_opt;
   const std::string scenario = flags.positional()[0];
+
+  if (scenario == "sweep") {
+    return run_sweep(flags);
+  }
 
   bool mode_ok = true;
   const NicMode mode = mode_of(flags.get("mode", "baseline"), &mode_ok);
