@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "alpu/array.hpp"
@@ -214,4 +215,32 @@ BENCHMARK(BM_PrepostedDataPoint)->Arg(0)->Arg(500);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: accept the repo-wide `--json <path>` spelling and
+// translate it into google-benchmark's --benchmark_out flags, so every
+// benchmark binary shares one JSON-output interface.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      args.push_back(std::string("--benchmark_out=") + argv[++i]);
+      args.push_back("--benchmark_out_format=json");
+    } else if (a.rfind("--json=", 0) == 0) {
+      args.push_back("--benchmark_out=" + a.substr(7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(a);
+    }
+  }
+  // benchmark::Initialize wants mutable char*s that outlive the run.
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (std::string& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Run the match-engine wall-clock benchmark and emit/check its JSON.
+
+Runs `bench_alpu_micro --json`, writes the result as BENCH_alpu_match.json
+(ns per probe at 64/128/256 cells plus the full-machine events/s rate),
+and optionally gates against a checked-in baseline:
+
+    scripts/bench_report.py                         # run, write JSON
+    scripts/bench_report.py --iters 200000          # reduced CI budget
+    scripts/bench_report.py --check bench/baselines/alpu_match.json
+
+`--check` fails (exit 1) if any ns-per-probe metric regresses by more
+than the allowed factor (default 2x) against the baseline.  Only
+slowdowns fail: faster-than-baseline results always pass, and events/s
+is reported but never gated (it swings with host load far more than the
+tight probe loops do).
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BENCH = REPO / "build" / "bench" / "bench_alpu_micro"
+DEFAULT_OUT = REPO / "BENCH_alpu_match.json"
+
+
+def run_bench(bench: pathlib.Path, iters: int, out_path: pathlib.Path) -> dict:
+    if not bench.exists():
+        sys.exit(f"benchmark binary not found: {bench} (build the repo first)")
+    cmd = [str(bench), "--iters", str(iters), "--json", str(out_path)]
+    print(f"+ {' '.join(cmd)}", flush=True)
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def check(result: dict, baseline: dict, max_ratio: float) -> int:
+    """Compare ns-per-probe metrics; return the number of regressions."""
+    failures = 0
+    for section in ("match_ns_per_probe", "match_tree_ns_per_probe"):
+        for cells, base_ns in baseline.get(section, {}).items():
+            got = result.get(section, {}).get(cells)
+            if got is None:
+                print(f"MISSING {section}[{cells}] in result")
+                failures += 1
+                continue
+            ratio = got / base_ns if base_ns > 0 else float("inf")
+            verdict = "FAIL" if ratio > max_ratio else "ok"
+            print(f"{verdict:4} {section}[{cells}]: {got:.2f} ns vs "
+                  f"baseline {base_ns:.2f} ns ({ratio:.2f}x)")
+            if ratio > max_ratio:
+                failures += 1
+    base_eps = baseline.get("events_per_sec")
+    got_eps = result.get("events_per_sec")
+    if base_eps and got_eps:
+        print(f"info events_per_sec: {got_eps:.0f} vs baseline "
+              f"{base_eps:.0f} (not gated)")
+    return failures
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", type=pathlib.Path, default=DEFAULT_BENCH,
+                    help="path to the bench_alpu_micro binary")
+    ap.add_argument("--iters", type=int, default=2_000_000,
+                    help="probe iterations per shape (reduce for CI)")
+    ap.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                    help="where to write the JSON result")
+    ap.add_argument("--check", type=pathlib.Path, default=None,
+                    help="baseline JSON to gate against")
+    ap.add_argument("--max-ratio", type=float, default=2.0,
+                    help="fail --check when result/baseline exceeds this")
+    args = ap.parse_args()
+
+    result = run_bench(args.bench, args.iters, args.out)
+    print(f"wrote {args.out}")
+    for cells, ns in sorted(result.get("match_ns_per_probe", {}).items(),
+                            key=lambda kv: int(kv[0])):
+        print(f"  match @ {cells:>3} cells: {ns:8.2f} ns/probe")
+    for cells, ns in result.get("match_tree_ns_per_probe", {}).items():
+        print(f"  match_tree @ {cells:>3} cells: {ns:8.2f} ns/probe")
+    eps = result.get("events_per_sec")
+    if eps:
+        print(f"  full-machine rate: {eps:.0f} events/s")
+
+    if args.check is not None:
+        with open(args.check) as f:
+            baseline = json.load(f)
+        failures = check(result, baseline, args.max_ratio)
+        if failures:
+            print(f"{failures} metric(s) regressed more than "
+                  f"{args.max_ratio}x", file=sys.stderr)
+            return 1
+        print("perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

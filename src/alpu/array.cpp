@@ -1,50 +1,206 @@
 #include "alpu/array.hpp"
 
+#include <bit>
 #include <cassert>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define ALPU_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
 
 namespace alpu::hw {
 
 namespace {
+
 bool is_pow2(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+std::size_t pow2_ceil(std::size_t x) {
+  return std::size_t{1} << std::bit_width(x - 1);
+}
+
+// ---- word-parallel compare kernels ----------------------------------------
+//
+// Each kernel evaluates one 64-cell word of the bit planes against a
+// probe and returns the hit bitmask (bit j set == cell base+j matches,
+// before the validity AND).  Two shapes:
+//   * "posted": every cell carries its own don't-care mask,
+//   * "uniform": one probe-supplied care mask for all cells (the
+//     unexpected flavour's reverse lookup, and RESET PROCESS sweeps).
+//
+// The portable loop is branch-free per cell so any vectorizing build
+// can fold it; on x86-64 a runtime-dispatched AVX2 version (compiled
+// via the `target` attribute, so no special build flags are needed)
+// compares four cells per step and gathers the hit bits with movemask.
+
+std::uint64_t hit_word_posted_scalar(const MatchWord* b, const MatchWord* m,
+                                     MatchWord pb, MatchWord sig) {
+  std::uint64_t hits = 0;
+  for (unsigned j = 0; j < 64; ++j) {
+    hits |= static_cast<std::uint64_t>(((b[j] ^ pb) & ~m[j] & sig) == 0) << j;
+  }
+  return hits;
+}
+
+std::uint64_t hit_word_uniform_scalar(const MatchWord* b, MatchWord pb,
+                                      MatchWord care) {
+  std::uint64_t hits = 0;
+  for (unsigned j = 0; j < 64; ++j) {
+    hits |= static_cast<std::uint64_t>(((b[j] ^ pb) & care) == 0) << j;
+  }
+  return hits;
+}
+
+#ifdef ALPU_X86_DISPATCH
+
+[[gnu::target("avx2")]] std::uint64_t hit_word_posted_avx2(
+    const MatchWord* b, const MatchWord* m, MatchWord pb, MatchWord sig) {
+  const __m256i vpb = _mm256_set1_epi64x(static_cast<long long>(pb));
+  const __m256i vsig = _mm256_set1_epi64x(static_cast<long long>(sig));
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint64_t hits = 0;
+  for (unsigned j = 0; j < 64; j += 4) {
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const __m256i vm =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m + j));
+    const __m256i mism = _mm256_and_si256(
+        _mm256_andnot_si256(vm, _mm256_xor_si256(vb, vpb)), vsig);
+    const __m256i eq = _mm256_cmpeq_epi64(mism, zero);
+    hits |= static_cast<std::uint64_t>(static_cast<unsigned>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(eq))))
+            << j;
+  }
+  return hits;
+}
+
+[[gnu::target("avx2")]] std::uint64_t hit_word_uniform_avx2(
+    const MatchWord* b, MatchWord pb, MatchWord care) {
+  const __m256i vpb = _mm256_set1_epi64x(static_cast<long long>(pb));
+  const __m256i vcare = _mm256_set1_epi64x(static_cast<long long>(care));
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint64_t hits = 0;
+  for (unsigned j = 0; j < 64; j += 4) {
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    const __m256i mism =
+        _mm256_and_si256(_mm256_xor_si256(vb, vpb), vcare);
+    const __m256i eq = _mm256_cmpeq_epi64(mism, zero);
+    hits |= static_cast<std::uint64_t>(static_cast<unsigned>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(eq))))
+            << j;
+  }
+  return hits;
+}
+
+// Resolved once at namespace-scope dynamic init (single-threaded,
+// before any probe runs), so the per-word dispatch is one predictable
+// branch.
+const bool kHaveAvx2 = __builtin_cpu_supports("avx2") != 0;
+
+#endif  // ALPU_X86_DISPATCH
+
+std::uint64_t hit_word_posted(const MatchWord* b, const MatchWord* m,
+                              MatchWord pb, MatchWord sig) {
+#ifdef ALPU_X86_DISPATCH
+  if (kHaveAvx2) return hit_word_posted_avx2(b, m, pb, sig);
+#endif
+  return hit_word_posted_scalar(b, m, pb, sig);
+}
+
+std::uint64_t hit_word_uniform(const MatchWord* b, MatchWord pb,
+                               MatchWord care) {
+#ifdef ALPU_X86_DISPATCH
+  if (kHaveAvx2) return hit_word_uniform_avx2(b, pb, care);
+#endif
+  return hit_word_uniform_scalar(b, pb, care);
+}
+
 }  // namespace
 
 AlpuArray::AlpuArray(AlpuFlavor flavor, std::size_t total_cells,
                      std::size_t block_size, MatchWord significant_mask)
     : flavor_(flavor),
+      total_cells_(total_cells),
       block_size_(block_size),
-      significant_mask_(significant_mask),
-      cells_(total_cells) {
+      significant_mask_(significant_mask) {
   assert(total_cells > 0);
   assert(is_pow2(block_size) && "block size must be a power of 2 (III-B)");
   assert(total_cells % block_size == 0);
   assert(significant_mask != 0);
+  // Pad every plane to a whole number of 64-cell words: the match loop
+  // reads full words, and the validity bitmap masks the tail.
+  const std::size_t padded = (total_cells + 63) & ~std::size_t{63};
+  bits_.assign(padded, 0);
+  mask_.assign(padded, 0);
+  cookie_.assign(padded, 0);
+  valid_.assign(padded / 64, 0);
+  const std::size_t padded_blocks = pow2_ceil(total_cells / block_size);
+  tree_scratch_.assign(block_size + padded_blocks, Candidate{});
+  select_scratch_.assign(padded / 64, 0);
 }
 
-bool AlpuArray::cell_matches(const Cell& cell, const Probe& probe) const {
-  if (!cell.valid) return false;  // invalid data cannot produce a match
+bool AlpuArray::cell_matches(std::size_t i, const Probe& probe) const {
+  if (!valid_bit(i)) return false;  // invalid data cannot produce a match
   const MatchWord dont_care =
-      flavor_ == AlpuFlavor::kPostedReceive ? cell.mask : probe.mask;
-  return ((cell.bits ^ probe.bits) & ~dont_care & significant_mask_) == 0;
+      flavor_ == AlpuFlavor::kPostedReceive ? mask_[i] : probe.mask;
+  return ((bits_[i] ^ probe.bits) & ~dont_care & significant_mask_) == 0;
 }
 
 bool AlpuArray::insert(MatchWord bits, MatchWord mask, Cookie cookie) {
   if (full()) return false;
-  Cell& cell = cells_[occupancy_++];
-  cell.bits = bits;
-  cell.mask = mask;
-  cell.cookie = cookie;
-  cell.valid = true;
+  const std::size_t i = occupancy_++;
+  bits_[i] = bits;
+  mask_[i] = mask;
+  cookie_[i] = cookie;
+  valid_[i >> 6] |= std::uint64_t{1} << (i & 63);
   return true;
 }
 
-ArrayMatch AlpuArray::match(const Probe& probe) const {
-  // Specification: the oldest (lowest-index) matching valid cell wins.
-  for (std::size_t i = 0; i < occupancy_; ++i) {
-    if (cell_matches(cells_[i], probe)) {
-      return ArrayMatch{true, i, cells_[i].cookie};
+std::size_t AlpuArray::find_oldest(const Probe& probe) const {
+  // Stage 2 + priority network, word-parallel: each 64-cell word of the
+  // bit planes yields one hit bitmask; the oldest match is countr_zero
+  // of the first non-zero word.  The compare is branch-free per cell, so
+  // the compiler can vectorize the stride-1 plane reads.
+  const MatchWord pb = probe.bits;
+  const MatchWord sig = significant_mask_;
+  const std::size_t words = (occupancy_ + 63) >> 6;
+  if (flavor_ == AlpuFlavor::kPostedReceive) {
+    // Posted flavour: each cell stores its own don't-care mask (Fig 2a).
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::size_t base = w << 6;
+      const std::uint64_t hits =
+          hit_word_posted(bits_.data() + base, mask_.data() + base, pb, sig) &
+          valid_[w];
+      counters_.cells_scanned +=
+          total_cells_ - base < 64 ? total_cells_ - base : 64;
+      if (hits != 0) {
+        return base + static_cast<std::size_t>(std::countr_zero(hits));
+      }
+    }
+    return kMiss;
+  }
+  // Unexpected flavour: the probe carries the mask (the reverse lookup,
+  // Fig 2b) — one uniform don't-care for every cell.
+  const MatchWord care = ~probe.mask & sig;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t base = w << 6;
+    const std::uint64_t hits =
+        hit_word_uniform(bits_.data() + base, pb, care) & valid_[w];
+    counters_.cells_scanned +=
+        total_cells_ - base < 64 ? total_cells_ - base : 64;
+    if (hits != 0) {
+      return base + static_cast<std::size_t>(std::countr_zero(hits));
     }
   }
-  return ArrayMatch{};
+  return kMiss;
+}
+
+ArrayMatch AlpuArray::match(const Probe& probe) const {
+  ++counters_.probes;
+  const std::size_t i = find_oldest(probe);
+  if (i == kMiss) return ArrayMatch{};
+  return ArrayMatch{true, i, cookie_[i]};
 }
 
 ArrayMatch AlpuArray::match_tree(const Probe& probe) const {
@@ -52,67 +208,54 @@ ArrayMatch AlpuArray::match_tree(const Probe& probe) const {
   // Stages 3-4: pairwise priority muxes inside each block, then the same
   // reduction across block outputs.  "Priority" selects the older
   // (lower-index) candidate, mirroring the RTL where the highest-order
-  // cell wins and entries age toward the high end.
-  struct Candidate {
-    bool hit = false;
-    std::size_t location = 0;
-    Cookie cookie = 0;
+  // cell wins and entries age toward the high end.  All reduction
+  // levels run in place in the per-instance scratch — no allocation.
+  ++counters_.probes;
+  counters_.cells_scanned += total_cells_;  // every comparator evaluates
+
+  const auto pick = [](const Candidate& older, const Candidate& younger) {
+    if (older.hit) return older;
+    if (younger.hit) return younger;
+    return Candidate{};  // output is a don't-care without a hit
   };
 
-  const std::size_t num_blocks = cells_.size() / block_size_;
-  std::vector<Candidate> block_out(num_blocks);
+  const std::size_t num_blocks = total_cells_ / block_size_;
+  Candidate* const level = tree_scratch_.data();
+  Candidate* const blocks = tree_scratch_.data() + block_size_;
 
   for (std::size_t b = 0; b < num_blocks; ++b) {
     // Leaf level: one candidate per cell.
-    std::vector<Candidate> level(block_size_);
     for (std::size_t c = 0; c < block_size_; ++c) {
       const std::size_t idx = b * block_size_ + c;
-      level[c].hit = idx < occupancy_ && cell_matches(cells_[idx], probe);
+      level[c].hit = idx < occupancy_ && cell_matches(idx, probe);
       level[c].location = idx;
-      level[c].cookie = cells_[idx].cookie;
+      level[c].cookie = cookie_[idx];
     }
     // log2(block_size) levels of 2-to-1 priority muxes.  The lower-index
     // (older) input of each pair wins when both match.
-    while (level.size() > 1) {
-      std::vector<Candidate> next(level.size() / 2);
-      for (std::size_t i = 0; i < next.size(); ++i) {
-        const Candidate& older = level[2 * i];
-        const Candidate& younger = level[2 * i + 1];
-        if (older.hit) {
-          next[i] = older;
-        } else if (younger.hit) {
-          next[i] = younger;
-        } else {
-          next[i] = Candidate{};  // output is a don't-care without a hit
-        }
+    for (std::size_t len = block_size_; len > 1; len >>= 1) {
+      for (std::size_t i = 0; i < len / 2; ++i) {
+        level[i] = pick(level[2 * i], level[2 * i + 1]);
       }
-      level = std::move(next);
     }
-    block_out[b] = level[0];
+    blocks[b] = level[0];
   }
 
   // Cross-block reduction ("cell block outputs are combined and
-  // prioritized in the same manner"), padding to a power of two.
-  std::vector<Candidate> level = std::move(block_out);
-  while (level.size() > 1) {
-    if (level.size() % 2 != 0) level.push_back(Candidate{});
-    std::vector<Candidate> next(level.size() / 2);
-    for (std::size_t i = 0; i < next.size(); ++i) {
-      const Candidate& older = level[2 * i];
-      const Candidate& younger = level[2 * i + 1];
-      if (older.hit) {
-        next[i] = older;
-      } else if (younger.hit) {
-        next[i] = younger;
-      } else {
-        next[i] = Candidate{};
-      }
+  // prioritized in the same manner"), padded to a power of two with
+  // never-matching candidates.
+  const std::size_t padded_blocks = pow2_ceil(num_blocks);
+  for (std::size_t b = num_blocks; b < padded_blocks; ++b) {
+    blocks[b] = Candidate{};
+  }
+  for (std::size_t len = padded_blocks; len > 1; len >>= 1) {
+    for (std::size_t i = 0; i < len / 2; ++i) {
+      blocks[i] = pick(blocks[2 * i], blocks[2 * i + 1]);
     }
-    level = std::move(next);
   }
 
-  if (level.empty() || !level[0].hit) return ArrayMatch{};
-  return ArrayMatch{true, level[0].location, level[0].cookie};
+  if (!blocks[0].hit) return ArrayMatch{};
+  return ArrayMatch{true, blocks[0].location, blocks[0].cookie};
 }
 
 ArrayMatch AlpuArray::match_and_delete(const Probe& probe) {
@@ -124,42 +267,89 @@ ArrayMatch AlpuArray::match_and_delete(const Probe& probe) {
 void AlpuArray::delete_at(std::size_t location) {
   assert(location < occupancy_);
   // Broadcast match location: every younger cell shifts one slot toward
-  // the high-priority end; the vacated slot at the tail is invalidated.
-  for (std::size_t i = location; i + 1 < occupancy_; ++i) {
-    cells_[i] = cells_[i + 1];
+  // the high-priority end — one block move per plane — and the vacated
+  // slot at the tail is invalidated.
+  const std::size_t moved = occupancy_ - 1 - location;
+  if (moved > 0) {
+    std::memmove(&bits_[location], &bits_[location + 1],
+                 moved * sizeof(MatchWord));
+    std::memmove(&mask_[location], &mask_[location + 1],
+                 moved * sizeof(MatchWord));
+    std::memmove(&cookie_[location], &cookie_[location + 1],
+                 moved * sizeof(Cookie));
+    counters_.compaction_moves += moved;
   }
-  cells_[occupancy_ - 1] = Cell{};
   --occupancy_;
+  bits_[occupancy_] = 0;
+  mask_[occupancy_] = 0;
+  cookie_[occupancy_] = 0;
+  valid_[occupancy_ >> 6] &= ~(std::uint64_t{1} << (occupancy_ & 63));
 }
 
 void AlpuArray::reset() {
-  for (Cell& c : cells_) c = Cell{};
+  std::fill(bits_.begin(), bits_.end(), 0);
+  std::fill(mask_.begin(), mask_.end(), 0);
+  std::fill(cookie_.begin(), cookie_.end(), 0);
+  std::fill(valid_.begin(), valid_.end(), 0);
   occupancy_ = 0;
 }
 
 std::size_t AlpuArray::invalidate_matching(const Probe& selector) {
-  // Broadcast compare, then compact survivors toward the high-priority
-  // end, preserving their relative order.  Unlike a match, the sweep
-  // always takes its don't-care mask from the SELECTOR (the unexpected
-  // flavour's input-mask datapath), whatever the unit's flavour: the
-  // stored per-cell masks describe what the cell accepts, not what
-  // selects the cell.
-  const auto selected = [&](const Cell& c) {
-    return c.valid &&
-           ((c.bits ^ selector.bits) & ~selector.mask & significant_mask_) ==
-               0;
-  };
-  std::size_t keep = 0;
-  for (std::size_t i = 0; i < occupancy_; ++i) {
-    if (!selected(cells_[i])) {
-      if (keep != i) cells_[keep] = cells_[i];
-      ++keep;
-    }
+  // Broadcast compare (word-parallel, like a probe), then compact
+  // survivors toward the high-priority end preserving relative order —
+  // maximal runs of survivors move as single memmoves per plane.
+  //
+  // Unlike a match, the sweep always takes its don't-care mask from the
+  // SELECTOR (the unexpected flavour's input-mask datapath), whatever
+  // the unit's flavour: the stored per-cell masks describe what the
+  // cell accepts, not what selects the cell.
+  const MatchWord care = ~selector.mask & significant_mask_;
+  const MatchWord pb = selector.bits;
+  const std::size_t words = (occupancy_ + 63) >> 6;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t base = w << 6;
+    select_scratch_[w] =
+        hit_word_uniform(bits_.data() + base, pb, care) & valid_[w];
   }
+
+  const auto selected = [&](std::size_t i) {
+    return (select_scratch_[i >> 6] >> (i & 63)) & 1u;
+  };
+
+  std::size_t keep = 0;
+  std::size_t i = 0;
+  while (i < occupancy_) {
+    if (selected(i)) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;  // extend the survivor run
+    while (j < occupancy_ && !selected(j)) ++j;
+    const std::size_t run = j - i;
+    if (keep != i) {
+      std::memmove(&bits_[keep], &bits_[i], run * sizeof(MatchWord));
+      std::memmove(&mask_[keep], &mask_[i], run * sizeof(MatchWord));
+      std::memmove(&cookie_[keep], &cookie_[i], run * sizeof(Cookie));
+      counters_.compaction_moves += run;
+    }
+    keep += run;
+    i = j;
+  }
+
   const std::size_t removed = occupancy_ - keep;
-  for (std::size_t i = keep; i < occupancy_; ++i) cells_[i] = Cell{};
+  for (std::size_t k = keep; k < occupancy_; ++k) {
+    bits_[k] = 0;
+    mask_[k] = 0;
+    cookie_[k] = 0;
+    valid_[k >> 6] &= ~(std::uint64_t{1} << (k & 63));
+  }
   occupancy_ = keep;
   return removed;
+}
+
+Cell AlpuArray::cell(std::size_t i) const {
+  assert(i < total_cells_);
+  return Cell{bits_[i], mask_[i], cookie_[i], valid_bit(i)};
 }
 
 }  // namespace alpu::hw

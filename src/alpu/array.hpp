@@ -11,11 +11,26 @@
 //     shifting up one slot (the broadcast-match-location compaction of
 //     Section III-B; no holes are left by deletion).
 //
-// Two match paths are provided: `match()` is the straightforward linear
+// Storage is struct-of-arrays: parallel `bits[]` / `mask[]` / `cookie[]`
+// planes plus a 64-bit-per-word validity bitmap, mirroring how the
+// hardware lays each field across the cell array rather than how C++
+// would lay out a struct.  A probe is a strided compare over the bit
+// planes that emits one hit bitmask per 64 cells, and the hardware
+// priority network collapses to `countr_zero` of the first non-zero
+// word — word-parallel TCAM emulation, with no allocation or branching
+// per cell.  On x86-64 the compare runs through a runtime-dispatched
+// AVX2 kernel (four cells per step, movemask bit-gather); elsewhere a
+// portable branch-free scalar loop.  Deletion compaction is memmove
+// over the planes.
+//
+// Two match paths are provided: `match()` is the word-parallel linear
 // specification, and `match_tree()` evaluates the same answer through an
 // explicit block-structured priority-mux reduction mirroring the RTL
-// (pairwise muxes within blocks, then across blocks).  Tests assert the
-// two agree on all inputs — the hardware-fidelity check.
+// (pairwise muxes within blocks, then across blocks), using fixed
+// per-instance scratch buffers (no per-probe allocation).  Tests assert
+// the two agree on all inputs — the hardware-fidelity check — and
+// `reference.hpp` retains the original cell-at-a-time implementation as
+// the differential-testing oracle.
 #pragma once
 
 #include <cstddef>
@@ -24,10 +39,13 @@
 #include <vector>
 
 #include "alpu/types.hpp"
+#include "common/stats.hpp"
 
 namespace alpu::hw {
 
-/// One storage cell (Figure 2a/2b).
+/// One storage cell (Figure 2a/2b).  The SoA engine materializes these
+/// on demand for tests/diagnostics; the RTL and pipelined models still
+/// store them directly.
 struct Cell {
   MatchWord bits = 0;
   MatchWord mask = 0;   ///< stored mask; meaningful only in posted flavour
@@ -56,7 +74,7 @@ class AlpuArray {
             MatchWord significant_mask = match::kFullMask);
 
   AlpuFlavor flavor() const { return flavor_; }
-  std::size_t capacity() const { return cells_.size(); }
+  std::size_t capacity() const { return total_cells_; }
   std::size_t block_size() const { return block_size_; }
   std::size_t occupancy() const { return occupancy_; }
   std::size_t free_slots() const { return capacity() - occupancy_; }
@@ -67,7 +85,8 @@ class AlpuArray {
   /// expected to respect the free-count from START ACKNOWLEDGE).
   [[nodiscard]] bool insert(MatchWord bits, MatchWord mask, Cookie cookie);
 
-  /// Pure probe: the oldest matching cell, if any.  Does not modify state.
+  /// Pure probe: the oldest matching cell, if any.  Does not modify
+  /// array contents (probe counters advance).
   ArrayMatch match(const Probe& probe) const;
 
   /// Same answer computed through the block/priority-mux reduction.
@@ -88,21 +107,60 @@ class AlpuArray {
 
   MatchWord significant_mask() const { return significant_mask_; }
 
-  /// The i-th oldest valid cell (test/diagnostic access).
-  const Cell& cell(std::size_t i) const { return cells_[i]; }
+  /// The i-th cell, materialized from the bit planes (test/diagnostic
+  /// access; returns by value — there is no Cell struct in storage).
+  Cell cell(std::size_t i) const;
+
+  /// Probe-level work counters (probes / cells_scanned /
+  /// compaction_moves).  `cells_scanned` counts comparator evaluations
+  /// at the engine's 64-cell word granularity — the cells a probe's
+  /// word-parallel scan actually touched before the priority network
+  /// resolved.
+  const common::MatchCounters& counters() const { return counters_; }
 
  private:
-  bool cell_matches(const Cell& cell, const Probe& probe) const;
+  static constexpr std::size_t kMiss = static_cast<std::size_t>(-1);
+
+  /// Word-parallel scan: index of the oldest matching valid cell, or
+  /// kMiss.  The whole hot path of the engine.
+  std::size_t find_oldest(const Probe& probe) const;
+
+  bool cell_matches(std::size_t i, const Probe& probe) const;
+  bool valid_bit(std::size_t i) const {
+    return (valid_[i >> 6] >> (i & 63)) & 1u;
+  }
   void delete_at(std::size_t location);
 
   AlpuFlavor flavor_;
+  std::size_t total_cells_;
   std::size_t block_size_;
   MatchWord significant_mask_;
-  // Index 0 is the oldest entry (the paper's right-most, highest-priority
-  // cell); occupancy_ cells starting at 0 are valid and contiguous —
-  // deletion compaction maintains this invariant.
-  std::vector<Cell> cells_;
   std::size_t occupancy_ = 0;
+
+  // SoA planes, padded to a whole number of 64-cell words so the match
+  // loop never needs a tail case.  Index 0 is the oldest entry (the
+  // paper's right-most, highest-priority cell); occupancy_ cells
+  // starting at 0 are valid and contiguous — deletion compaction
+  // maintains this invariant, so valid_ is always a prefix bitmap.
+  std::vector<MatchWord> bits_;
+  std::vector<MatchWord> mask_;
+  std::vector<Cookie> cookie_;
+  std::vector<std::uint64_t> valid_;  ///< bit j of word w == cell 64w+j
+
+  /// match_tree() scratch (priority-mux candidates), sized once at
+  /// construction: [0, block_size) for the in-block reduction, then
+  /// [0, padded_blocks) for the cross-block reduction.  mutable because
+  /// match_tree is logically const; instances are single-threaded (one
+  /// simulated machine per sweep worker).
+  struct Candidate {
+    bool hit = false;
+    std::size_t location = 0;
+    Cookie cookie = 0;
+  };
+  mutable std::vector<Candidate> tree_scratch_;
+  mutable std::vector<std::uint64_t> select_scratch_;  ///< sweep bitmasks
+
+  mutable common::MatchCounters counters_;
 };
 
 }  // namespace alpu::hw

@@ -1,0 +1,163 @@
+#include "alpu/reference.hpp"
+
+#include <cassert>
+
+namespace alpu::hw {
+
+namespace {
+bool is_pow2(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+ReferenceAlpuArray::ReferenceAlpuArray(AlpuFlavor flavor,
+                                       std::size_t total_cells,
+                                       std::size_t block_size,
+                                       MatchWord significant_mask)
+    : flavor_(flavor),
+      block_size_(block_size),
+      significant_mask_(significant_mask),
+      cells_(total_cells) {
+  assert(total_cells > 0);
+  assert(is_pow2(block_size) && "block size must be a power of 2 (III-B)");
+  assert(total_cells % block_size == 0);
+  assert(significant_mask != 0);
+}
+
+bool ReferenceAlpuArray::cell_matches(const Cell& cell,
+                                      const Probe& probe) const {
+  if (!cell.valid) return false;  // invalid data cannot produce a match
+  const MatchWord dont_care =
+      flavor_ == AlpuFlavor::kPostedReceive ? cell.mask : probe.mask;
+  return ((cell.bits ^ probe.bits) & ~dont_care & significant_mask_) == 0;
+}
+
+bool ReferenceAlpuArray::insert(MatchWord bits, MatchWord mask,
+                                Cookie cookie) {
+  if (full()) return false;
+  Cell& cell = cells_[occupancy_++];
+  cell.bits = bits;
+  cell.mask = mask;
+  cell.cookie = cookie;
+  cell.valid = true;
+  return true;
+}
+
+ArrayMatch ReferenceAlpuArray::match(const Probe& probe) const {
+  // Specification: the oldest (lowest-index) matching valid cell wins.
+  for (std::size_t i = 0; i < occupancy_; ++i) {
+    if (cell_matches(cells_[i], probe)) {
+      return ArrayMatch{true, i, cells_[i].cookie};
+    }
+  }
+  return ArrayMatch{};
+}
+
+ArrayMatch ReferenceAlpuArray::match_tree(const Probe& probe) const {
+  // Stage 2 of the pipeline: every cell produces (match AND valid).
+  // Stages 3-4: pairwise priority muxes inside each block, then the same
+  // reduction across block outputs.
+  struct Candidate {
+    bool hit = false;
+    std::size_t location = 0;
+    Cookie cookie = 0;
+  };
+
+  const std::size_t num_blocks = cells_.size() / block_size_;
+  std::vector<Candidate> block_out(num_blocks);
+
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    // Leaf level: one candidate per cell.
+    std::vector<Candidate> level(block_size_);
+    for (std::size_t c = 0; c < block_size_; ++c) {
+      const std::size_t idx = b * block_size_ + c;
+      level[c].hit = idx < occupancy_ && cell_matches(cells_[idx], probe);
+      level[c].location = idx;
+      level[c].cookie = cells_[idx].cookie;
+    }
+    // log2(block_size) levels of 2-to-1 priority muxes.  The lower-index
+    // (older) input of each pair wins when both match.
+    while (level.size() > 1) {
+      std::vector<Candidate> next(level.size() / 2);
+      for (std::size_t i = 0; i < next.size(); ++i) {
+        const Candidate& older = level[2 * i];
+        const Candidate& younger = level[2 * i + 1];
+        if (older.hit) {
+          next[i] = older;
+        } else if (younger.hit) {
+          next[i] = younger;
+        } else {
+          next[i] = Candidate{};  // output is a don't-care without a hit
+        }
+      }
+      level = std::move(next);
+    }
+    block_out[b] = level[0];
+  }
+
+  // Cross-block reduction, padding to a power of two.
+  std::vector<Candidate> level = std::move(block_out);
+  while (level.size() > 1) {
+    if (level.size() % 2 != 0) level.push_back(Candidate{});
+    std::vector<Candidate> next(level.size() / 2);
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      const Candidate& older = level[2 * i];
+      const Candidate& younger = level[2 * i + 1];
+      if (older.hit) {
+        next[i] = older;
+      } else if (younger.hit) {
+        next[i] = younger;
+      } else {
+        next[i] = Candidate{};
+      }
+    }
+    level = std::move(next);
+  }
+
+  if (level.empty() || !level[0].hit) return ArrayMatch{};
+  return ArrayMatch{true, level[0].location, level[0].cookie};
+}
+
+ArrayMatch ReferenceAlpuArray::match_and_delete(const Probe& probe) {
+  const ArrayMatch m = match(probe);
+  if (m.hit) delete_at(m.location);
+  return m;
+}
+
+void ReferenceAlpuArray::delete_at(std::size_t location) {
+  assert(location < occupancy_);
+  // Broadcast match location: every younger cell shifts one slot toward
+  // the high-priority end; the vacated slot at the tail is invalidated.
+  for (std::size_t i = location; i + 1 < occupancy_; ++i) {
+    cells_[i] = cells_[i + 1];
+  }
+  cells_[occupancy_ - 1] = Cell{};
+  --occupancy_;
+}
+
+void ReferenceAlpuArray::reset() {
+  for (Cell& c : cells_) c = Cell{};
+  occupancy_ = 0;
+}
+
+std::size_t ReferenceAlpuArray::invalidate_matching(const Probe& selector) {
+  // Broadcast compare, then compact survivors toward the high-priority
+  // end, preserving their relative order.  The sweep always takes its
+  // don't-care mask from the SELECTOR, whatever the unit's flavour.
+  const auto selected = [&](const Cell& c) {
+    return c.valid &&
+           ((c.bits ^ selector.bits) & ~selector.mask & significant_mask_) ==
+               0;
+  };
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < occupancy_; ++i) {
+    if (!selected(cells_[i])) {
+      if (keep != i) cells_[keep] = cells_[i];
+      ++keep;
+    }
+  }
+  const std::size_t removed = occupancy_ - keep;
+  for (std::size_t i = keep; i < occupancy_; ++i) cells_[i] = Cell{};
+  occupancy_ = keep;
+  return removed;
+}
+
+}  // namespace alpu::hw

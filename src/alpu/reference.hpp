@@ -1,0 +1,59 @@
+// Retained reference implementation of the associative match array.
+//
+// This is the original cell-at-a-time AlpuArray (an array of `Cell`
+// structs walked with branchy per-cell loops), kept verbatim as the
+// executable specification after the production engine moved to the
+// zero-allocation struct-of-arrays layout in array.hpp.  It exists for
+// exactly one purpose: differential testing.  `tests/test_alpu_fuzz.cpp`
+// drives both implementations with identical random operation streams
+// and requires identical answers — the same technique the RTL model uses
+// against the idealized array.
+//
+// Do not use this class in models or benchmarks; it is deliberately the
+// slow, obvious version.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "alpu/array.hpp"
+#include "alpu/types.hpp"
+
+namespace alpu::hw {
+
+class ReferenceAlpuArray {
+ public:
+  ReferenceAlpuArray(AlpuFlavor flavor, std::size_t total_cells,
+                     std::size_t block_size,
+                     MatchWord significant_mask = match::kFullMask);
+
+  AlpuFlavor flavor() const { return flavor_; }
+  std::size_t capacity() const { return cells_.size(); }
+  std::size_t block_size() const { return block_size_; }
+  std::size_t occupancy() const { return occupancy_; }
+  std::size_t free_slots() const { return capacity() - occupancy_; }
+  bool full() const { return occupancy_ == capacity(); }
+  bool empty() const { return occupancy_ == 0; }
+
+  [[nodiscard]] bool insert(MatchWord bits, MatchWord mask, Cookie cookie);
+  ArrayMatch match(const Probe& probe) const;
+  ArrayMatch match_tree(const Probe& probe) const;
+  ArrayMatch match_and_delete(const Probe& probe);
+  void reset();
+  std::size_t invalidate_matching(const Probe& selector);
+
+  MatchWord significant_mask() const { return significant_mask_; }
+  const Cell& cell(std::size_t i) const { return cells_[i]; }
+
+ private:
+  bool cell_matches(const Cell& cell, const Probe& probe) const;
+  void delete_at(std::size_t location);
+
+  AlpuFlavor flavor_;
+  std::size_t block_size_;
+  MatchWord significant_mask_;
+  std::vector<Cell> cells_;
+  std::size_t occupancy_ = 0;
+};
+
+}  // namespace alpu::hw

@@ -11,6 +11,24 @@
 
 namespace alpu::common {
 
+/// Probe-level counters of the matching datapath, kept by every match
+/// engine instance (the ALPU SoA array and the software match lists) and
+/// aggregated per NIC.  Plain integers, no atomics: each simulated
+/// machine — and therefore each counter instance — is owned by exactly
+/// one sweep worker thread.
+struct MatchCounters {
+  std::uint64_t probes = 0;            ///< match/search operations issued
+  std::uint64_t cells_scanned = 0;     ///< cells/entries examined by them
+  std::uint64_t compaction_moves = 0;  ///< entries shifted by delete/erase
+  MatchCounters& operator+=(const MatchCounters& o) {
+    probes += o.probes;
+    cells_scanned += o.cells_scanned;
+    compaction_moves += o.compaction_moves;
+    return *this;
+  }
+  friend bool operator==(const MatchCounters&, const MatchCounters&) = default;
+};
+
 /// Streaming summary: count / min / max / mean / stddev (Welford).
 class RunningStats {
  public:

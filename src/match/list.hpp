@@ -7,14 +7,29 @@
 // *correct* answer the ALPU model is property-tested against, and they
 // expose traversal counts so the NIC CPU cost model can charge time and
 // cache traffic per visited entry.
+//
+// Storage is a contiguous struct-of-arrays arena: the search keys
+// (bits/mask for the posted list, the explicit word for the unexpected
+// list) live in their own stride-1 planes, so a front-to-back walk is a
+// dense, prefetch-friendly scan instead of chasing std::deque chunks.
+// Cookies and simulated addresses sit in parallel side planes touched
+// only on a hit.  Erase compacts the planes with memmove block moves,
+// and a cookie→index side table keeps `index_of()` O(1) — matching the
+// O(1) cost the hardware cookie (a direct NIC-RAM pointer) is charged.
+//
+// `visited` counts are semantically identical to the original deque
+// walk (entries examined including the hit), so the NIC cost model —
+// and therefore every figure — is unchanged to the byte.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <span>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
 
+#include "common/stats.hpp"
 #include "match/match.hpp"
 
 namespace alpu::match {
@@ -43,6 +58,40 @@ struct UnexpectedEntry {
   std::uint64_t addr = 0;  ///< simulated NIC-memory address of the full entry
 };
 
+namespace detail {
+
+/// Cookie→index side table shared by both lists.  Append and lookup are
+/// O(1); erase refreshes the positions of the shifted suffix while the
+/// arena memmoves it (the erase is already O(suffix), so the refresh
+/// does not change its complexity class).
+class CookieIndex {
+ public:
+  void append(Cookie cookie, std::size_t index) {
+    const bool inserted =
+        pos_.emplace(cookie, static_cast<std::uint32_t>(index)).second;
+    assert(inserted && "duplicate cookie appended to a match list");
+    (void)inserted;
+  }
+  void erase(Cookie cookie) { pos_.erase(cookie); }
+  void refresh(const std::vector<Cookie>& cookies, std::size_t first) {
+    for (std::size_t i = first; i < cookies.size(); ++i) {
+      pos_[cookies[i]] = static_cast<std::uint32_t>(i);
+    }
+  }
+  bool contains(Cookie cookie) const { return pos_.count(cookie) != 0; }
+  std::size_t index_of(Cookie cookie) const {
+    const auto it = pos_.find(cookie);
+    assert(it != pos_.end() && "cookie not present in match list");
+    return it->second;
+  }
+  void clear() { pos_.clear(); }
+
+ private:
+  std::unordered_map<Cookie, std::uint32_t> pos_;
+};
+
+}  // namespace detail
+
 /// The posted-receive queue as a linear list.
 ///
 /// `search(word)` walks front-to-back and returns the first entry whose
@@ -50,10 +99,16 @@ struct UnexpectedEntry {
 /// "first posted receive wins" semantics.  The caller erases the hit.
 class PostedList {
  public:
-  void append(PostedEntry e) { entries_.push_back(e); }
+  void append(PostedEntry e) {
+    index_.append(e.cookie, bits_.size());
+    bits_.push_back(e.pattern.bits);
+    mask_.push_back(e.pattern.mask);
+    cookies_.push_back(e.cookie);
+    addrs_.push_back(e.addr);
+  }
 
   /// First-match search for the incoming explicit `word`.
-  SearchResult search(MatchWord word) const;
+  SearchResult search(MatchWord word) const { return search_from(0, word); }
 
   /// Search only indices [first, size()) — the NIC uses this to search
   /// the portion of the queue not yet loaded into the ALPU.
@@ -62,13 +117,35 @@ class PostedList {
   /// Remove the entry at `index` (after a successful match).
   void erase(std::size_t index);
 
-  std::size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
-  const PostedEntry& at(std::size_t i) const { return entries_[i]; }
-  void clear() { entries_.clear(); }
+  /// Current index of the entry holding `cookie` (must be present);
+  /// O(1) via the side table.
+  std::size_t index_of(Cookie cookie) const { return index_.index_of(cookie); }
+  bool contains(Cookie cookie) const { return index_.contains(cookie); }
+
+  std::size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+  /// Materialized view of entry `i` (by value — storage is SoA planes).
+  PostedEntry at(std::size_t i) const {
+    assert(i < size());
+    return PostedEntry{Pattern{bits_[i], mask_[i]}, cookies_[i], addrs_[i]};
+  }
+  void clear() {
+    bits_.clear();
+    mask_.clear();
+    cookies_.clear();
+    addrs_.clear();
+    index_.clear();
+  }
+
+  const common::MatchCounters& counters() const { return counters_; }
 
  private:
-  std::deque<PostedEntry> entries_;
+  std::vector<MatchWord> bits_;
+  std::vector<MatchWord> mask_;
+  std::vector<Cookie> cookies_;
+  std::vector<std::uint64_t> addrs_;
+  detail::CookieIndex index_;
+  mutable common::MatchCounters counters_;
 };
 
 /// The unexpected-message queue as a linear list.
@@ -79,73 +156,130 @@ class PostedList {
 /// ordering guarantee for same-(source, context) messages.
 class UnexpectedList {
  public:
-  void append(UnexpectedEntry e) { entries_.push_back(e); }
+  void append(UnexpectedEntry e) {
+    index_.append(e.cookie, words_.size());
+    words_.push_back(e.word);
+    cookies_.push_back(e.cookie);
+    addrs_.push_back(e.addr);
+  }
 
   /// First-match search with a possibly-wildcarded probe pattern.
-  SearchResult search(const Pattern& probe) const;
+  SearchResult search(const Pattern& probe) const {
+    return search_from(0, probe);
+  }
 
   /// Search only indices [first, size()).
   SearchResult search_from(std::size_t first, const Pattern& probe) const;
 
   void erase(std::size_t index);
 
-  std::size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
-  const UnexpectedEntry& at(std::size_t i) const { return entries_[i]; }
-  void clear() { entries_.clear(); }
+  /// Current index of the entry holding `cookie` (must be present);
+  /// O(1) via the side table.
+  std::size_t index_of(Cookie cookie) const { return index_.index_of(cookie); }
+  bool contains(Cookie cookie) const { return index_.contains(cookie); }
+
+  std::size_t size() const { return words_.size(); }
+  bool empty() const { return words_.empty(); }
+  /// Materialized view of entry `i` (by value — storage is SoA planes).
+  UnexpectedEntry at(std::size_t i) const {
+    assert(i < size());
+    return UnexpectedEntry{words_[i], cookies_[i], addrs_[i]};
+  }
+  void clear() {
+    words_.clear();
+    cookies_.clear();
+    addrs_.clear();
+    index_.clear();
+  }
+
+  const common::MatchCounters& counters() const { return counters_; }
 
  private:
-  std::deque<UnexpectedEntry> entries_;
+  std::vector<MatchWord> words_;
+  std::vector<Cookie> cookies_;
+  std::vector<std::uint64_t> addrs_;
+  detail::CookieIndex index_;
+  mutable common::MatchCounters counters_;
 };
 
 // ---- inline implementations -------------------------------------------
 
-inline SearchResult PostedList::search(MatchWord word) const {
-  return search_from(0, word);
-}
-
 inline SearchResult PostedList::search_from(std::size_t first,
                                             MatchWord word) const {
   SearchResult r;
-  for (std::size_t i = first; i < entries_.size(); ++i) {
+  ++counters_.probes;
+  const std::size_t n = bits_.size();
+  for (std::size_t i = first; i < n; ++i) {
     ++r.visited;
-    if (entries_[i].pattern.matches(word)) {
+    if (((bits_[i] ^ word) & ~mask_[i] & kFullMask) == 0) {
       r.found = true;
       r.index = i;
-      r.cookie = entries_[i].cookie;
-      return r;
+      r.cookie = cookies_[i];
+      break;
     }
   }
+  counters_.cells_scanned += r.visited;
   return r;
 }
 
 inline void PostedList::erase(std::size_t index) {
-  assert(index < entries_.size());
-  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
-}
-
-inline SearchResult UnexpectedList::search(const Pattern& probe) const {
-  return search_from(0, probe);
+  assert(index < size());
+  index_.erase(cookies_[index]);
+  const std::size_t moved = size() - index - 1;
+  if (moved > 0) {
+    std::memmove(&bits_[index], &bits_[index + 1],
+                 moved * sizeof(MatchWord));
+    std::memmove(&mask_[index], &mask_[index + 1],
+                 moved * sizeof(MatchWord));
+    std::memmove(&cookies_[index], &cookies_[index + 1],
+                 moved * sizeof(Cookie));
+    std::memmove(&addrs_[index], &addrs_[index + 1],
+                 moved * sizeof(std::uint64_t));
+    counters_.compaction_moves += moved;
+  }
+  bits_.pop_back();
+  mask_.pop_back();
+  cookies_.pop_back();
+  addrs_.pop_back();
+  index_.refresh(cookies_, index);
 }
 
 inline SearchResult UnexpectedList::search_from(std::size_t first,
                                                 const Pattern& probe) const {
   SearchResult r;
-  for (std::size_t i = first; i < entries_.size(); ++i) {
+  ++counters_.probes;
+  const MatchWord care = ~probe.mask & kFullMask;
+  const std::size_t n = words_.size();
+  for (std::size_t i = first; i < n; ++i) {
     ++r.visited;
-    if (probe.matches(entries_[i].word)) {
+    if (((probe.bits ^ words_[i]) & care) == 0) {
       r.found = true;
       r.index = i;
-      r.cookie = entries_[i].cookie;
-      return r;
+      r.cookie = cookies_[i];
+      break;
     }
   }
+  counters_.cells_scanned += r.visited;
   return r;
 }
 
 inline void UnexpectedList::erase(std::size_t index) {
-  assert(index < entries_.size());
-  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  assert(index < size());
+  index_.erase(cookies_[index]);
+  const std::size_t moved = size() - index - 1;
+  if (moved > 0) {
+    std::memmove(&words_[index], &words_[index + 1],
+                 moved * sizeof(MatchWord));
+    std::memmove(&cookies_[index], &cookies_[index + 1],
+                 moved * sizeof(Cookie));
+    std::memmove(&addrs_[index], &addrs_[index + 1],
+                 moved * sizeof(std::uint64_t));
+    counters_.compaction_moves += moved;
+  }
+  words_.pop_back();
+  cookies_.pop_back();
+  addrs_.pop_back();
+  index_.refresh(cookies_, index);
 }
 
 }  // namespace alpu::match

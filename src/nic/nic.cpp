@@ -216,20 +216,13 @@ void Nic::erase_unexpected(std::size_t index) {
   unexpected_.erase(index);
 }
 
-std::size_t Nic::posted_index_of(match::Cookie cookie) const {
-  for (std::size_t i = 0; i < posted_.size(); ++i) {
-    if (posted_.at(i).cookie == cookie) return i;
-  }
-  assert(false && "cookie not present in posted queue");
-  return posted_.size();
-}
-
-std::size_t Nic::unexpected_index_of(match::Cookie cookie) const {
-  for (std::size_t i = 0; i < unexpected_.size(); ++i) {
-    if (unexpected_.at(i).cookie == cookie) return i;
-  }
-  assert(false && "cookie not present in unexpected queue");
-  return unexpected_.size();
+common::MatchCounters Nic::match_counters() const {
+  common::MatchCounters c;
+  c += posted_.counters();
+  c += unexpected_.counters();
+  if (const hw::Alpu* a = posted_alpu()) c += a->array().counters();
+  if (const hw::Alpu* a = unexpected_alpu()) c += a->array().counters();
+  return c;
 }
 
 // ---------------------------------------------------------------------------

@@ -89,6 +89,10 @@ class Nic : public sim::Component {
   net::NodeId node() const { return node_; }
   const NicConfig& config() const { return config_; }
   const NicStats& stats() const { return stats_; }
+  /// Probe-level work counters summed over the software match lists and
+  /// any attached transaction-level ALPUs (probes issued, comparator
+  /// cells scanned, entries moved by deletion compaction).
+  common::MatchCounters match_counters() const;
   mem::MemorySystem& memory() { return memory_; }
   std::size_t posted_queue_length() const { return posted_.size(); }
   std::size_t unexpected_queue_length() const { return unexpected_.size(); }
@@ -218,11 +222,15 @@ class Nic : public sim::Component {
   void erase_posted(std::size_t index);
   void erase_unexpected(std::size_t index);
 
-  /// Map a cookie back to its current list index (O(1) charged: the
-  /// cookie is a direct pointer in hardware; the std::find here is
-  /// simulator bookkeeping, not modelled time).
-  std::size_t posted_index_of(match::Cookie cookie) const;
-  std::size_t unexpected_index_of(match::Cookie cookie) const;
+  /// Map a cookie back to its current list index (O(1) both charged and
+  /// actual: the cookie is a direct pointer in hardware, and the lists
+  /// keep a cookie→index side table).
+  std::size_t posted_index_of(match::Cookie cookie) const {
+    return posted_.index_of(cookie);
+  }
+  std::size_t unexpected_index_of(match::Cookie cookie) const {
+    return unexpected_.index_of(cookie);
+  }
 
   sim::Process deliver_to_posted(match::Cookie cookie,
                                  const net::Packet& packet,

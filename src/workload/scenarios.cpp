@@ -154,6 +154,7 @@ LatencyResult collect(mpi::Machine& m, TimePs latency) {
   out.alpu_hits = s.alpu_posted_hits + s.alpu_unexpected_hits;
   out.alpu_misses = s.alpu_posted_misses + s.alpu_unexpected_misses;
   out.l1_hit_rate = m.nic(0).memory().l1_stats().hit_rate();
+  out.match_counters = m.nic(0).match_counters();
   return out;
 }
 

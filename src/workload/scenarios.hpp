@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/stats.hpp"
 #include "common/time.hpp"
 #include "mpi/mpi.hpp"
 
@@ -80,6 +81,9 @@ struct LatencyResult {
   TimePs total_sim_time = 0;
   /// Kernel events the whole run executed (events/sec yardstick).
   std::uint64_t events_executed = 0;
+  /// Probe-level engine work at the receiver (software lists + ALPUs):
+  /// probes issued, comparator cells scanned, compaction entry moves.
+  common::MatchCounters match_counters;
 };
 
 /// Run one pre-posted-queue measurement (Figure 5 data point).

@@ -1,19 +1,29 @@
-// Protocol fuzzing for the cycle-level ALPU.
+// Protocol fuzzing for the cycle-level ALPU, plus differential fuzzing
+// of the SoA match engine against the retained reference implementation.
 //
-// Random command/probe streams — including protocol violations the
-// firmware is told never to commit — must never deadlock the unit or
-// break its externally guaranteed invariants:
+// Protocol suite: random command/probe streams — including protocol
+// violations the firmware is told never to commit — must never deadlock
+// the unit or break its externally guaranteed invariants:
 //   (1) every probe eventually gets exactly one response, in probe order;
 //   (2) MATCH FAILURE is never observed between START ACK and STOP INSERT;
 //   (3) occupancy == inserts - successes - flushed (within a session's
 //       drops), and never exceeds capacity;
 //   (4) the unit goes idle (stops consuming events) when starved.
+//
+// Differential suite: AlpuArray (word-parallel SoA engine) and
+// ReferenceAlpuArray (original cell-at-a-time implementation) are driven
+// with identical random insert / match / match_and_delete /
+// invalidate_matching / reset sequences — wildcard masks included — and
+// must agree on every result and on full cell-level state after every
+// step, through full-array and empty-array edges.
 #include <gtest/gtest.h>
 
 #include <deque>
 #include <tuple>
 
 #include "alpu/alpu.hpp"
+#include "alpu/array.hpp"
+#include "alpu/reference.hpp"
 #include "common/rng.hpp"
 #include "sim/engine.hpp"
 
@@ -149,6 +159,143 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(64, 16, 4),
                       std::make_tuple(128, 32, 5),
                       std::make_tuple(16, 16, 6)));
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: SoA engine vs retained reference implementation
+// ---------------------------------------------------------------------------
+
+class AlpuDifferentialFuzz
+    : public ::testing::TestWithParam<
+          std::tuple<AlpuFlavor, std::size_t, std::size_t, std::uint64_t>> {};
+
+namespace diff {
+
+void expect_same_match(const ArrayMatch& a, const ArrayMatch& b,
+                       const char* what) {
+  ASSERT_EQ(a.hit, b.hit) << what;
+  if (a.hit) {
+    ASSERT_EQ(a.location, b.location) << what;
+    ASSERT_EQ(a.cookie, b.cookie) << what;
+  }
+}
+
+void expect_same_state(const AlpuArray& dut, const ReferenceAlpuArray& ref) {
+  ASSERT_EQ(dut.occupancy(), ref.occupancy());
+  ASSERT_EQ(dut.full(), ref.full());
+  ASSERT_EQ(dut.empty(), ref.empty());
+  ASSERT_EQ(dut.free_slots(), ref.free_slots());
+  for (std::size_t i = 0; i < dut.capacity(); ++i) {
+    const Cell d = dut.cell(i);
+    const Cell& r = ref.cell(i);
+    ASSERT_EQ(d.valid, r.valid) << "cell " << i;
+    if (!d.valid) continue;
+    ASSERT_EQ(d.bits, r.bits) << "cell " << i;
+    ASSERT_EQ(d.mask, r.mask) << "cell " << i;
+    ASSERT_EQ(d.cookie, r.cookie) << "cell " << i;
+  }
+}
+
+}  // namespace diff
+
+TEST_P(AlpuDifferentialFuzz, SoAEngineAgreesWithReference) {
+  const auto [flavor, cells, block, seed] = GetParam();
+  common::Xoshiro256 rng(seed);
+
+  AlpuArray dut(flavor, cells, block);
+  ReferenceAlpuArray ref(flavor, cells, block);
+
+  // A small envelope universe so matches, misses, and duplicate
+  // patterns all occur with useful frequency.
+  const auto random_word = [&rng = rng] {
+    return match::pack(match::Envelope{
+        static_cast<std::uint32_t>(rng.below(2)),
+        static_cast<std::uint32_t>(rng.below(4)),
+        static_cast<std::uint32_t>(rng.below(4))});
+  };
+  const auto random_mask = [&rng = rng]() -> MatchWord {
+    switch (rng.below(5)) {
+      case 0: return 0;                                     // exact
+      case 1: return match::kSourceMask;                    // ANY_SOURCE
+      case 2: return match::kTagMask;                       // ANY_TAG
+      case 3: return match::kSourceMask | match::kTagMask;  // both
+      default: return match::kFullMask;                     // match-all
+    }
+  };
+
+  Cookie next_cookie = 1;
+  for (int step = 0; step < 4'000; ++step) {
+    const double roll = rng.uniform01();
+    if (roll < 0.45) {
+      // Insert (drives toward the full-array edge; a full array must
+      // refuse identically on both sides).
+      const MatchWord bits = random_word();
+      const MatchWord mask = random_mask();
+      const Cookie ck = next_cookie++;
+      ASSERT_EQ(dut.insert(bits, mask, ck), ref.insert(bits, mask, ck));
+    } else if (roll < 0.60) {
+      // Pure probe: linear answer, tree answer, and reference agree.
+      const Probe p{random_word(), random_mask(), 0};
+      const ArrayMatch d = dut.match(p);
+      diff::expect_same_match(d, ref.match(p), "match vs reference");
+      diff::expect_same_match(d, dut.match_tree(p), "match vs match_tree");
+      diff::expect_same_match(d, ref.match_tree(p),
+                              "match vs reference match_tree");
+    } else if (roll < 0.85) {
+      // The architectural match pipeline: probe + delete + compaction.
+      const Probe p{random_word(), random_mask(), 0};
+      diff::expect_same_match(dut.match_and_delete(p),
+                              ref.match_and_delete(p), "match_and_delete");
+    } else if (roll < 0.97) {
+      // RESET PROCESS sweep (multi-delete compaction), occasionally with
+      // a match-all selector that empties the array in one sweep.
+      const Probe sel{random_word(), random_mask(), 0};
+      ASSERT_EQ(dut.invalidate_matching(sel), ref.invalidate_matching(sel));
+    } else {
+      dut.reset();
+      ref.reset();
+    }
+    diff::expect_same_state(dut, ref);
+  }
+
+  // Deterministic edge sweep: fill to capacity, then drain to empty.
+  // Cells are inserted with a match-anything mask so the wildcard drain
+  // probe hits under both flavours (posted matching consults the CELL's
+  // stored mask, not the probe's).
+  dut.reset();
+  ref.reset();
+  while (!dut.full()) {
+    const MatchWord bits = random_word();
+    const Cookie ck = next_cookie++;
+    ASSERT_TRUE(dut.insert(bits, match::kFullMask, ck));
+    ASSERT_TRUE(ref.insert(bits, match::kFullMask, ck));
+  }
+  ASSERT_FALSE(dut.insert(0, 0, next_cookie));
+  ASSERT_FALSE(ref.insert(0, 0, next_cookie));
+  diff::expect_same_state(dut, ref);
+
+  const Probe all{0, match::kFullMask, 0};
+  for (std::size_t i = 0; i < cells; ++i) {
+    diff::expect_same_match(dut.match_and_delete(all),
+                            ref.match_and_delete(all), "drain");
+    diff::expect_same_state(dut, ref);
+  }
+  ASSERT_TRUE(dut.empty());
+  diff::expect_same_match(dut.match(all), ref.match(all), "empty match");
+  diff::expect_same_match(dut.match_tree(all), ref.match_tree(all),
+                          "empty match_tree");
+  ASSERT_FALSE(dut.match(all).hit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AlpuDifferentialFuzz,
+    ::testing::Values(
+        std::make_tuple(AlpuFlavor::kPostedReceive, 16, 8, 11),
+        std::make_tuple(AlpuFlavor::kPostedReceive, 64, 16, 12),
+        std::make_tuple(AlpuFlavor::kPostedReceive, 128, 16, 13),
+        std::make_tuple(AlpuFlavor::kPostedReceive, 256, 16, 14),
+        std::make_tuple(AlpuFlavor::kUnexpected, 64, 16, 15),
+        std::make_tuple(AlpuFlavor::kUnexpected, 128, 32, 16),
+        std::make_tuple(AlpuFlavor::kUnexpected, 256, 16, 17)));
 
 }  // namespace
 }  // namespace alpu::hw

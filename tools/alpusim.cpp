@@ -43,8 +43,21 @@ int usage() {
                "               [--cells N] [--block N] [--width N]"
                " [--flavor posted|unexpected] [--report]\n"
                "               [--figure 5|6] [--jobs N] [--quick]"
-               "   (sweep mode)\n");
+               " [--verbose]   (sweep mode)\n");
   return 2;
+}
+
+/// `--verbose` companion output: aggregate probe-level engine counters
+/// over every data point of the sweep.  Printed to stderr so the CSV on
+/// stdout stays byte-identical with and without the flag.
+void print_counters(const common::MatchCounters& c, std::size_t points) {
+  std::fprintf(stderr, "points=%zu\n", points);
+  std::fprintf(stderr, "match_probes=%llu\n",
+               static_cast<unsigned long long>(c.probes));
+  std::fprintf(stderr, "match_cells_scanned=%llu\n",
+               static_cast<unsigned long long>(c.cells_scanned));
+  std::fprintf(stderr, "match_compaction_moves=%llu\n",
+               static_cast<unsigned long long>(c.compaction_moves));
 }
 
 /// `alpusim sweep`: regenerate a figure surface on the parallel sweep
@@ -53,12 +66,18 @@ int run_sweep(const common::Flags& flags) {
   workload::SweepOptions sweep;
   sweep.jobs = static_cast<int>(flags.get_int("jobs", 0));
   const bool quick = flags.get_bool("quick");
+  const bool verbose = flags.get_bool("verbose");
   const std::int64_t figure = flags.get_int("figure", 5);
 
   if (figure == 5) {
     const auto rows = workload::run_preposted_surface(
         workload::fig5_surface_points(quick), sweep);
     std::printf("%s", workload::surface_csv(rows).c_str());
+    if (verbose) {
+      common::MatchCounters total;
+      for (const auto& row : rows) total += row.result.match_counters;
+      print_counters(total, rows.size());
+    }
     return 0;
   }
   if (figure == 6) {
@@ -79,19 +98,26 @@ int run_sweep(const common::Flags& flags) {
         points.push_back({mode, len});
       }
     }
-    const std::vector<double> ns = workload::sweep_map(
+    const std::vector<workload::LatencyResult> results = workload::sweep_map(
         points,
         [](const Point& pt) {
           workload::UnexpectedParams p;
           p.mode = pt.mode;
           p.queue_length = pt.length;
-          return common::to_ns(workload::run_unexpected(p).latency);
+          return workload::run_unexpected(p);
         },
         sweep);
     std::printf("queue_length,baseline_ns,alpu128_ns,alpu256_ns\n");
     for (std::size_t i = 0; i < lengths.size(); ++i) {
-      std::printf("%zu,%.1f,%.1f,%.1f\n", lengths[i], ns[i * 3],
-                  ns[i * 3 + 1], ns[i * 3 + 2]);
+      std::printf("%zu,%.1f,%.1f,%.1f\n", lengths[i],
+                  common::to_ns(results[i * 3].latency),
+                  common::to_ns(results[i * 3 + 1].latency),
+                  common::to_ns(results[i * 3 + 2].latency));
+    }
+    if (verbose) {
+      common::MatchCounters total;
+      for (const auto& r : results) total += r.match_counters;
+      print_counters(total, results.size());
     }
     return 0;
   }
