@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_match[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_hash_list[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_mem[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_alpu_array[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_alpu_unit[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_alpu_multi[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_alpu_rtl[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_alpu_pipelined[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_alpu_fuzz[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_mem_properties[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_fpga[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_net[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_nic[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_scenarios[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_portals[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_host[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_soak[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_tools[1]_include.cmake")
+subdirs("workload")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("match")
+subdirs("mem")
+subdirs("alpu")
+subdirs("fpga")
+subdirs("net")
+subdirs("nic")
+subdirs("host")
+subdirs("mpi")
+subdirs("workload")
+subdirs("portals")
