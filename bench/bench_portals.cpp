@@ -7,6 +7,7 @@
 //     cost in hardware relative to the 42-bit MPI unit?  (area model —
 //     the Section III-A footnote calls the mask-per-bit configuration
 //     the "worst case" for exactly this reason)
+#include <cassert>
 #include <cstdio>
 #include <vector>
 

@@ -1,7 +1,8 @@
 #include "alpu/alpu.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace alpu::hw {
 
@@ -175,7 +176,7 @@ void Alpu::complete_op() {
       break;
     }
     case Op::kNone:
-      assert(false && "completed a non-existent operation");
+      ALPU_CHECK_FAIL("completed a non-existent operation");
       break;
   }
 }
@@ -184,7 +185,7 @@ void Alpu::complete_decode() {
   if (command_fifo_.empty()) {
     // The command vanished?  Cannot happen: commands are only consumed by
     // decode/insert ops.
-    assert(false && "decode with empty command FIFO");
+    ALPU_CHECK_FAIL("decode with empty command FIFO");
     state_ = State::kMatch;
     return;
   }
@@ -214,8 +215,8 @@ void Alpu::complete_decode() {
         // Multi-process extension: valid in the same state as RESET.
         // The sweep broadcasts the selector and deletes per block; it
         // occupies the unit one cycle per cell block.
-        assert(!held_probe_.has_value() &&
-               "held probes are retired before commands are read");
+        ALPU_ASSERT(!held_probe_.has_value(),
+                    "held probes are retired before commands are read");
         current_command_ = cmd;
         op_ = Op::kFlush;
         busy_cycles_ = static_cast<unsigned>(
@@ -230,7 +231,8 @@ void Alpu::complete_decode() {
     return;
   }
 
-  assert(state_ == State::kInsertMode);
+  ALPU_ASSERT(state_ == State::kInsertMode,
+              "insert-mode decode outside insert mode (Figure 3)");
   switch (cmd.kind) {
     case CommandKind::kStopInsert:
       state_ = State::kMatch;

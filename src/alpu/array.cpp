@@ -1,8 +1,9 @@
 #include "alpu/array.hpp"
 
 #include <bit>
-#include <cassert>
 #include <cstring>
+
+#include "common/check.hpp"
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define ALPU_X86_DISPATCH 1
@@ -10,6 +11,10 @@
 #endif
 
 namespace alpu::hw {
+
+namespace testing {
+bool inject_compaction_off_by_one = false;
+}  // namespace testing
 
 namespace {
 
@@ -124,10 +129,11 @@ AlpuArray::AlpuArray(AlpuFlavor flavor, std::size_t total_cells,
       total_cells_(total_cells),
       block_size_(block_size),
       significant_mask_(significant_mask) {
-  assert(total_cells > 0);
-  assert(is_pow2(block_size) && "block size must be a power of 2 (III-B)");
-  assert(total_cells % block_size == 0);
-  assert(significant_mask != 0);
+  ALPU_ASSERT(total_cells > 0, "match array must have at least one cell");
+  ALPU_ASSERT(is_pow2(block_size), "block size must be a power of 2 (III-B)");
+  ALPU_ASSERT(total_cells % block_size == 0,
+              "cell count must be a whole number of blocks");
+  ALPU_ASSERT(significant_mask != 0, "comparators need at least one wired bit");
   // Pad every plane to a whole number of 64-cell words: the match loop
   // reads full words, and the validity bitmap masks the tail.
   const std::size_t padded = (total_cells + 63) & ~std::size_t{63};
@@ -154,6 +160,7 @@ bool AlpuArray::insert(MatchWord bits, MatchWord mask, Cookie cookie) {
   mask_[i] = mask;
   cookie_[i] = cookie;
   valid_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  ALPU_INVARIANT(planes_consistent(), "insert broke the prefix invariant");
   return true;
 }
 
@@ -265,11 +272,12 @@ ArrayMatch AlpuArray::match_and_delete(const Probe& probe) {
 }
 
 void AlpuArray::delete_at(std::size_t location) {
-  assert(location < occupancy_);
+  ALPU_ASSERT(location < occupancy_, "delete past the valid prefix");
   // Broadcast match location: every younger cell shifts one slot toward
   // the high-priority end — one block move per plane — and the vacated
   // slot at the tail is invalidated.
-  const std::size_t moved = occupancy_ - 1 - location;
+  std::size_t moved = occupancy_ - 1 - location;
+  if (testing::inject_compaction_off_by_one && moved > 0) --moved;
   if (moved > 0) {
     std::memmove(&bits_[location], &bits_[location + 1],
                  moved * sizeof(MatchWord));
@@ -284,6 +292,8 @@ void AlpuArray::delete_at(std::size_t location) {
   mask_[occupancy_] = 0;
   cookie_[occupancy_] = 0;
   valid_[occupancy_ >> 6] &= ~(std::uint64_t{1} << (occupancy_ & 63));
+  ALPU_INVARIANT(planes_consistent(),
+                 "delete compaction broke the prefix invariant");
 }
 
 void AlpuArray::reset() {
@@ -344,11 +354,25 @@ std::size_t AlpuArray::invalidate_matching(const Probe& selector) {
     valid_[k >> 6] &= ~(std::uint64_t{1} << (k & 63));
   }
   occupancy_ = keep;
+  ALPU_INVARIANT(planes_consistent(),
+                 "RESET PROCESS sweep broke the prefix invariant");
   return removed;
 }
 
+bool AlpuArray::planes_consistent() const {
+  const std::size_t padded = bits_.size();
+  for (std::size_t i = 0; i < padded; ++i) {
+    const bool valid = valid_bit(i);
+    if (valid != (i < occupancy_)) return false;
+    if (!valid && (bits_[i] != 0 || mask_[i] != 0 || cookie_[i] != 0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 Cell AlpuArray::cell(std::size_t i) const {
-  assert(i < total_cells_);
+  ALPU_ASSERT(i < total_cells_, "cell index out of range");
   return Cell{bits_[i], mask_[i], cookie_[i], valid_bit(i)};
 }
 

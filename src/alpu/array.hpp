@@ -43,6 +43,16 @@
 
 namespace alpu::hw {
 
+namespace testing {
+/// Test-only fault injection for the model checker and its self-tests
+/// (tests/test_check.cpp): when set, AlpuArray's deletion compaction
+/// shifts one cell too few, leaving a duplicated entry where the tail
+/// should have moved up — the classic off-by-one the bounded checker
+/// must catch with a counterexample.  Never set outside tests and the
+/// `alpusim check --inject-compaction-bug` demonstration path.
+extern bool inject_compaction_off_by_one;
+}  // namespace testing
+
 /// One storage cell (Figure 2a/2b).  The SoA engine materializes these
 /// on demand for tests/diagnostics; the RTL and pipelined models still
 /// store them directly.
@@ -126,6 +136,10 @@ class AlpuArray {
   std::size_t find_oldest(const Probe& probe) const;
 
   bool cell_matches(std::size_t i, const Probe& probe) const;
+  /// Structural invariant (ALPU_CHECKED builds): the validity bitmap is
+  /// exactly the [0, occupancy) prefix and every plane is zeroed beyond
+  /// it — what the word-parallel probe and the padding-free tail rely on.
+  bool planes_consistent() const;
   bool valid_bit(std::size_t i) const {
     return (valid_[i >> 6] >> (i & 63)) & 1u;
   }

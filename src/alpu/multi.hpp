@@ -14,10 +14,10 @@
 // area model prices via its `match_width` parameter).
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 
 #include "alpu/alpu.hpp"
+#include "common/check.hpp"
 
 namespace alpu::hw {
 
@@ -33,7 +33,7 @@ inline constexpr MatchWord kPidSignificantMask =
 
 /// Stamp a PID into a match word (entry or probe).
 inline MatchWord with_pid(MatchWord word, std::uint32_t pid) {
-  assert(pid <= kMaxPid);
+  ALPU_ASSERT(pid <= kMaxPid, "PID exceeds the widened comparator field");
   return (word & ~kPidMask) | (MatchWord{pid} << kPidShift);
 }
 

@@ -1,6 +1,6 @@
 #include "alpu/pipelined.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace alpu::hw {
 
@@ -81,7 +81,7 @@ bool PipelinedAlpu::tick() {
             return true;
           }
           const bool ok = rtl_.step(pending_insert_, std::nullopt);
-          assert(ok);
+          ALPU_ASSERT(ok, "insert issued while cell 0 was occupied");
           (void)ok;
           pending_insert_.reset();
           ++stats_.inserts;
@@ -101,7 +101,8 @@ bool PipelinedAlpu::tick() {
         --stage_left_;
         if (stage_left_ == 0) {
           op_ = Op::kNone;
-          assert(!command_fifo_.empty());
+          ALPU_ASSERT(!command_fifo_.empty(),
+                      "decode stage with empty command FIFO");
           decode(command_fifo_.pop());
         }
         return true;
@@ -203,7 +204,7 @@ void PipelinedAlpu::finish_match() {
     // occurred since the compare, so the location is still current).
     const bool ok =
         rtl_.step(std::nullopt, latched_match_.location);
-    assert(ok);
+    ALPU_ASSERT(ok, "latched delete location no longer names a valid cell");
     (void)ok;
     emit(Response{ResponseKind::kMatchSuccess, latched_match_.cookie, 0,
                   current_probe_.seq, 0});
@@ -258,7 +259,8 @@ void PipelinedAlpu::decode(const Command& cmd) {
     return;
   }
 
-  assert(state_ == State::kInsertMode);
+  ALPU_ASSERT(state_ == State::kInsertMode,
+              "insert-mode decode outside insert mode (Figure 3)");
   switch (cmd.kind) {
     case CommandKind::kStopInsert:
       state_ = State::kMatch;

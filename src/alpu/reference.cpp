@@ -1,6 +1,6 @@
 #include "alpu/reference.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace alpu::hw {
 
@@ -16,10 +16,12 @@ ReferenceAlpuArray::ReferenceAlpuArray(AlpuFlavor flavor,
       block_size_(block_size),
       significant_mask_(significant_mask),
       cells_(total_cells) {
-  assert(total_cells > 0);
-  assert(is_pow2(block_size) && "block size must be a power of 2 (III-B)");
-  assert(total_cells % block_size == 0);
-  assert(significant_mask != 0);
+  ALPU_ASSERT(total_cells > 0, "match array must have at least one cell");
+  ALPU_ASSERT(is_pow2(block_size), "block size must be a power of 2 (III-B)");
+  ALPU_ASSERT(total_cells % block_size == 0,
+              "cell count must be a whole number of blocks");
+  ALPU_ASSERT(significant_mask != 0,
+              "comparators need at least one wired bit");
 }
 
 bool ReferenceAlpuArray::cell_matches(const Cell& cell,
@@ -123,7 +125,7 @@ ArrayMatch ReferenceAlpuArray::match_and_delete(const Probe& probe) {
 }
 
 void ReferenceAlpuArray::delete_at(std::size_t location) {
-  assert(location < occupancy_);
+  ALPU_ASSERT(location < occupancy_, "delete past the valid prefix");
   // Broadcast match location: every younger cell shifts one slot toward
   // the high-priority end; the vacated slot at the tail is invalidated.
   for (std::size_t i = location; i + 1 < occupancy_; ++i) {

@@ -1,6 +1,6 @@
 #include "alpu/rtl.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace alpu::hw {
 
@@ -14,9 +14,10 @@ RtlAlpu::RtlAlpu(AlpuFlavor flavor, std::size_t total_cells,
       block_size_(block_size),
       significant_mask_(significant_mask),
       cells_(total_cells) {
-  assert(total_cells > 0);
-  assert(is_pow2(block_size));
-  assert(total_cells % block_size == 0);
+  ALPU_ASSERT(total_cells > 0, "match array must have at least one cell");
+  ALPU_ASSERT(is_pow2(block_size), "block size must be a power of 2 (III-B)");
+  ALPU_ASSERT(total_cells % block_size == 0,
+              "cell count must be a whole number of blocks");
 }
 
 std::size_t RtlAlpu::occupancy() const {
@@ -57,14 +58,14 @@ bool RtlAlpu::can_shift_right(std::size_t i,
 
 bool RtlAlpu::step(const std::optional<Cell>& insert,
                    const std::optional<std::size_t>& delete_location) {
-  assert(!(insert.has_value() && delete_location.has_value()) &&
-         "matches are stopped while an insert occupies the datapath");
+  ALPU_ASSERT(!(insert.has_value() && delete_location.has_value()),
+              "matches are stopped while an insert occupies the datapath");
   const std::vector<Cell> snapshot = cells_;
 
   if (delete_location.has_value()) {
     const std::size_t d = *delete_location;
-    assert(d < cells_.size() && snapshot[d].valid &&
-           "delete location must name a valid cell");
+    ALPU_ASSERT(d < cells_.size() && snapshot[d].valid,
+                "delete location must name a valid cell");
     // Cells at and below the match location shift upward; above, hold.
     for (std::size_t i = d + 1; i < cells_.size(); ++i) cells_[i] = snapshot[i];
     for (std::size_t i = 0; i < d; ++i) cells_[i + 1] = snapshot[i];
@@ -78,7 +79,7 @@ bool RtlAlpu::step(const std::optional<Cell>& insert,
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
     if (!snapshot[i].valid) continue;
     const std::size_t dest = can_shift_right(i, snapshot) ? i + 1 : i;
-    assert(!next[dest].valid && "compaction collision");
+    ALPU_ASSERT(!next[dest].valid, "compaction collision");
     next[dest] = snapshot[i];
   }
   cells_ = std::move(next);

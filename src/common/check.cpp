@@ -1,0 +1,45 @@
+#include "common/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace alpu::common {
+
+const char* to_string(CheckSeverity severity) {
+  switch (severity) {
+    case CheckSeverity::kContract:
+      return "contract";
+    case CheckSeverity::kDebug:
+      return "debug";
+    case CheckSeverity::kInvariant:
+      return "invariant";
+  }
+  return "?";
+}
+
+namespace {
+// Relaxed atomics: the handler is installed before (single-threaded)
+// test bodies run; the atomic only guards against torn pointer reads if
+// a sweep worker ever trips a check while another installs a handler.
+std::atomic<CheckFailureHandler> g_handler{nullptr};
+}  // namespace
+
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void check_failed(const char* file, int line, const char* expr,
+                  const char* msg, CheckSeverity severity) {
+  CheckFailureHandler handler = g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    handler(file, line, expr, msg, severity);
+    return;  // a returning (or throwing) handler suppresses the abort
+  }
+  std::fprintf(stderr, "ALPU CHECK FAILED [%s] %s:%d: (%s) — %s\n",
+               to_string(severity), file, line, expr, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace alpu::common

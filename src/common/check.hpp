@@ -1,0 +1,102 @@
+// Contract-assertion layer: structured runtime checks for the simulator.
+//
+// The simulator's correctness argument leans on internal protocol
+// invariants — FIFO flow control, validity-bitmap/cookie-map
+// consistency, event-heap ordering — that a plain `assert()` silently
+// drops under `-DNDEBUG`.  These macros make the intent explicit and
+// keep the load-bearing checks alive in every build:
+//
+//   ALPU_ASSERT(cond, msg)        Load-bearing contract.  Compiled into
+//                                 ALL builds, including NDEBUG; a
+//                                 failure is a protocol violation that
+//                                 would silently corrupt simulation
+//                                 results if allowed to continue.
+//
+//   ALPU_DEBUG_ASSERT(cond, msg)  Cheap sanity check on a hot path.
+//                                 Active unless NDEBUG (this repo keeps
+//                                 NDEBUG off by default) and always
+//                                 active under ALPU_CHECKED.
+//
+//   ALPU_INVARIANT(cond, msg)     Expensive structural invariant (an
+//                                 O(n) scan of a whole data structure).
+//                                 Compiled ONLY in ALPU_CHECKED builds
+//                                 (-DALPU_CHECKED=ON at configure time);
+//                                 the condition is never evaluated
+//                                 otherwise.
+//
+//   ALPU_CHECK_FAIL(msg)          Unconditional failure: a state the
+//                                 control logic makes unreachable.
+//
+// Failures report file:line, the failed expression, the message and the
+// severity, then abort.  Tests can intercept the report (to assert that
+// a specific contract fires) with `set_check_failure_handler`; a
+// handler that returns — or throws, as test handlers do — prevents the
+// abort.
+#pragma once
+
+namespace alpu::common {
+
+enum class CheckSeverity {
+  kContract,   ///< ALPU_ASSERT / ALPU_CHECK_FAIL: on in every build
+  kDebug,      ///< ALPU_DEBUG_ASSERT: on unless NDEBUG, or ALPU_CHECKED
+  kInvariant,  ///< ALPU_INVARIANT: on only under ALPU_CHECKED
+};
+
+const char* to_string(CheckSeverity severity);
+
+/// Called with the failure report before the process aborts.  Returning
+/// normally suppresses the abort (the default handler never returns).
+using CheckFailureHandler = void (*)(const char* file, int line,
+                                     const char* expr, const char* msg,
+                                     CheckSeverity severity);
+
+/// Install a failure handler (tests); returns the previous one.
+/// Passing nullptr restores the default print-and-abort handler.
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
+
+/// Report a failed check through the installed handler, then abort
+/// unless the handler returned normally or threw.
+void check_failed(const char* file, int line, const char* expr,
+                  const char* msg, CheckSeverity severity);
+
+}  // namespace alpu::common
+
+#define ALPU_ASSERT(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      ::alpu::common::check_failed(__FILE__, __LINE__, #cond, msg,      \
+                                   ::alpu::common::CheckSeverity::kContract); \
+    }                                                                   \
+  } while (0)
+
+#define ALPU_CHECK_FAIL(msg)                                            \
+  ::alpu::common::check_failed(__FILE__, __LINE__, "unreachable", msg,  \
+                               ::alpu::common::CheckSeverity::kContract)
+
+#if defined(ALPU_CHECKED) || !defined(NDEBUG)
+#define ALPU_DEBUG_ASSERT(cond, msg)                                    \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      ::alpu::common::check_failed(__FILE__, __LINE__, #cond, msg,      \
+                                   ::alpu::common::CheckSeverity::kDebug); \
+    }                                                                   \
+  } while (0)
+#else
+// Unevaluated: keeps the expression compiling (and its operands "used")
+// at zero runtime cost.
+#define ALPU_DEBUG_ASSERT(cond, msg) \
+  (static_cast<void>(sizeof((cond) ? 1 : 0)))
+#endif
+
+#ifdef ALPU_CHECKED
+#define ALPU_INVARIANT(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      ::alpu::common::check_failed(__FILE__, __LINE__, #cond, msg,      \
+                                   ::alpu::common::CheckSeverity::kInvariant); \
+    }                                                                   \
+  } while (0)
+#else
+#define ALPU_INVARIANT(cond, msg) \
+  (static_cast<void>(sizeof((cond) ? 1 : 0)))
+#endif

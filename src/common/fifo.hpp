@@ -8,11 +8,12 @@
 // producers respect an `almost_full` signal.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace alpu::common {
 
@@ -24,7 +25,7 @@ class BoundedFifo {
   /// A FIFO with space for `capacity` elements.  Capacity must be nonzero.
   explicit BoundedFifo(std::size_t capacity)
       : slots_(capacity), capacity_(capacity) {
-    assert(capacity > 0 && "hardware FIFOs have nonzero depth");
+    ALPU_ASSERT(capacity > 0, "hardware FIFOs have nonzero depth");
   }
 
   bool empty() const { return size_ == 0; }
@@ -47,24 +48,24 @@ class BoundedFifo {
   /// space (e.g. a response slot reserved by a command).
   void push(T value) {
     const bool ok = try_push(std::move(value));
-    assert(ok && "FIFO overflow violates flow-control protocol");
+    ALPU_ASSERT(ok, "FIFO overflow violates flow-control protocol");
     (void)ok;
   }
 
   /// Peek at the head without consuming it.
   const T& front() const {
-    assert(!empty());
+    ALPU_ASSERT(!empty(), "front() on an empty FIFO");
     return slots_[head_];
   }
 
   T& front() {
-    assert(!empty());
+    ALPU_ASSERT(!empty(), "front() on an empty FIFO");
     return slots_[head_];
   }
 
   /// Pop the head.  Precondition: not empty.
   T pop() {
-    assert(!empty());
+    ALPU_ASSERT(!empty(), "pop() on an empty FIFO");
     T out = std::move(slots_[head_]);
     head_ = advance(head_);
     --size_;

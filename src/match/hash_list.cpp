@@ -1,8 +1,9 @@
 #include "match/hash_list.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "common/check.hpp"
 
 namespace alpu::match {
 
@@ -77,10 +78,10 @@ std::uint64_t UnexpectedHashList::insert(MatchWord word, Cookie cookie) {
 
 void UnexpectedHashList::erase_journal_index(std::size_t pos) {
   Item& item = journal_[pos];
-  assert(item.valid);
+  ALPU_ASSERT(item.valid, "erasing a journal tombstone");
   item.valid = false;
   auto it = index_.find(item.word);
-  assert(it != index_.end());
+  ALPU_ASSERT(it != index_.end(), "journal entry missing from hash index");
   auto& positions = it->second;
   positions.erase(std::find(positions.begin(), positions.end(), pos));
   if (positions.empty()) index_.erase(it);
@@ -91,6 +92,8 @@ void UnexpectedHashList::erase_journal_index(std::size_t pos) {
   if (dead > 64) {  // amortize: rebuild positions only occasionally
     journal_.erase(journal_.begin(),
                    journal_.begin() + static_cast<std::ptrdiff_t>(dead));
+    // determinism: ok — rebases every bucket by the same offset, so the
+    // result is independent of hash iteration order.
     for (auto& [word, poss] : index_) {
       for (auto& p : poss) p -= dead;
     }

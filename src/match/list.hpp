@@ -22,13 +22,13 @@
 // and therefore every figure — is unchanged to the byte.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/stats.hpp"
 #include "match/match.hpp"
 
@@ -69,7 +69,7 @@ class CookieIndex {
   void append(Cookie cookie, std::size_t index) {
     const bool inserted =
         pos_.emplace(cookie, static_cast<std::uint32_t>(index)).second;
-    assert(inserted && "duplicate cookie appended to a match list");
+    ALPU_ASSERT(inserted, "duplicate cookie appended to a match list");
     (void)inserted;
   }
   void erase(Cookie cookie) { pos_.erase(cookie); }
@@ -79,9 +79,21 @@ class CookieIndex {
     }
   }
   bool contains(Cookie cookie) const { return pos_.count(cookie) != 0; }
+  std::size_t size() const { return pos_.size(); }
+  /// Structural invariant (ALPU_CHECKED builds): the side table is a
+  /// bijection onto the arena — every cookie maps to the index that
+  /// holds it, and the sizes agree.
+  bool consistent_with(const std::vector<Cookie>& cookies) const {
+    if (pos_.size() != cookies.size()) return false;
+    for (std::size_t i = 0; i < cookies.size(); ++i) {
+      const auto it = pos_.find(cookies[i]);
+      if (it == pos_.end() || it->second != i) return false;
+    }
+    return true;
+  }
   std::size_t index_of(Cookie cookie) const {
     const auto it = pos_.find(cookie);
-    assert(it != pos_.end() && "cookie not present in match list");
+    ALPU_ASSERT(it != pos_.end(), "cookie not present in match list");
     return it->second;
   }
   void clear() { pos_.clear(); }
@@ -126,7 +138,7 @@ class PostedList {
   bool empty() const { return bits_.empty(); }
   /// Materialized view of entry `i` (by value — storage is SoA planes).
   PostedEntry at(std::size_t i) const {
-    assert(i < size());
+    ALPU_ASSERT(i < size(), "posted-list index out of range");
     return PostedEntry{Pattern{bits_[i], mask_[i]}, cookies_[i], addrs_[i]};
   }
   void clear() {
@@ -182,7 +194,7 @@ class UnexpectedList {
   bool empty() const { return words_.empty(); }
   /// Materialized view of entry `i` (by value — storage is SoA planes).
   UnexpectedEntry at(std::size_t i) const {
-    assert(i < size());
+    ALPU_ASSERT(i < size(), "unexpected-list index out of range");
     return UnexpectedEntry{words_[i], cookies_[i], addrs_[i]};
   }
   void clear() {
@@ -223,7 +235,7 @@ inline SearchResult PostedList::search_from(std::size_t first,
 }
 
 inline void PostedList::erase(std::size_t index) {
-  assert(index < size());
+  ALPU_ASSERT(index < size(), "posted-list erase index out of range");
   index_.erase(cookies_[index]);
   const std::size_t moved = size() - index - 1;
   if (moved > 0) {
@@ -242,6 +254,8 @@ inline void PostedList::erase(std::size_t index) {
   cookies_.pop_back();
   addrs_.pop_back();
   index_.refresh(cookies_, index);
+  ALPU_INVARIANT(index_.consistent_with(cookies_),
+                 "posted-list erase broke the cookie map");
 }
 
 inline SearchResult UnexpectedList::search_from(std::size_t first,
@@ -264,7 +278,7 @@ inline SearchResult UnexpectedList::search_from(std::size_t first,
 }
 
 inline void UnexpectedList::erase(std::size_t index) {
-  assert(index < size());
+  ALPU_ASSERT(index < size(), "unexpected-list erase index out of range");
   index_.erase(cookies_[index]);
   const std::size_t moved = size() - index - 1;
   if (moved > 0) {
@@ -280,6 +294,8 @@ inline void UnexpectedList::erase(std::size_t index) {
   cookies_.pop_back();
   addrs_.pop_back();
   index_.refresh(cookies_, index);
+  ALPU_INVARIANT(index_.consistent_with(cookies_),
+                 "unexpected-list erase broke the cookie map");
 }
 
 }  // namespace alpu::match

@@ -1,14 +1,14 @@
 #include "match/match.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 #include <sstream>
 
 namespace alpu::match {
 
 MatchWord pack(const Envelope& env) {
-  assert(env.context <= kMaxContext);
-  assert(env.source <= kMaxSource);
-  assert(env.tag <= kMaxTag);
+  ALPU_DEBUG_ASSERT(env.context <= kMaxContext, "context exceeds 13 bits");
+  ALPU_DEBUG_ASSERT(env.source <= kMaxSource, "source rank exceeds 15 bits");
+  ALPU_DEBUG_ASSERT(env.tag <= kMaxTag, "tag exceeds 14 bits");
   return (MatchWord{env.context} << kContextShift) |
          (MatchWord{env.source} << kSourceShift) |
          (MatchWord{env.tag} << kTagShift);
@@ -25,18 +25,18 @@ Envelope unpack(MatchWord word) {
 Pattern make_recv_pattern(std::uint32_t context,
                           std::optional<std::uint32_t> source,
                           std::optional<std::uint32_t> tag) {
-  assert(context <= kMaxContext);
+  ALPU_DEBUG_ASSERT(context <= kMaxContext, "context exceeds 13 bits");
   Pattern p;
   p.bits = MatchWord{context} << kContextShift;
   p.mask = 0;
   if (source.has_value()) {
-    assert(*source <= kMaxSource);
+    ALPU_DEBUG_ASSERT(*source <= kMaxSource, "source rank exceeds 15 bits");
     p.bits |= MatchWord{*source} << kSourceShift;
   } else {
     p.mask |= kSourceMask;
   }
   if (tag.has_value()) {
-    assert(*tag <= kMaxTag);
+    ALPU_DEBUG_ASSERT(*tag <= kMaxTag, "tag exceeds 14 bits");
     p.bits |= MatchWord{*tag} << kTagShift;
   } else {
     p.mask |= kTagMask;

@@ -1,8 +1,8 @@
 #include "nic/nic.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace alpu::nic {
@@ -110,7 +110,7 @@ void Nic::on_network_delivery(const net::Packet& packet) {
     // The real hardware back-pressures the Rx path instead of dropping;
     // the modelled FIFO is provisioned deep enough that this cannot
     // trigger under any benchmark herein.
-    assert(pushed && "posted-ALPU header FIFO overflow");
+    ALPU_ASSERT(pushed, "posted-ALPU header FIFO overflow");
     (void)pushed;
     item.probe_seq = posted_ctx_->next_probe_seq++;
   }
@@ -125,7 +125,7 @@ void Nic::enqueue_advance(std::function<void()> job) {
 
 void Nic::complete(const Completion& completion) {
   ++stats_.completions;
-  assert(on_completion_ && "no completion handler attached");
+  ALPU_ASSERT(on_completion_, "no completion handler attached");
   engine().schedule_in(config_.completion_ps,
                        [this, completion] { on_completion_(completion); });
 }
@@ -319,8 +319,7 @@ sim::Process Nic::read_match_result(AlpuCtx& ctx, std::uint64_t expected_seq,
   if (!ctx.drained.empty()) {
     *out = ctx.drained.front();
     ctx.drained.pop_front();
-    assert(out->probe_seq == expected_seq &&
-           "drained response out of order with packet stream");
+    ALPU_ASSERT(out->probe_seq == expected_seq, "drained response out of order with packet stream");
     const TimePs t = instr(config_.costs.alpu_poll_cycles);
     stats_.firmware_busy += t;
     co_await sim::delay(eng, t);
@@ -337,9 +336,8 @@ sim::Process Nic::read_match_result(AlpuCtx& ctx, std::uint64_t expected_seq,
     co_await sim::delay(eng, t);
     auto r = ctx.unit->pop_result();
     if (!r.has_value()) continue;  // spin: result not ready yet
-    assert(r->kind != hw::ResponseKind::kStartAck &&
-           "unexpected START ACK outside an insert session");
-    assert(r->probe_seq == expected_seq && "response/probe order violated");
+    ALPU_ASSERT(r->kind != hw::ResponseKind::kStartAck, "unexpected START ACK outside an insert session");
+    ALPU_ASSERT(r->probe_seq == expected_seq, "response/probe order violated");
     *out = *r;
     co_return;
   }
@@ -401,7 +399,7 @@ sim::Process Nic::update_alpu(AlpuCtx& ctx, bool is_posted) {
     co_await sim::delay(eng, t2);
     const bool ok_stop = ctx.unit->push_command(
         hw::Command{hw::CommandKind::kStopInsert, 0, 0, 0});
-    assert(ok_stop && "command FIFO overflow on abort STOP INSERT");
+    ALPU_ASSERT(ok_stop, "command FIFO overflow on abort STOP INSERT");
     (void)ok_stop;
     co_return;
   }
@@ -432,7 +430,7 @@ sim::Process Nic::update_alpu(AlpuCtx& ctx, bool is_posted) {
       cmd.cookie = e.cookie;
     }
     const bool ok = ctx.unit->push_command(cmd);
-    assert(ok && "command FIFO overflow during granted insert batch");
+    ALPU_ASSERT(ok, "command FIFO overflow during granted insert batch");
     (void)ok;
     ++stats_.alpu_entries_inserted;
     // Periodically clear successful matches so the result FIFO cannot
@@ -454,7 +452,7 @@ sim::Process Nic::update_alpu(AlpuCtx& ctx, bool is_posted) {
   co_await sim::delay(eng, t);
   const bool ok = ctx.unit->push_command(
       hw::Command{hw::CommandKind::kStopInsert, 0, 0, 0});
-  assert(ok && "command FIFO overflow on STOP INSERT");
+  ALPU_ASSERT(ok, "command FIFO overflow on STOP INSERT");
   (void)ok;
 }
 
@@ -493,8 +491,7 @@ sim::Process Nic::handle_packet(RxItem item) {
           // The cookie points straight at the entry: one state-line
           // touch, no list walk.
           const std::size_t index = posted_index_of(cookie);
-          assert(index < posted_ctx_->synced &&
-                 "ALPU matched an entry outside its synced prefix");
+          ALPU_ASSERT(index < posted_ctx_->synced, "ALPU matched an entry outside its synced prefix");
           t += erase_cost(posted_info_.at(cookie).state_line);
           erase_posted(index);
         } else {
@@ -548,7 +545,7 @@ sim::Process Nic::handle_packet(RxItem item) {
     case net::PacketKind::kCtsRendezvous: {
       // Sender side: our RTS was matched; stream the payload.
       auto it = rdvz_send_.find(p.token);
-      assert(it != rdvz_send_.end() && "CTS with unknown token");
+      ALPU_ASSERT(it != rdvz_send_.end(), "CTS with unknown token");
       const RdvzSendState st = it->second;
       rdvz_send_.erase(it);
       t += instr(config_.costs.rendezvous_cycles);
@@ -574,7 +571,7 @@ sim::Process Nic::handle_packet(RxItem item) {
     case net::PacketKind::kRendezvousData: {
       // Receiver side: the bulk payload for an earlier CTS.
       auto it = rdvz_recv_.find(p.token);
-      assert(it != rdvz_recv_.end() && "DATA with unknown token");
+      ALPU_ASSERT(it != rdvz_recv_.end(), "DATA with unknown token");
       const RdvzRecvState st = it->second;
       rdvz_recv_.erase(it);
       t += instr(config_.costs.rendezvous_cycles);
@@ -596,7 +593,8 @@ sim::Process Nic::deliver_to_posted(match::Cookie cookie,
                                     TimePs accrued) {
   auto& eng = engine();
   const auto info_it = posted_info_.find(cookie);
-  assert(info_it != posted_info_.end());
+  ALPU_ASSERT(info_it != posted_info_.end(),
+              "posted cookie missing from the info map");
   const PostedInfo info = info_it->second;
   posted_info_.erase(info_it);
 
@@ -616,7 +614,8 @@ sim::Process Nic::deliver_to_posted(match::Cookie cookie,
   }
 
   // Rendezvous RTS matched a posted receive: reply CTS and wait for data.
-  assert(packet.kind == net::PacketKind::kRtsRendezvous);
+  ALPU_ASSERT(packet.kind == net::PacketKind::kRtsRendezvous,
+              "non-rendezvous packet on the rendezvous path");
   t += instr(config_.costs.rendezvous_cycles);
   rdvz_recv_[packet.token] =
       RdvzRecvState{info.buffer, info.max_bytes, info.req_id};
@@ -686,7 +685,8 @@ sim::Process Nic::handle_request(HostRequest request) {
   }
 
   // ---- post receive ----
-  assert(request.kind == RequestKind::kPostRecv);
+  ALPU_ASSERT(request.kind == RequestKind::kPostRecv,
+              "non-post-recv request on the post-recv path");
   ++stats_.unexpected_searches;
   TimePs t = instr(config_.costs.post_recv_cycles);
 
@@ -706,7 +706,7 @@ sim::Process Nic::handle_request(HostRequest request) {
     t = 0;
     const bool pushed = unexpected_ctx_->unit->push_probe(
         hw::Probe{request.pattern.bits, request.pattern.mask, seq});
-    assert(pushed && "unexpected-ALPU header FIFO overflow");
+    ALPU_ASSERT(pushed, "unexpected-ALPU header FIFO overflow");
     (void)pushed;
     hw::Response r;
     co_await read_match_result(*unexpected_ctx_, seq, &r);
@@ -714,7 +714,8 @@ sim::Process Nic::handle_request(HostRequest request) {
       ++stats_.alpu_unexpected_hits;
       matched = true;
       cookie = r.cookie;
-      assert(unexpected_index_of(cookie) < unexpected_ctx_->synced);
+      ALPU_ASSERT(unexpected_index_of(cookie) < unexpected_ctx_->synced,
+                  "ALPU hit on an entry never synced into the unit");
       t += erase_cost(unexpected_info_.at(cookie).state_line);
       // Delivery below erases via deliver_from_unexpected.
     } else {
@@ -767,7 +768,8 @@ sim::Process Nic::deliver_from_unexpected(match::Cookie cookie,
   auto& eng = engine();
   const std::size_t index = unexpected_index_of(cookie);
   const auto info_it = unexpected_info_.find(cookie);
-  assert(info_it != unexpected_info_.end());
+  ALPU_ASSERT(info_it != unexpected_info_.end(),
+              "unexpected cookie missing from the info map");
   const UnexpectedInfo info = info_it->second;
   const match::MatchWord bits = unexpected_.at(index).word;
   erase_unexpected(index);
@@ -789,7 +791,8 @@ sim::Process Nic::deliver_from_unexpected(match::Cookie cookie,
   }
 
   // A buffered RTS: reply CTS now that a receive is posted.
-  assert(info.kind == net::PacketKind::kRtsRendezvous);
+  ALPU_ASSERT(info.kind == net::PacketKind::kRtsRendezvous,
+              "non-rendezvous unexpected entry on the rendezvous path");
   t += instr(config_.costs.rendezvous_cycles);
   rdvz_recv_[info.token] = RdvzRecvState{request.recv_buffer,
                                          request.recv_max_bytes,

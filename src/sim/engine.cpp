@@ -1,7 +1,8 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace alpu::sim {
 
@@ -23,7 +24,7 @@ std::uint32_t Engine::acquire_slot() {
     s.next_free = kNoFreeSlot;
     return index;
   }
-  assert(slot_count_ < kSlotMask && "too many concurrent events");
+  ALPU_ASSERT(slot_count_ < kSlotMask, "too many concurrent events");
   if ((slot_count_ & kBlockMask) == 0) {
     blocks_.push_back(std::make_unique<Slot[]>(kSlotsPerBlock));
   }
@@ -40,6 +41,17 @@ void Engine::heap_push(const QueueItem& item) {
     hole = parent;
   }
   heap_[hole] = item;
+  ALPU_INVARIANT(heap_ordered(), "heap_push broke the event-heap order");
+}
+
+bool Engine::heap_ordered() const {
+  // 8-ary min-heap property: no child fires before its parent.  The
+  // strict total order on (when, id) makes this the full determinism
+  // guarantee — pop order is forced, whatever the heap's shape.
+  for (std::size_t i = 1; i < heap_.size(); ++i) {
+    if (earlier(heap_[i], heap_[(i - 1) >> 3])) return false;
+  }
+  return true;
 }
 
 void Engine::heap_pop() {
@@ -61,11 +73,12 @@ void Engine::heap_pop() {
     hole = best;
   }
   heap_[hole] = last;
+  ALPU_INVARIANT(heap_ordered(), "heap_pop broke the event-heap order");
 }
 
 EventId Engine::schedule_at(TimePs when, EventCallback fn) {
-  assert(when >= now_ && "cannot schedule into the past");
-  assert(next_seq_ < kMaxSeq && "sequence space exhausted");
+  ALPU_ASSERT(when >= now_, "cannot schedule into the past");
+  ALPU_ASSERT(next_seq_ < kMaxSeq, "sequence space exhausted");
   const std::uint32_t index = acquire_slot();
   Slot& s = slot(index);
   s.fn = std::move(fn);

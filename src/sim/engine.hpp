@@ -25,7 +25,6 @@
 //    an already-fired id is a true no-op (nothing is remembered forever).
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -35,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/time.hpp"
 
 namespace alpu::sim {
@@ -77,7 +77,7 @@ class EventCallback {
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
   void operator()() {
-    assert(ops_ != nullptr);
+    ALPU_DEBUG_ASSERT(ops_ != nullptr, "invoking an empty EventCallback");
     ops_->invoke(&storage_);
   }
 
@@ -287,6 +287,9 @@ class Engine {
   // shallower, denser layout measurably beats both binary and 4-ary here.
   void heap_push(const QueueItem& item);
   void heap_pop();
+  /// Structural invariant (ALPU_CHECKED builds): the heap property holds
+  /// over the whole queue.
+  bool heap_ordered() const;
 
   void init_components();
   void finish_components();

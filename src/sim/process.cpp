@@ -2,10 +2,12 @@
 
 #include <memory>
 
+#include "common/check.hpp"
+
 namespace alpu::sim {
 
 std::size_t ProcessPool::spawn(Process p) {
-  assert(p.valid());
+  ALPU_ASSERT(p.valid(), "spawning an invalid (moved-from or done) process");
   auto flag = std::make_unique<bool>(false);
   p.handle_.promise().done_flag = flag.get();
   const auto handle = p.handle_;

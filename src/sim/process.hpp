@@ -13,7 +13,6 @@
 //   engine.spawn(ping(ctx));
 #pragma once
 
-#include <cassert>
 #include <coroutine>
 #include <exception>
 #include <memory>

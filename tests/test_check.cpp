@@ -1,0 +1,233 @@
+// Tests for the bounded model checker (src/check/): the spec's own
+// semantics, known-good exhaustive runs over every implementation, and
+// the checker's teeth — a seeded compaction bug must be caught with a
+// minimal counterexample.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alpu/array.hpp"
+#include "check/checker.hpp"
+#include "check/spec.hpp"
+#include "match/match.hpp"
+
+namespace alpu::check {
+namespace {
+
+using hw::AlpuFlavor;
+
+// ---- ListSpec self-consistency --------------------------------------------
+
+TEST(ListSpec, OldestMatchWinsAndDeletes) {
+  ListSpec spec(AlpuFlavor::kPostedReceive, 4, match::kFullMask);
+  const MatchWord h = match::pack({1, 2, 3});
+  EXPECT_TRUE(spec.insert(h, 0, 11));
+  EXPECT_TRUE(spec.insert(h, 0, 22));
+
+  const SpecMatch first = spec.match_and_delete(h, 0);
+  ASSERT_TRUE(first.hit);
+  EXPECT_EQ(first.index, 0u);
+  EXPECT_EQ(first.cookie, 11u);  // FIFO among equal entries
+
+  const SpecMatch second = spec.match_and_delete(h, 0);
+  ASSERT_TRUE(second.hit);
+  EXPECT_EQ(second.cookie, 22u);
+  EXPECT_FALSE(spec.match(h, 0).hit);
+}
+
+TEST(ListSpec, PostedFlavourUsesStoredMask) {
+  ListSpec spec(AlpuFlavor::kPostedReceive, 4, match::kFullMask);
+  const match::Pattern wild = match::make_recv_pattern(1, std::nullopt, 5);
+  EXPECT_TRUE(spec.insert(wild.bits, wild.mask, 7));
+  // Any source matches; a different tag does not.
+  EXPECT_TRUE(spec.match(match::pack({1, 9, 5}), 0).hit);
+  EXPECT_FALSE(spec.match(match::pack({1, 9, 6}), 0).hit);
+}
+
+TEST(ListSpec, UnexpectedFlavourUsesProbeMask) {
+  ListSpec spec(AlpuFlavor::kUnexpected, 4, match::kFullMask);
+  EXPECT_TRUE(spec.insert(match::pack({1, 2, 3}), 0, 7));
+  const match::Pattern wild = match::make_recv_pattern(1, std::nullopt, 3);
+  EXPECT_TRUE(spec.match(wild.bits, wild.mask).hit);
+  EXPECT_FALSE(spec.match(match::pack({1, 9, 3}), 0).hit);  // exact probe
+}
+
+TEST(ListSpec, SweepRemovesSelectorMatchesOnly) {
+  ListSpec spec(AlpuFlavor::kUnexpected, 4, match::kFullMask);
+  EXPECT_TRUE(spec.insert(match::pack({1, 1, 0}), 0, 1));
+  EXPECT_TRUE(spec.insert(match::pack({1, 2, 0}), 0, 2));
+  EXPECT_TRUE(spec.insert(match::pack({1, 1, 9}), 0, 3));
+  const match::Pattern sel = match::make_recv_pattern(1, 1, std::nullopt);
+  EXPECT_EQ(spec.sweep(sel.bits, sel.mask), 2u);
+  ASSERT_EQ(spec.size(), 1u);
+  EXPECT_EQ(spec.entries()[0].cookie, 2u);
+}
+
+TEST(ListSpec, InsertRespectsCapacity) {
+  ListSpec spec(AlpuFlavor::kPostedReceive, 2, match::kFullMask);
+  EXPECT_TRUE(spec.insert(1, 0, 1));
+  EXPECT_TRUE(spec.insert(2, 0, 2));
+  EXPECT_FALSE(spec.insert(3, 0, 3));
+  EXPECT_EQ(spec.size(), 2u);
+}
+
+// ---- ProtocolSpec: the Figure-3 held-failure rule -------------------------
+
+TEST(ProtocolSpec, HeldFailureResolvesAtStopInsert) {
+  ProtocolSpec spec(AlpuFlavor::kPostedReceive, 4, match::kFullMask);
+  std::vector<SpecResponse> out;
+
+  spec.apply(Op{OpKind::kBegin, 0, 0, 0, 0}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, hw::ResponseKind::kStartAck);
+  EXPECT_EQ(out[0].free_slots, 4u);
+
+  // A probe that misses inside insert mode is held, not answered.
+  out.clear();
+  spec.apply(Op{OpKind::kProbe, match::pack({1, 0, 0}), 0, 0, 1}, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(spec.has_held_probe());
+
+  // STOP INSERT releases it as a failure.
+  out.clear();
+  spec.apply(Op{OpKind::kEnd, 0, 0, 0, 0}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, hw::ResponseKind::kMatchFailure);
+  EXPECT_EQ(out[0].probe_seq, 1u);
+  EXPECT_FALSE(spec.has_held_probe());
+}
+
+TEST(ProtocolSpec, HeldFailureRetriesAfterInsert) {
+  ProtocolSpec spec(AlpuFlavor::kPostedReceive, 4, match::kFullMask);
+  std::vector<SpecResponse> out;
+  const MatchWord h = match::pack({1, 0, 0});
+
+  spec.apply(Op{OpKind::kBegin, 0, 0, 0, 0}, out);
+  out.clear();
+  spec.apply(Op{OpKind::kProbe, h, 0, 0, 1}, out);
+  EXPECT_TRUE(out.empty());
+
+  // The matching insert triggers the retry; the held probe succeeds
+  // (and deletes the entry) without waiting for STOP INSERT.
+  spec.apply(Op{OpKind::kInsert, h, 0, 5, 0}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, hw::ResponseKind::kMatchSuccess);
+  EXPECT_EQ(out[0].cookie, 5u);
+  EXPECT_EQ(out[0].probe_seq, 1u);
+  EXPECT_FALSE(spec.has_held_probe());
+  EXPECT_EQ(spec.list().size(), 0u);
+}
+
+TEST(ProtocolSpec, QueuedProbesDrainBehindHeldInOrder) {
+  ProtocolSpec spec(AlpuFlavor::kPostedReceive, 4, match::kFullMask);
+  std::vector<SpecResponse> out;
+  const MatchWord h = match::pack({1, 0, 0});
+
+  spec.apply(Op{OpKind::kBegin, 0, 0, 0, 0}, out);
+  out.clear();
+  spec.apply(Op{OpKind::kProbe, h, 0, 0, 1}, out);  // misses -> held
+  spec.apply(Op{OpKind::kProbe, h, 0, 0, 2}, out);  // queued behind it
+  EXPECT_TRUE(out.empty());
+
+  // Two matching entries: the retry answers probe 1, then the queue
+  // drains probe 2 — responses in probe order.
+  spec.apply(Op{OpKind::kInsert, h, 0, 5, 0}, out);
+  spec.apply(Op{OpKind::kInsert, h, 0, 6, 0}, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].probe_seq, 1u);
+  EXPECT_EQ(out[0].cookie, 5u);
+  EXPECT_EQ(out[1].probe_seq, 2u);
+  EXPECT_EQ(out[1].cookie, 6u);
+}
+
+// ---- known-good exhaustive runs -------------------------------------------
+
+class ExhaustiveCheck
+    : public ::testing::TestWithParam<std::tuple<ImplKind, AlpuFlavor>> {};
+
+// Depth 5 on a 4-cell array keeps the whole matrix (4 impls x 2
+// flavours) under a second; CI's model-check job runs depth 6 via
+// `alpusim check`.
+TEST_P(ExhaustiveCheck, MatchesSpec) {
+  const auto [impl, flavor] = GetParam();
+  CheckOptions opt;
+  opt.depth = 5;
+  opt.cells = 4;
+  opt.block = 2;
+  const CheckResult result = check_impl(impl, flavor, opt);
+  EXPECT_TRUE(result.ok) << format_counterexample(result);
+  EXPECT_GT(result.sequences, 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImpls, ExhaustiveCheck,
+    ::testing::Combine(::testing::Values(ImplKind::kArray,
+                                         ImplKind::kReference,
+                                         ImplKind::kTransaction,
+                                         ImplKind::kPipelined),
+                       ::testing::Values(AlpuFlavor::kPostedReceive,
+                                         AlpuFlavor::kUnexpected)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             to_string(std::get<1>(info.param));
+    });
+
+// ---- the checker has teeth ------------------------------------------------
+
+class InjectedBug : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    hw::testing::inject_compaction_off_by_one = false;
+  }
+};
+
+TEST_F(InjectedBug, CompactionOffByOneIsCaughtWithCounterexample) {
+  hw::testing::inject_compaction_off_by_one = true;
+  CheckOptions opt;
+  opt.depth = 5;
+  opt.cells = 4;
+  opt.block = 2;
+  const CheckResult result =
+      check_impl(ImplKind::kArray, AlpuFlavor::kPostedReceive, opt);
+  ASSERT_FALSE(result.ok);
+  EXPECT_FALSE(result.divergence.empty());
+
+  // The minimal trace: two inserts and the probe that deletes the
+  // older one (deleting with no younger survivors cannot misplace
+  // anything, so nothing shorter can expose a compaction bug).
+  ASSERT_EQ(result.counterexample.size(), 3u);
+  EXPECT_EQ(result.counterexample[0].kind, OpKind::kInsert);
+  EXPECT_EQ(result.counterexample[1].kind, OpKind::kInsert);
+  EXPECT_EQ(result.counterexample[2].kind, OpKind::kProbe);
+}
+
+TEST_F(InjectedBug, TransactionUnitInheritsTheBug) {
+  // The transaction-level Alpu wraps AlpuArray, so the protocol tier
+  // must catch the same datapath bug through the FIFO interface.
+  hw::testing::inject_compaction_off_by_one = true;
+  CheckOptions opt;
+  opt.depth = 5;
+  opt.cells = 4;
+  opt.block = 2;
+  const CheckResult result =
+      check_impl(ImplKind::kTransaction, AlpuFlavor::kPostedReceive, opt);
+  ASSERT_FALSE(result.ok);
+  EXPECT_FALSE(result.counterexample.empty());
+}
+
+TEST_F(InjectedBug, ReferenceOracleIsUnaffected) {
+  // The injection hook lives in the SoA engine only; the reference
+  // implementation must keep passing — that asymmetry is exactly what
+  // differential checking buys.
+  hw::testing::inject_compaction_off_by_one = true;
+  CheckOptions opt;
+  opt.depth = 4;
+  opt.cells = 4;
+  opt.block = 2;
+  const CheckResult result =
+      check_impl(ImplKind::kReference, AlpuFlavor::kPostedReceive, opt);
+  EXPECT_TRUE(result.ok) << format_counterexample(result);
+}
+
+}  // namespace
+}  // namespace alpu::check

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "alpu/array.hpp"
+#include "check/checker.hpp"
 #include "common/flags.hpp"
 #include "common/log.hpp"
 #include "fpga/area_model.hpp"
@@ -34,7 +36,7 @@ using workload::NicMode;
 int usage() {
   std::fprintf(stderr,
                "usage: alpusim <preposted|unexpected|pingpong|msgrate|fpga"
-               "|sweep>\n"
+               "|sweep|check>\n"
                "               [--mode baseline|alpu128|alpu256] [--length N]\n"
                "               [--fraction F] [--bytes N] [--iterations N]"
                " [--burst N] [--threshold N]\n"
@@ -43,8 +45,78 @@ int usage() {
                "               [--cells N] [--block N] [--width N]"
                " [--flavor posted|unexpected] [--report]\n"
                "               [--figure 5|6] [--jobs N] [--quick]"
-               " [--verbose]   (sweep mode)\n");
+               " [--verbose]   (sweep mode)\n"
+               "               [--depth N] [--impl array|reference|alpu"
+               "|pipelined|all]\n"
+               "               [--inject-compaction-bug]"
+               "   (check mode)\n");
   return 2;
+}
+
+/// `alpusim check`: bounded model check of the ALPU implementations
+/// against the executable protocol spec (src/check/).  Exits non-zero
+/// on the first divergence, printing the minimal counterexample.
+int run_check(const common::Flags& flags) {
+  check::CheckOptions opt;
+  opt.depth = static_cast<std::size_t>(flags.get_int("depth", 6));
+  opt.cells = static_cast<std::size_t>(flags.get_int("cells", 4));
+  opt.block = static_cast<std::size_t>(flags.get_int("block", 2));
+
+  std::vector<check::ImplKind> impls;
+  const std::string impl = flags.get("impl", "all");
+  if (impl == "array" || impl == "all") {
+    impls.push_back(check::ImplKind::kArray);
+  }
+  if (impl == "reference" || impl == "all") {
+    impls.push_back(check::ImplKind::kReference);
+  }
+  if (impl == "alpu" || impl == "all") {
+    impls.push_back(check::ImplKind::kTransaction);
+  }
+  if (impl == "pipelined" || impl == "all") {
+    impls.push_back(check::ImplKind::kPipelined);
+  }
+  if (impls.empty()) {
+    std::fprintf(stderr, "unknown --impl\n");
+    return 2;
+  }
+
+  std::vector<hw::AlpuFlavor> flavors;
+  const std::string flavor = flags.get("flavor", "both");
+  if (flavor == "posted" || flavor == "both") {
+    flavors.push_back(hw::AlpuFlavor::kPostedReceive);
+  }
+  if (flavor == "unexpected" || flavor == "both") {
+    flavors.push_back(hw::AlpuFlavor::kUnexpected);
+  }
+  if (flavors.empty()) {
+    std::fprintf(stderr, "unknown --flavor\n");
+    return 2;
+  }
+
+  // Demonstration/self-test hook: plant the classic compaction
+  // off-by-one in AlpuArray and watch the checker pin it down.
+  hw::testing::inject_compaction_off_by_one =
+      flags.get_bool("inject-compaction-bug");
+
+  bool all_ok = true;
+  for (check::ImplKind kind : impls) {
+    for (hw::AlpuFlavor f : flavors) {
+      const check::CheckResult r = check::check_impl(kind, f, opt);
+      std::printf("check impl=%s flavor=%s depth=%zu cells=%zu "
+                  "sequences=%llu ops=%llu %s\n",
+                  check::to_string(kind), check::to_string(f), opt.depth,
+                  opt.cells, static_cast<unsigned long long>(r.sequences),
+                  static_cast<unsigned long long>(r.ops_applied),
+                  r.ok ? "PASS" : "FAIL");
+      if (!r.ok) {
+        std::printf("%s", check::format_counterexample(r).c_str());
+        all_ok = false;
+      }
+    }
+  }
+  hw::testing::inject_compaction_off_by_one = false;
+  return all_ok ? 0 : 1;
 }
 
 /// `--verbose` companion output: aggregate probe-level engine counters
@@ -158,6 +230,9 @@ int main(int argc, char** argv) {
 
   if (scenario == "sweep") {
     return run_sweep(flags);
+  }
+  if (scenario == "check") {
+    return run_check(flags);
   }
 
   bool mode_ok = true;
