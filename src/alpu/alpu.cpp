@@ -160,7 +160,11 @@ void Alpu::complete_op() {
       } else {
         // Protocol violation: the processor inserted past the count it
         // was granted in START ACKNOWLEDGE.  Hardware has nowhere to put
-        // the entry; record and drop.
+        // the entry; record and drop.  Drivers that never overrun their
+        // grant opt into trapping this (see AlpuConfig) — for them a
+        // silent drop here is lost data, not a modelled condition.
+        ALPU_DEBUG_ASSERT(!config_.assert_on_insert_drop,
+                          "insert dropped by a full ALPU (grant overrun)");
         ++stats_.inserts_dropped;
       }
       // Every insert gives a held (previously failing) probe new

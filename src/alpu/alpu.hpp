@@ -60,6 +60,15 @@ struct AlpuConfig {
   std::size_t header_fifo_depth = 64;
   std::size_t command_fifo_depth = 64;
   std::size_t result_fifo_depth = 64;
+
+  /// An INSERT past capacity is a software protocol violation: the unit
+  /// records it in `inserts_dropped` and drops the entry silently, which
+  /// is correct for the hardware but turns a driver bug into data loss.
+  /// Drivers that only insert against granted credit (the NIC firmware)
+  /// set this to trap the drop in checked builds; conformance tests and
+  /// the model checker, which exercise the violation deliberately, leave
+  /// it off and observe the counter.
+  bool assert_on_insert_drop = false;
 };
 
 struct AlpuStats {

@@ -68,6 +68,9 @@ bool PipelinedAlpu::tick() {
           if (rtl_.occupancy() == rtl_.capacity()) {
             // Past the granted count (firmware protocol violation):
             // nowhere to put it — drop, as the transaction model does.
+            ALPU_DEBUG_ASSERT(
+                !config_.assert_on_insert_drop,
+                "insert dropped by a full ALPU (grant overrun)");
             ++stats_.inserts_dropped;
             pending_insert_.reset();
             stage_left_ = 1;

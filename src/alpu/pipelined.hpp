@@ -43,6 +43,8 @@ struct PipelinedAlpuConfig {
   std::size_t header_fifo_depth = 64;
   std::size_t command_fifo_depth = 64;
   std::size_t result_fifo_depth = 64;
+  /// See AlpuConfig::assert_on_insert_drop.
+  bool assert_on_insert_drop = false;
 };
 
 struct PipelinedAlpuStats {

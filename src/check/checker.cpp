@@ -103,6 +103,7 @@ bool sequence_legal(const std::vector<Op>& seq, bool protocol) {
         if (mode) return false;
         break;
       case OpKind::kProbe:
+      case OpKind::kProbeRejected:
         break;
     }
   }
@@ -190,6 +191,7 @@ std::optional<std::string> replay_datapath(AlpuFlavor flavor,
       }
       case OpKind::kBegin:
       case OpKind::kEnd:
+      case OpKind::kProbeRejected:
         ALPU_CHECK_FAIL("protocol-only op in a datapath sequence");
     }
 
@@ -328,6 +330,11 @@ std::optional<std::string> replay_protocol(AlpuFlavor flavor,
       case OpKind::kSweep:
         pushed = dev.push_command(
             {hw::CommandKind::kResetMatching, op.bits, op.mask, 0});
+        break;
+      case OpKind::kProbeRejected:
+        // The header FIFO refused the probe before the unit saw it:
+        // nothing reaches the device.  The spec step must agree that no
+        // response is owed and no state changed.
         break;
     }
     // FIFO depths dwarf the bounded sequence length; back-pressure here

@@ -30,6 +30,11 @@ std::string to_string(const Op& op) {
       std::snprintf(buf, sizeof buf, "sweep %s",
                     match::to_string(p).c_str());
       return buf;
+    case OpKind::kProbeRejected:
+      std::snprintf(buf, sizeof buf, "probe-rejected %s seq=%llu",
+                    match::to_string(p).c_str(),
+                    static_cast<unsigned long long>(op.seq));
+      return buf;
   }
   return "?";
 }
@@ -196,6 +201,13 @@ void ProtocolSpec::apply(const Op& op, std::vector<SpecResponse>& out) {
     case OpKind::kSweep:
       ALPU_ASSERT(!insert_mode_, "sweep inside insert mode is discarded");
       (void)list_.sweep(op.bits, op.mask);
+      break;
+    case OpKind::kProbeRejected:
+      // A full header FIFO refused the probe before the unit saw it: no
+      // response is owed and nothing changes.  The settle() below must
+      // therefore make no progress either — the op is a pure stutter in
+      // the response stream (the processor re-offers the header later as
+      // an ordinary kProbe).
       break;
   }
   settle(out);

@@ -51,6 +51,14 @@ enum class OpKind : std::uint8_t {
   kProbe,   ///< match-and-delete probe (delete-on-match, compaction)
   kReset,   ///< clear all entries
   kSweep,   ///< RESET MATCHING: delete every entry matching the selector
+  /// A probe refused by a full header FIFO.  The refusal leaves no trace
+  /// in the unit — no response is owed, no state changes — and the
+  /// processor must re-offer the header later (the NIC firmware's
+  /// bounded retry / graceful-degradation path).  Modelled as an
+  /// explicit no-op so the checker can prove the refusal composes with
+  /// held failures and retries: rejected-then-retried sequences must be
+  /// response-equivalent to never-rejected ones.
+  kProbeRejected,
 };
 
 struct Op {

@@ -20,10 +20,12 @@ struct MatchCounters {
   std::uint64_t probes = 0;            ///< match/search operations issued
   std::uint64_t cells_scanned = 0;     ///< cells/entries examined by them
   std::uint64_t compaction_moves = 0;  ///< entries shifted by delete/erase
+  std::uint64_t inserts_dropped = 0;   ///< entries a full unit refused
   MatchCounters& operator+=(const MatchCounters& o) {
     probes += o.probes;
     cells_scanned += o.cells_scanned;
     compaction_moves += o.compaction_moves;
+    inserts_dropped += o.inserts_dropped;
     return *this;
   }
   friend bool operator==(const MatchCounters&, const MatchCounters&) = default;

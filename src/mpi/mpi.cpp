@@ -27,6 +27,11 @@ Machine::Machine(sim::Engine& engine, const SystemConfig& config)
     : engine_(engine), config_(config) {
   assert(config.nprocs >= 1);
   network_ = std::make_unique<net::Network>(engine, config.network);
+  if (config.faults.any()) {
+    assert(config.nic.reliability.enabled &&
+           "fault injection without the reliability sublayer loses packets");
+    network_->install_faults(config.faults);
+  }
   nodes_.resize(static_cast<std::size_t>(config.nprocs));
   for (int r = 0; r < config.nprocs; ++r) {
     Node& node = nodes_[static_cast<std::size_t>(r)];

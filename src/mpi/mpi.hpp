@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "host/host.hpp"
+#include "net/faults.hpp"
 #include "net/network.hpp"
 #include "nic/nic.hpp"
 #include "sim/process.hpp"
@@ -67,6 +68,12 @@ struct SystemConfig {
   nic::NicConfig nic;
   net::NetworkConfig network;
   host::HostConfig host;
+  /// Network fault injection (drops/dups/reorders/corruption).  With any
+  /// fault active, `nic.reliability.enabled` must be set — MPI semantics
+  /// depend on the reliability sublayer restoring lossless in-order
+  /// delivery.  All-zero (the default) installs no injector at all, so
+  /// the packet schedule is untouched.
+  net::FaultConfig faults;
 };
 
 class Machine;

@@ -1,0 +1,63 @@
+#include "net/faults.hpp"
+
+namespace alpu::net {
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      script_seen_(config.script.size(), 0) {}
+
+FaultDecision FaultInjector::decide(const Packet& packet) {
+  FaultDecision d;
+
+  // Fixed draw schedule: five draws per packet, always, so one fault
+  // firing (or a scripted entry matching) never displaces the random
+  // positions of any later fault.
+  const bool r_drop = rng_.chance(config_.drop_rate);
+  const bool r_dup = rng_.chance(config_.dup_rate);
+  const bool r_reorder = rng_.chance(config_.reorder_rate);
+  const common::TimePs r_delay =
+      1 + static_cast<common::TimePs>(
+              rng_.below(static_cast<std::uint64_t>(
+                  config_.reorder_window_ps > 0 ? config_.reorder_window_ps
+                                                : 1)));
+  const bool r_corrupt = rng_.chance(config_.corrupt_rate);
+
+  d.drop = r_drop;
+  d.duplicate = r_dup;
+  d.corrupt = r_corrupt;
+  if (r_reorder) d.extra_delay = r_delay;
+
+  // Scripted overlay: every matching entry counts this packet; an entry
+  // whose occurrence comes due forces its effect on top of the random
+  // ones.
+  for (std::size_t i = 0; i < config_.script.size(); ++i) {
+    const ScriptedFault& s = config_.script[i];
+    if (s.src != packet.src || s.dst != packet.dst) continue;
+    if (s.packet_kind.has_value() && *s.packet_kind != packet.kind) continue;
+    if (++script_seen_[i] != s.nth) continue;
+    ++stats_.scripted_fired;
+    switch (s.kind) {
+      case FaultKind::kDrop:
+        d.drop = true;
+        break;
+      case FaultKind::kDuplicate:
+        d.duplicate = true;
+        break;
+      case FaultKind::kReorder:
+        if (d.extra_delay == 0) d.extra_delay = config_.reorder_window_ps;
+        break;
+      case FaultKind::kCorrupt:
+        d.corrupt = true;
+        break;
+    }
+  }
+
+  if (d.drop) ++stats_.drops;
+  if (d.duplicate) ++stats_.duplicates;
+  if (d.extra_delay > 0) ++stats_.reorders;
+  if (d.corrupt) ++stats_.corruptions;
+  return d;
+}
+
+}  // namespace alpu::net

@@ -1,0 +1,121 @@
+// Deterministic network fault injection.
+//
+// The base network model is a perfectly lossless, in-order interconnect
+// — the one property MPI ordering semantics lean on.  Real link layers
+// are not: production NIC-resident queue engines (APEnet+'s torus links,
+// the NIC-based collective protocols of Yu et al.) carry link-level
+// retransmission precisely because packets drop, duplicate, reorder and
+// corrupt.  This module injects those conditions into `Network::send`
+// so the NIC reliability sublayer (src/nic/reliability.hpp) can be
+// exercised — deterministically:
+//
+//   * every random decision comes from one seeded Xoshiro256 owned by
+//     the injector (itself owned by one single-threaded Engine), and a
+//     FIXED number of draws is consumed per packet, so whether one fault
+//     fires never shifts the positions of later ones;
+//   * scripted faults ("drop the 3rd CTS on link 0->1") are matched by
+//     per-entry occurrence counting, independent of the random stream,
+//     for surgically targeted protocol tests;
+//   * corruption is flagged, not silent: the packet is delivered with
+//     `crc_ok = false`, modelling a link CRC that the receiving NIC
+//     checks — the reliability layer sees "bad packet", drops it, and
+//     recovers it by retransmission.
+//
+// A Network without an installed injector is byte-for-byte the old
+// lossless model: no RNG is constructed, no draw ever happens, and the
+// delivery schedule is untouched (the fault-rate-0 figures stay
+// identical to the pre-fault-model ones).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "net/network.hpp"
+
+namespace alpu::net {
+
+/// What a scripted fault does to its selected packet.
+enum class FaultKind : std::uint8_t {
+  kDrop,       ///< the packet never arrives
+  kDuplicate,  ///< a second copy arrives after the original
+  kReorder,    ///< delivery delayed so later link traffic overtakes it
+  kCorrupt,    ///< delivered with crc_ok = false
+};
+
+/// One deterministic scheduled fault: applies `kind` to the `nth`
+/// (1-based) packet on link src->dst that matches `packet_kind`
+/// (nullopt = any kind counts).
+struct ScriptedFault {
+  FaultKind kind = FaultKind::kDrop;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::optional<PacketKind> packet_kind;
+  std::uint64_t nth = 1;
+};
+
+/// Fault model parameters.  All-zero rates and an empty script mean
+/// "no injector": Machine only installs one when any() is true.
+struct FaultConfig {
+  double drop_rate = 0.0;
+  double dup_rate = 0.0;
+  double reorder_rate = 0.0;
+  double corrupt_rate = 0.0;
+  /// Maximum extra delivery delay a reordered packet suffers.  Must
+  /// exceed one header serialisation time for reordering to actually be
+  /// observable at the receiver; 2 us spans dozens of back-to-back
+  /// headers at the Table-III link rate.
+  common::TimePs reorder_window_ps = 2'000'000;
+  std::uint64_t seed = 0x5eed;
+  std::vector<ScriptedFault> script;
+
+  bool any() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || reorder_rate > 0.0 ||
+           corrupt_rate > 0.0 || !script.empty();
+  }
+};
+
+/// What the injector decided for one packet.  Effects compose: a packet
+/// may be corrupted AND duplicated (both copies bad), or dropped while
+/// a duplicate survives (loss of the first transmission).
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool corrupt = false;
+  common::TimePs extra_delay = 0;  ///< nonzero == reordered
+};
+
+/// Per-injector counters (surfaced through NetworkStats so sweeps and
+/// the chaos soak can report injected-fault totals).
+struct FaultStats {
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t scripted_fired = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config);
+
+  /// Decide the fate of one packet about to be scheduled for delivery.
+  /// Consumes exactly five RNG draws per call (drop, dup, reorder,
+  /// reorder-delay, corrupt) regardless of outcome, then overlays any
+  /// scripted fault whose occurrence count comes due.
+  FaultDecision decide(const Packet& packet);
+
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultConfig config_;
+  common::Xoshiro256 rng_;
+  /// Packets seen so far matching script entry i's (link, kind) filter.
+  std::vector<std::uint64_t> script_seen_;
+  FaultStats stats_;
+};
+
+}  // namespace alpu::net

@@ -2,15 +2,24 @@
 
 #include <cassert>
 
+#include "net/faults.hpp"
+
 namespace alpu::net {
 
 Network::Network(sim::Engine& engine, const NetworkConfig& config)
     : sim::Component(engine, "network"), config_(config) {}
 
+Network::~Network() = default;
+
 void Network::attach(NodeId node, DeliveryHandler handler) {
   if (handlers_.size() <= node) handlers_.resize(node + 1);
   assert(!handlers_[node] && "node already attached");
   handlers_[node] = std::move(handler);
+}
+
+void Network::install_faults(const FaultConfig& config) {
+  assert(!faults_ && "fault injector already installed");
+  faults_ = std::make_unique<FaultInjector>(config);
 }
 
 void Network::send(Packet packet) {
@@ -33,7 +42,44 @@ void Network::send(Packet packet) {
   stats_.busiest_link_busy = std::max(stats_.busiest_link_busy, free_at);
   const TimePs deliver_at = free_at + config_.wire_latency;
 
-  engine().schedule_at(deliver_at, [this, packet] {
+  if (faults_ == nullptr) {
+    engine().schedule_at(deliver_at, [this, packet] {
+      handlers_[packet.dst](packet);
+    });
+    return;
+  }
+
+  // Fault-injected path.  The packet consumed its link slot above
+  // regardless of fate (the wire carried the bytes; only delivery is in
+  // question), so the fault-free traffic schedule is unperturbed.
+  const FaultDecision d = faults_->decide(packet);
+  if (d.corrupt) {
+    packet.crc_ok = false;
+    ++stats_.faults_corrupted;
+  }
+  if (d.duplicate) {
+    // The copy tail-gates the original by one header serialisation time
+    // (a link-layer replay, not a second injection: it does not occupy
+    // the sender's injection port again).
+    ++stats_.faults_duplicated;
+    const TimePs copy_at =
+        deliver_at + config_.header_bytes * config_.ps_per_byte;
+    engine().schedule_at(copy_at, [this, packet] {
+      handlers_[packet.dst](packet);
+    });
+  }
+  if (d.drop) {
+    ++stats_.faults_dropped;
+    return;  // the original never arrives (a duplicate may still)
+  }
+  TimePs at = deliver_at;
+  if (d.extra_delay > 0) {
+    // Reordering: this packet is held in the switch while later traffic
+    // on the same link overtakes it.
+    ++stats_.faults_reordered;
+    at += d.extra_delay;
+  }
+  engine().schedule_at(at, [this, packet] {
     handlers_[packet.dst](packet);
   });
 }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/time.hpp"
@@ -29,17 +30,33 @@ enum class PacketKind : std::uint8_t {
   kRtsRendezvous,  ///< rendezvous request-to-send (header only)
   kCtsRendezvous,  ///< clear-to-send reply carrying the sender's token
   kRendezvousData, ///< the bulk payload after a CTS
+  kAck,       ///< reliability-sublayer cumulative acknowledgement
 };
 
 /// One packet on the wire.  The header models the fixed-size envelope a
 /// real NIC would parse; `payload_bytes` drives serialisation time only
 /// (contents are not simulated).
+///
+/// Field order packs the struct into 48 bytes so the network delivery
+/// capture (`this` + one Packet) stays within EventCallback's 56-byte
+/// inline buffer — no per-event heap allocation on the hot path.
 struct Packet {
   NodeId src = 0;
   NodeId dst = 0;
   PacketKind kind = PacketKind::kEager;
-  match::MatchWord match_bits = 0;  ///< packed {context, source, tag}
+  /// Sequenced by the reliability sublayer (false for raw/ACK traffic).
+  bool reliable = false;
+  /// Modeled link CRC: cleared by an injected corruption fault.  The
+  /// receiving NIC checks it before parsing anything else.
+  bool crc_ok = true;
   std::uint32_t payload_bytes = 0;
+  match::MatchWord match_bits = 0;  ///< packed {context, source, tag}
+  /// Per-(src,dst) sequence number (valid when `reliable`).  32 bits
+  /// wrap only after 4G packets on one link — beyond any workload here.
+  std::uint32_t seq = 0;
+  /// Cumulative acknowledgement: next sequence number the receiver
+  /// expects from this packet's sender (kAck packets only).
+  std::uint32_t ack_seq = 0;
   std::uint64_t token = 0;   ///< protocol token (pairs RTS/CTS/DATA legs)
   TimePs injected_at = 0;    ///< stamped by the network at send time
 };
@@ -56,7 +73,15 @@ struct NetworkStats {
   std::uint64_t packets = 0;
   std::uint64_t payload_bytes = 0;
   TimePs busiest_link_busy = 0;
+  // Injected-fault counters (all zero without an installed injector).
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_reordered = 0;
+  std::uint64_t faults_corrupted = 0;
 };
+
+struct FaultConfig;
+class FaultInjector;
 
 /// The machine-wide interconnect.
 class Network : public sim::Component {
@@ -64,17 +89,25 @@ class Network : public sim::Component {
   using DeliveryHandler = std::function<void(const Packet&)>;
 
   Network(sim::Engine& engine, const NetworkConfig& config);
+  ~Network() override;  // out-of-line: FaultInjector is incomplete here
 
   /// Register the receive handler for `node` (its NIC's Rx path).
   void attach(NodeId node, DeliveryHandler handler);
 
+  /// Install a fault injector (src/net/faults.hpp) interposed on every
+  /// send.  Without one the network is the original lossless in-order
+  /// model with an unchanged delivery schedule.
+  void install_faults(const FaultConfig& config);
+
   /// Inject a packet at the current simulation time.  Delivery fires the
   /// destination handler after serialisation + wire latency, in order
-  /// with all other packets on the same (src, dst) link.
+  /// with all other packets on the same (src, dst) link — unless an
+  /// installed fault injector drops, duplicates, delays or corrupts it.
   void send(Packet packet);
 
   const NetworkConfig& config() const { return config_; }
   const NetworkStats& stats() const { return stats_; }
+  const FaultInjector* faults() const { return faults_.get(); }
 
  private:
   NetworkConfig config_;
@@ -82,6 +115,7 @@ class Network : public sim::Component {
   /// Serialisation horizon per directed link: the time the link's
   /// injection port frees up.
   std::map<std::pair<NodeId, NodeId>, TimePs> link_free_;
+  std::unique_ptr<FaultInjector> faults_;
   NetworkStats stats_;
 };
 

@@ -15,6 +15,7 @@
 #include "common/time.hpp"
 #include "mem/memory_system.hpp"
 #include "nic/dma.hpp"
+#include "nic/reliability.hpp"
 
 namespace alpu::nic {
 
@@ -101,6 +102,11 @@ struct NicConfig {
 
   /// Tx and Rx DMA engines share one parameterisation.
   DmaConfig dma;
+
+  /// Link-reliability sublayer (go-back-N).  Disabled by default: the
+  /// clean-path packet schedule is then byte-identical to a NIC without
+  /// the sublayer.  Must be enabled whenever the network injects faults.
+  ReliabilityConfig reliability;
 
   FirmwareCosts costs;
 

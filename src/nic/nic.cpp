@@ -20,6 +20,10 @@ bool is_matching_kind(net::PacketKind kind) {
 
 hw::AlpuConfig with_flavor(hw::AlpuConfig cfg, hw::AlpuFlavor flavor) {
   cfg.flavor = flavor;
+  // The NIC firmware only issues inserts against granted credit, so a
+  // unit-level insert drop here is a firmware protocol bug, not a
+  // modelled condition — make the unit trap it in checked builds.
+  cfg.assert_on_insert_drop = true;
   return cfg;
 }
 
@@ -38,6 +42,7 @@ std::unique_ptr<hw::AlpuDevice> make_unit(sim::Engine& engine,
     p.header_fifo_depth = cfg.header_fifo_depth;
     p.command_fifo_depth = cfg.command_fifo_depth;
     p.result_fifo_depth = cfg.result_fifo_depth;
+    p.assert_on_insert_drop = cfg.assert_on_insert_drop;
     return std::make_unique<hw::PipelinedAlpu>(engine, std::move(name), p);
   }
   return std::make_unique<hw::Alpu>(engine, std::move(name), cfg);
@@ -51,6 +56,9 @@ Nic::Nic(sim::Engine& engine, std::string name, net::NodeId node,
       node_(node),
       config_(config),
       network_(network),
+      reliability_(engine, this->name() + ".rel", config.reliability, network,
+                   node,
+                   [this](const net::Packet& p) { on_network_delivery(p); }),
       memory_(config.memory),
       match_heap_(0x1000'0000 + (static_cast<mem::Addr>(node) << 32)),
       state_heap_(0x4000'0000 + (static_cast<mem::Addr>(node) << 32)),
@@ -71,8 +79,11 @@ Nic::Nic(sim::Engine& engine, std::string name, net::NodeId node,
         with_flavor(*config_.unexpected_alpu, hw::AlpuFlavor::kUnexpected),
         config_.alpu_model);
   }
+  // Raw deliveries pass through the reliability sublayer, which forwards
+  // exactly the packets the lossless network used to deliver (in order,
+  // once, CRC-clean) to on_network_delivery.
   network_.attach(node_, [this](const net::Packet& p) {
-    on_network_delivery(p);
+    reliability_.on_network_delivery(p);
   });
 }
 
@@ -94,6 +105,12 @@ void Nic::set_completion_handler(std::function<void(const Completion&)> h) {
 }
 
 void Nic::on_network_delivery(const net::Packet& packet) {
+  // With the reliability sublayer disabled nothing filters corrupted
+  // packets, so fault configs that corrupt require it enabled (the
+  // Machine enforces this at construction).
+  ALPU_ASSERT(packet.crc_ok, "corrupted packet above the reliability layer");
+  ALPU_ASSERT(packet.kind != net::PacketKind::kAck,
+              "reliability ACK leaked above the sublayer");
   ++stats_.packets_rx;
   RxItem item{packet, std::nullopt};
   // Figure 1: headers of matching packets are replicated into the
@@ -106,13 +123,18 @@ void Nic::on_network_delivery(const net::Packet& packet) {
   if (posted_ctx_.has_value() && posted_probe_enabled_ &&
       is_matching_kind(packet.kind)) {
     hw::Probe probe{packet.match_bits, 0, posted_ctx_->next_probe_seq};
-    const bool pushed = posted_ctx_->unit->push_probe(probe);
-    // The real hardware back-pressures the Rx path instead of dropping;
-    // the modelled FIFO is provisioned deep enough that this cannot
-    // trigger under any benchmark herein.
-    ALPU_ASSERT(pushed, "posted-ALPU header FIFO overflow");
-    (void)pushed;
-    item.probe_seq = posted_ctx_->next_probe_seq++;
+    if (posted_ctx_->unit->push_probe(probe)) {
+      item.probe_seq = posted_ctx_->next_probe_seq++;
+    } else {
+      // Header FIFO full.  Real hardware back-pressures the Rx path; the
+      // model instead degrades gracefully: stop replicating (this packet
+      // and everything behind it go un-probed) and let the firmware
+      // reset the unit before its next software search (handle_packet),
+      // preserving the invariant above.  update_alpu re-shadows the
+      // queue — and re-enables replication — once the firmware drains.
+      ++stats_.alpu_probe_rejections;
+      posted_probe_enabled_ = false;
+    }
   }
   rx_fifo_.push_back(std::move(item));
   wake_firmware();
@@ -220,8 +242,22 @@ common::MatchCounters Nic::match_counters() const {
   common::MatchCounters c;
   c += posted_.counters();
   c += unexpected_.counters();
-  if (const hw::Alpu* a = posted_alpu()) c += a->array().counters();
-  if (const hw::Alpu* a = unexpected_alpu()) c += a->array().counters();
+  if (const hw::Alpu* a = posted_alpu()) {
+    c += a->array().counters();
+    c.inserts_dropped += a->stats().inserts_dropped;
+  }
+  if (const hw::Alpu* a = unexpected_alpu()) {
+    c += a->array().counters();
+    c.inserts_dropped += a->stats().inserts_dropped;
+  }
+  for (const auto* ctx : {posted_ctx_ ? &*posted_ctx_ : nullptr,
+                          unexpected_ctx_ ? &*unexpected_ctx_ : nullptr}) {
+    if (ctx == nullptr) continue;
+    if (const auto* p =
+            dynamic_cast<const hw::PipelinedAlpu*>(ctx->unit.get())) {
+      c.inserts_dropped += p->stats().inserts_dropped;
+    }
+  }
   return c;
 }
 
@@ -358,6 +394,7 @@ sim::Process Nic::update_alpu(AlpuCtx& ctx, bool is_posted) {
     // every packet delivered from this instant carries a probe (the
     // rx-empty gate in the caller covers everything delivered earlier).
     posted_probe_enabled_ = true;
+    posted_degraded_ = false;  // re-shadowing ends any fallback episode
   }
 
   ++stats_.alpu_insert_sessions;
@@ -457,6 +494,38 @@ sim::Process Nic::update_alpu(AlpuCtx& ctx, bool is_posted) {
 }
 
 // ---------------------------------------------------------------------------
+// Graceful degradation (header-FIFO back-pressure)
+// ---------------------------------------------------------------------------
+
+sim::Process Nic::degrade_alpu(AlpuCtx& ctx, bool is_posted) {
+  auto& eng = engine();
+  // Every probed packet ahead of the trigger has already consumed its
+  // response (rx order == probe order), so nothing drained is pending.
+  ALPU_DEBUG_ASSERT(ctx.drained.empty(),
+                    "degrading an ALPU with undrained responses");
+  ++stats_.alpu_fallback_resets;
+  if (is_posted) {
+    posted_probe_enabled_ = false;  // idempotent: rejection cleared it
+    posted_degraded_ = true;
+  }
+  common::logf(LogLevel::kDebug, eng.now(), name(),
+               "alpu fallback ({}): resetting unit, synced={} forgotten",
+               is_posted ? "posted" : "unexpected", ctx.synced);
+  // RESET is honoured from Read Command and the command FIFO is serviced
+  // in order, so any in-flight session commands land first.  Spin at bus
+  // cost while the FIFO is full.
+  for (;;) {
+    const TimePs t = config_.bus_ps + instr(config_.costs.alpu_cmd_cycles);
+    stats_.firmware_busy += t;
+    co_await sim::delay(eng, t);
+    if (ctx.unit->push_command(hw::Command{hw::CommandKind::kReset, 0, 0, 0}))
+      break;
+  }
+  // The software lists remain authoritative; forget the shadow copy.
+  ctx.synced = 0;
+}
+
+// ---------------------------------------------------------------------------
 // Incoming packets
 // ---------------------------------------------------------------------------
 
@@ -508,7 +577,19 @@ sim::Process Nic::handle_packet(RxItem item) {
           }
         }
       } else {
-        // Baseline: walk the full posted queue.
+        if (posted_ctx_.has_value() && posted_ctx_->synced > 0) {
+          // An un-probed packet reached the head while the unit still
+          // holds entries: header-FIFO back-pressure rejected its probe
+          // (on_network_delivery).  The full software walk below would
+          // erase entries the hardware still holds, so reset the unit
+          // first and run degraded until Action 4 re-shadows the queue.
+          stats_.firmware_busy += t;
+          co_await sim::delay(eng, t);
+          t = 0;
+          co_await degrade_alpu(*posted_ctx_, /*is_posted=*/true);
+        }
+        if (posted_degraded_) ++stats_.alpu_fallback_searches;
+        // Baseline (or degraded): walk the full posted queue.
         const auto res = posted_.search(p.match_bits);
         t += walk_cost_posted(0, res.visited);
         if (res.found) {
@@ -559,7 +640,7 @@ sim::Process Nic::handle_packet(RxItem item) {
         data.kind = net::PacketKind::kRendezvousData;
         data.payload_bytes = st.bytes;
         data.token = token;
-        network_.send(data);
+        reliability_.send(data);
         ++stats_.packets_tx;
         enqueue_advance([this, st] {
           complete(Completion{st.req_id, st.bytes, 0});
@@ -578,13 +659,16 @@ sim::Process Nic::handle_packet(RxItem item) {
       stats_.firmware_busy += t;
       co_await sim::delay(eng, t);
       const std::uint32_t bytes = std::min(p.payload_bytes, st.max_bytes);
-      rx_dma_.request(bytes, [this, st, bytes, bits = p.match_bits] {
+      rx_dma_.request(bytes, [this, st, bytes, bits = st.match_bits] {
         enqueue_advance([this, st, bytes, bits] {
           complete(Completion{st.req_id, bytes, bits});
         });
       });
       co_return;
     }
+
+    case net::PacketKind::kAck:
+      ALPU_CHECK_FAIL("reliability ACK reached the firmware");
   }
 }
 
@@ -617,8 +701,8 @@ sim::Process Nic::deliver_to_posted(match::Cookie cookie,
   ALPU_ASSERT(packet.kind == net::PacketKind::kRtsRendezvous,
               "non-rendezvous packet on the rendezvous path");
   t += instr(config_.costs.rendezvous_cycles);
-  rdvz_recv_[packet.token] =
-      RdvzRecvState{info.buffer, info.max_bytes, info.req_id};
+  rdvz_recv_[packet.token] = RdvzRecvState{info.buffer, info.max_bytes,
+                                           info.req_id, packet.match_bits};
   stats_.firmware_busy += t;
   co_await sim::delay(eng, t);
   net::Packet cts;
@@ -626,7 +710,7 @@ sim::Process Nic::deliver_to_posted(match::Cookie cookie,
   cts.dst = packet.src;
   cts.kind = net::PacketKind::kCtsRendezvous;
   cts.token = packet.token;
-  network_.send(cts);
+  reliability_.send(cts);
   ++stats_.packets_tx;
 }
 
@@ -634,11 +718,33 @@ sim::Process Nic::deliver_to_posted(match::Cookie cookie,
 // Host requests
 // ---------------------------------------------------------------------------
 
+void Nic::inject_matchable(const net::Packet& packet, std::uint64_t ticket) {
+  auto& parked = tx_parked_[packet.dst];
+  if (ticket != tx_ticket_due_[packet.dst]) {
+    parked.emplace(ticket, packet);
+    return;
+  }
+  reliability_.send(packet);
+  ++stats_.packets_tx;
+  std::uint64_t due = ticket + 1;
+  for (auto it = parked.begin();
+       it != parked.end() && it->first == due; it = parked.erase(it)) {
+    reliability_.send(it->second);
+    ++stats_.packets_tx;
+    ++due;
+  }
+  tx_ticket_due_[packet.dst] = due;
+}
+
 sim::Process Nic::handle_request(HostRequest request) {
   auto& eng = engine();
 
   if (request.kind == RequestKind::kSend) {
     TimePs t = instr(config_.costs.send_setup_cycles);
+    // Matching order at the receiver must follow request order here, so
+    // both eager and rendezvous legs draw their wire-order ticket while
+    // the firmware still holds the request (inject_matchable).
+    const std::uint64_t ticket = tx_ticket_next_[request.dst]++;
     if (request.send_bytes <= config_.eager_threshold) {
       stats_.firmware_busy += t;
       co_await sim::delay(eng, t);
@@ -648,15 +754,14 @@ sim::Process Nic::handle_request(HostRequest request) {
       // to do other work); only the host completion record needs the
       // processor again.  An eager send is complete once the data has
       // left the host buffer.
-      tx_dma_.request(request.send_bytes, [this, request] {
+      tx_dma_.request(request.send_bytes, [this, request, ticket] {
         net::Packet pkt;
         pkt.src = node_;
         pkt.dst = request.dst;
         pkt.kind = net::PacketKind::kEager;
         pkt.match_bits = match::pack(request.envelope);
         pkt.payload_bytes = request.send_bytes;
-        network_.send(pkt);
-        ++stats_.packets_tx;
+        inject_matchable(pkt, ticket);
         enqueue_advance([this, request] {
           complete(Completion{request.req_id, request.send_bytes, 0});
         });
@@ -679,8 +784,7 @@ sim::Process Nic::handle_request(HostRequest request) {
     rts.match_bits = match::pack(request.envelope);
     rts.payload_bytes = request.send_bytes;
     rts.token = token;
-    network_.send(rts);
-    ++stats_.packets_tx;
+    inject_matchable(rts, ticket);
     co_return;
   }
 
@@ -693,7 +797,8 @@ sim::Process Nic::handle_request(HostRequest request) {
   bool matched = false;
   match::Cookie cookie = 0;
 
-  if (unexpected_ctx_.has_value() && unexpected_ctx_->synced > 0) {
+  bool use_alpu = unexpected_ctx_.has_value() && unexpected_ctx_->synced > 0;
+  if (use_alpu) {
     // Feed the receive to the unexpected-message ALPU as a probe (one
     // bus write carrying bits + mask), then collect the verdict.  An
     // empty unit is skipped entirely — the probing overhead would buy
@@ -704,32 +809,52 @@ sim::Process Nic::handle_request(HostRequest request) {
     stats_.firmware_busy += t;
     co_await sim::delay(eng, t);
     t = 0;
-    const bool pushed = unexpected_ctx_->unit->push_probe(
-        hw::Probe{request.pattern.bits, request.pattern.mask, seq});
-    ALPU_ASSERT(pushed, "unexpected-ALPU header FIFO overflow");
-    (void)pushed;
-    hw::Response r;
-    co_await read_match_result(*unexpected_ctx_, seq, &r);
-    if (r.kind == hw::ResponseKind::kMatchSuccess) {
-      ++stats_.alpu_unexpected_hits;
-      matched = true;
-      cookie = r.cookie;
-      ALPU_ASSERT(unexpected_index_of(cookie) < unexpected_ctx_->synced,
-                  "ALPU hit on an entry never synced into the unit");
-      t += erase_cost(unexpected_info_.at(cookie).state_line);
-      // Delivery below erases via deliver_from_unexpected.
-    } else {
-      ++stats_.alpu_unexpected_misses;
-      const auto res = unexpected_.search_from(unexpected_ctx_->synced,
-                                               request.pattern);
-      t += walk_cost_unexpected(unexpected_ctx_->synced, res.visited);
-      if (res.found) {
-        matched = true;
-        cookie = res.cookie;
-        t += erase_cost(unexpected_info_.at(cookie).state_line);
-      }
+    const hw::Probe probe{request.pattern.bits, request.pattern.mask, seq};
+    bool pushed = unexpected_ctx_->unit->push_probe(probe);
+    // Firmware pacing keeps at most one unexpected probe outstanding, so
+    // a sanely-sized header FIFO never refuses one; a refusal means a
+    // hostile configuration (depth-1 FIFOs in robustness tests).  The
+    // probe left no trace in the unit, so it is simply re-offered after
+    // a bus-paced poll (ProtocolSpec op kProbeRejected), and after a
+    // bounded number of refusals the firmware gives up on the unit.
+    for (unsigned retry = 0; !pushed && retry < 8; ++retry) {
+      ++stats_.alpu_probe_retries;
+      const TimePs w = config_.bus_ps + instr(config_.costs.alpu_poll_cycles);
+      stats_.firmware_busy += w;
+      co_await sim::delay(eng, w);
+      pushed = unexpected_ctx_->unit->push_probe(probe);
     }
-  } else {
+    if (pushed) {
+      hw::Response r;
+      co_await read_match_result(*unexpected_ctx_, seq, &r);
+      if (r.kind == hw::ResponseKind::kMatchSuccess) {
+        ++stats_.alpu_unexpected_hits;
+        matched = true;
+        cookie = r.cookie;
+        ALPU_ASSERT(unexpected_index_of(cookie) < unexpected_ctx_->synced,
+                    "ALPU hit on an entry never synced into the unit");
+        t += erase_cost(unexpected_info_.at(cookie).state_line);
+        // Delivery below erases via deliver_from_unexpected.
+      } else {
+        ++stats_.alpu_unexpected_misses;
+        const auto res = unexpected_.search_from(unexpected_ctx_->synced,
+                                                 request.pattern);
+        t += walk_cost_unexpected(unexpected_ctx_->synced, res.visited);
+        if (res.found) {
+          matched = true;
+          cookie = res.cookie;
+          t += erase_cost(unexpected_info_.at(cookie).state_line);
+        }
+      }
+    } else {
+      // Retries exhausted: fall back to pure software for this unit.
+      ++stats_.alpu_probe_rejections;
+      co_await degrade_alpu(*unexpected_ctx_, /*is_posted=*/false);
+      ++stats_.alpu_fallback_searches;
+      use_alpu = false;
+    }
+  }
+  if (!use_alpu) {
     // Baseline, or the ALPU holds nothing: full software search.
     const auto res = unexpected_.search(request.pattern);
     t += walk_cost_unexpected(0, res.visited);
@@ -796,7 +921,7 @@ sim::Process Nic::deliver_from_unexpected(match::Cookie cookie,
   t += instr(config_.costs.rendezvous_cycles);
   rdvz_recv_[info.token] = RdvzRecvState{request.recv_buffer,
                                          request.recv_max_bytes,
-                                         request.req_id};
+                                         request.req_id, bits};
   stats_.firmware_busy += t;
   co_await sim::delay(eng, t);
   net::Packet cts;
@@ -804,7 +929,7 @@ sim::Process Nic::deliver_from_unexpected(match::Cookie cookie,
   cts.dst = info.src;
   cts.kind = net::PacketKind::kCtsRendezvous;
   cts.token = info.token;
-  network_.send(cts);
+  reliability_.send(cts);
   ++stats_.packets_tx;
 }
 

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -39,6 +40,7 @@
 #include "nic/config.hpp"
 #include "nic/dma.hpp"
 #include "nic/host_protocol.hpp"
+#include "nic/reliability.hpp"
 #include "sim/process.hpp"
 
 namespace alpu::nic {
@@ -63,6 +65,12 @@ struct NicStats {
   std::uint64_t alpu_unexpected_misses = 0;
   std::uint64_t alpu_insert_sessions = 0;
   std::uint64_t alpu_entries_inserted = 0;
+
+  // Graceful-degradation accounting (header-FIFO back-pressure).
+  std::uint64_t alpu_probe_rejections = 0;  ///< probes refused by a full FIFO
+  std::uint64_t alpu_probe_retries = 0;     ///< firmware re-offers after refusal
+  std::uint64_t alpu_fallback_resets = 0;   ///< ALPU reset to enter fallback
+  std::uint64_t alpu_fallback_searches = 0;  ///< software walks while degraded
 
   std::uint64_t completions = 0;
   common::TimePs firmware_busy = 0;  ///< summed charged time
@@ -93,6 +101,8 @@ class Nic : public sim::Component {
   /// any attached transaction-level ALPUs (probes issued, comparator
   /// cells scanned, entries moved by deletion compaction).
   common::MatchCounters match_counters() const;
+  /// The link-reliability sublayer (pass-through when disabled).
+  const ReliabilityLayer& reliability() const { return reliability_; }
   mem::MemorySystem& memory() { return memory_; }
   std::size_t posted_queue_length() const { return posted_.size(); }
   std::size_t unexpected_queue_length() const { return unexpected_.size(); }
@@ -178,6 +188,9 @@ class Nic : public sim::Component {
     mem::Addr buffer = 0;
     std::uint32_t max_bytes = 0;
     std::uint64_t req_id = 0;
+    /// Envelope matched at RTS time; the DATA leg carries none, so the
+    /// completion record reports these bits.
+    match::MatchWord match_bits = 0;
   };
 
   // ---- firmware ----
@@ -186,6 +199,15 @@ class Nic : public sim::Component {
   sim::Process handle_packet(RxItem item);
   sim::Process handle_request(HostRequest request);
   sim::Process update_alpu(AlpuCtx& ctx, bool is_posted);
+
+  /// Enter software fallback for one ALPU: push a RESET (retrying at bus
+  /// cost while the command FIFO is full) and forget the synced prefix.
+  /// Used when header-FIFO back-pressure rejected a probe, leaving a
+  /// packet/post that the unit never saw — searching the software list
+  /// while the unit still held entries would double-deliver.  Recovery
+  /// is the normal Action-4 path: once the firmware drains, update_alpu
+  /// re-shadows the queue from scratch.
+  sim::Process degrade_alpu(AlpuCtx& ctx, bool is_posted);
 
   /// Read the next ALPU response for `expected_seq`, spinning on the
   /// result FIFO over the bus; consumes drained responses first.
@@ -232,6 +254,10 @@ class Nic : public sim::Component {
     return unexpected_.index_of(cookie);
   }
 
+  /// Inject a matchable send leg, honouring per-destination MPI order
+  /// (see the tx_ticket_* members).  Releases parked successors.
+  void inject_matchable(const net::Packet& packet, std::uint64_t ticket);
+
   sim::Process deliver_to_posted(match::Cookie cookie,
                                  const net::Packet& packet,
                                  common::TimePs accrued);
@@ -244,6 +270,7 @@ class Nic : public sim::Component {
   net::NodeId node_;
   NicConfig config_;
   net::Network& network_;
+  ReliabilityLayer reliability_;
   mem::MemorySystem memory_;
   mem::SimHeap match_heap_;  ///< dense 64 B match-line slots
   mem::SimHeap state_heap_;  ///< per-entry request-state lines
@@ -258,6 +285,20 @@ class Nic : public sim::Component {
   std::unordered_map<match::Cookie, UnexpectedInfo> unexpected_info_;
   std::unordered_map<std::uint64_t, RdvzSendState> rdvz_send_;
   std::unordered_map<std::uint64_t, RdvzRecvState> rdvz_recv_;
+
+  // Per-destination transmit-order gate for matchable legs (eager
+  // packets and rendezvous RTS headers).  MPI non-overtaking is defined
+  // at the matching level: two sends to the same peer must reach its
+  // match engine in posting order.  An eager payload injects from its
+  // DMA completion while an RTS injects straight from the firmware, so
+  // without the gate an RTS issued behind an in-flight eager DMA would
+  // overtake it on the wire.  Tickets are issued in request-processing
+  // order; a leg whose turn has not yet come is parked until the
+  // earlier injection releases it (same event, no extra model time).
+  std::unordered_map<net::NodeId, std::uint64_t> tx_ticket_next_;
+  std::unordered_map<net::NodeId, std::uint64_t> tx_ticket_due_;
+  std::unordered_map<net::NodeId, std::map<std::uint64_t, net::Packet>>
+      tx_parked_;
   match::Cookie next_cookie_ = 1;
   std::uint64_t next_token_ = 1;
 
@@ -272,6 +313,10 @@ class Nic : public sim::Component {
   /// whenever the unit empties).  While disabled, packets take the full
   /// software search — which is safe exactly because the ALPU is empty.
   bool posted_probe_enabled_ = false;
+  /// Set when header-FIFO back-pressure forced the posted ALPU into
+  /// software fallback; cleared when an insert session re-shadows it.
+  /// Only used for stats attribution (alpu_fallback_searches).
+  bool posted_degraded_ = false;
 
   std::function<void(const Completion&)> on_completion_;
   sim::Trigger work_;

@@ -1,0 +1,199 @@
+#include "nic/reliability.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace alpu::nic {
+
+using common::LogLevel;
+using common::TimePs;
+
+ReliabilityLayer::ReliabilityLayer(sim::Engine& engine, std::string name,
+                                   const ReliabilityConfig& config,
+                                   net::Network& network, net::NodeId node,
+                                   DeliverUp deliver_up)
+    : engine_(engine),
+      name_(std::move(name)),
+      config_(config),
+      network_(network),
+      node_(node),
+      deliver_up_(std::move(deliver_up)) {
+  ALPU_ASSERT(deliver_up_, "reliability layer needs an up-stack sink");
+}
+
+ReliabilityLayer::~ReliabilityLayer() {
+  // Dead timers must not fire into a destroyed object (relevant only
+  // when a Machine is torn down with events still pending).
+  for (auto& [peer, tx] : tx_) {
+    (void)peer;
+    cancel_timer(tx);
+  }
+}
+
+std::size_t ReliabilityLayer::window_size(net::NodeId peer) const {
+  const auto it = tx_.find(peer);
+  return it == tx_.end() ? 0 : it->second.window.size();
+}
+
+// ---------------------------------------------------------------------------
+// Transmit path
+// ---------------------------------------------------------------------------
+
+void ReliabilityLayer::send(net::Packet packet) {
+  if (!config_.enabled) {
+    network_.send(packet);
+    return;
+  }
+  TxState& tx = tx_[packet.dst];
+  if (tx.failed) {
+    // The link was declared dead: discard instead of queueing forever.
+    // The firmware's observable outcome is the link-failure status.
+    ++stats_.sends_after_failure;
+    return;
+  }
+  packet.reliable = true;
+  packet.seq = tx.next_seq++;
+  tx.window.push_back(packet);
+  ++stats_.data_tx;
+  network_.send(packet);
+  if (!tx.timer_armed) arm_timer(packet.dst, tx);
+}
+
+void ReliabilityLayer::arm_timer(net::NodeId peer, TxState& tx) {
+  ALPU_DEBUG_ASSERT(!tx.timer_armed, "double-armed retransmit timer");
+  // Exponential backoff: double per consecutive no-progress timeout,
+  // capped.  The shift bound keeps the arithmetic in range.
+  const unsigned shift = std::min(tx.attempts, 20u);
+  const TimePs timeout = std::min(config_.base_timeout_ps << shift,
+                                  config_.max_timeout_ps);
+  tx.timer = engine_.schedule_in(timeout, [this, peer] { on_timeout(peer); });
+  tx.timer_armed = true;
+}
+
+void ReliabilityLayer::cancel_timer(TxState& tx) {
+  if (tx.timer_armed) {
+    engine_.cancel(tx.timer);
+    tx.timer_armed = false;
+  }
+}
+
+void ReliabilityLayer::on_timeout(net::NodeId peer) {
+  TxState& tx = tx_[peer];
+  tx.timer_armed = false;
+  if (tx.window.empty()) return;  // fully ACKed just before expiry
+  ++tx.attempts;
+  if (tx.attempts > config_.max_retries) {
+    // Bounded retry exhausted: surface a link failure instead of
+    // spinning forever (the engine drains; callers observe the status).
+    tx.failed = true;
+    ++stats_.link_failures;
+    common::logf(LogLevel::kInfo, engine_.now(), name_,
+                 "link to {} failed after {} retries ({} packets discarded)",
+                 peer, config_.max_retries, tx.window.size());
+    tx.window.clear();
+    return;
+  }
+  // Go-back-N: retransmit every unacknowledged packet, in order.
+  ++stats_.timeouts;
+  for (const net::Packet& p : tx.window) {
+    ++stats_.retransmits;
+    network_.send(p);
+  }
+  arm_timer(peer, tx);
+}
+
+void ReliabilityLayer::on_ack(const net::Packet& packet) {
+  ++stats_.acks_rx;
+  TxState& tx = tx_[packet.src];
+  if (tx.failed) return;
+  // Cumulative: ack_seq is the next sequence the receiver expects; all
+  // window packets below it are done.  Sequence numbers on one link are
+  // assigned monotonically and windows are far smaller than 2^31, so
+  // plain comparison is safe against 32-bit wrap in any workload here.
+  bool progressed = false;
+  while (!tx.window.empty() && tx.window.front().seq < packet.ack_seq) {
+    tx.window.pop_front();
+    ++tx.base;
+    progressed = true;
+  }
+  if (progressed) {
+    tx.attempts = 0;
+    cancel_timer(tx);
+    if (!tx.window.empty()) arm_timer(packet.src, tx);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void ReliabilityLayer::send_ack(net::NodeId peer, std::uint32_t ack_seq) {
+  net::Packet ack;
+  ack.src = node_;
+  ack.dst = peer;
+  ack.kind = net::PacketKind::kAck;
+  ack.ack_seq = ack_seq;
+  ++stats_.acks_tx;
+  network_.send(ack);
+}
+
+void ReliabilityLayer::on_network_delivery(const net::Packet& packet) {
+  if (!config_.enabled) {
+    deliver_up_(packet);
+    return;
+  }
+  if (!packet.crc_ok) {
+    // Modeled link CRC failed: the payload cannot be trusted, including
+    // its sequence number.  Drop; the sender's timeout recovers it.
+    ++stats_.crc_drops;
+    return;
+  }
+  if (packet.kind == net::PacketKind::kAck) {
+    on_ack(packet);
+    return;
+  }
+  if (!packet.reliable) {
+    deliver_up_(packet);  // raw traffic from an unsequenced sender
+    return;
+  }
+  RxState& rx = rx_[packet.src];
+  if (packet.seq < rx.expected) {
+    // Duplicate (retransmission of something already delivered).  The
+    // re-ACK matters: if the original ACK was lost, only this stops the
+    // sender from retransmitting until its retry bound declares the
+    // link dead.
+    ++stats_.dup_drops;
+    send_ack(packet.src, rx.expected);
+    return;
+  }
+  if (packet.seq > rx.expected) {
+    // Out of order: hold within the bounded buffer, or drop beyond it
+    // (go-back-N retransmission refills the gap either way).
+    if (rx.held.size() < config_.reorder_window &&
+        rx.held.find(packet.seq) == rx.held.end()) {
+      rx.held.emplace(packet.seq, packet);
+      ++stats_.ooo_buffered;
+    } else {
+      ++stats_.ooo_dropped;
+    }
+    return;
+  }
+  // In sequence: deliver, then release any directly-following held
+  // packets, then ACK the new cumulative horizon once.
+  deliver_up_(packet);
+  ++stats_.delivered;
+  ++rx.expected;
+  for (auto it = rx.held.find(rx.expected); it != rx.held.end();
+       it = rx.held.find(rx.expected)) {
+    deliver_up_(it->second);
+    ++stats_.delivered;
+    rx.held.erase(it);
+    ++rx.expected;
+  }
+  send_ack(packet.src, rx.expected);
+}
+
+}  // namespace alpu::nic

@@ -1,0 +1,161 @@
+// NIC link-reliability sublayer (go-back-N over the modelled network).
+//
+// The MPI layers above assume what the lossless network model used to
+// guarantee: every packet arrives, exactly once, in per-link order.
+// With fault injection (src/net/faults.hpp) that guarantee moves here,
+// the way real NIC-resident engines do it (APEnet+ embeds link-level
+// retransmission in its torus NIC; Yu et al. layer reliability under
+// their NIC collective protocol):
+//
+//   * sender side: per-(src,dst) sequence numbers, a retransmit window
+//     of unacknowledged packets, and a timeout with exponential backoff
+//     that go-back-N retransmits the whole window.  After `max_retries`
+//     consecutive timeouts without progress, the link is declared
+//     failed — the window is discarded and a link-failure status is
+//     surfaced (counters + any_link_failed()) instead of retrying
+//     forever, so the simulation always drains;
+//   * receiver side: CRC check (corrupted packets are dropped and
+//     recovered by retransmission), duplicate detection (re-ACKed, so a
+//     lost ACK cannot retransmit forever), and bounded reorder buffering
+//     (out-of-order packets within `reorder_window` are held and
+//     released in sequence);
+//   * cumulative ACKs: each in-order delivery (or detected duplicate)
+//     sends one standalone kAck carrying the next expected sequence
+//     number.  ACKs themselves are unsequenced and may be lost — the
+//     sender's timeout covers them.
+//
+// Disabled (the default), the layer is a transparent pass-through: no
+// sequence numbers are stamped, no ACKs are generated, no timers are
+// armed, and the packet schedule is byte-identical to the pre-reliability
+// simulator.  The rendezvous RTS/CTS/DATA handshake needs no changes to
+// survive loss of any leg: each leg is an ordinary reliable packet here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/time.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace alpu::nic {
+
+struct ReliabilityConfig {
+  /// Off by default: the clean-path figures must not change.
+  bool enabled = false;
+  /// First retransmit timeout.  Must exceed the worst-case in-flight
+  /// time of one window: serialising a 64 KB rendezvous DATA at the
+  /// Table-III 2 GB/s takes ~33 us, plus wire latency and the ACK's
+  /// return trip — 60 us gives slack without dragging out recovery.
+  common::TimePs base_timeout_ps = 60'000'000;
+  /// Backoff cap (the shift doubles the timeout per consecutive retry).
+  common::TimePs max_timeout_ps = 2'000'000'000;
+  /// Consecutive timeouts without ACK progress before the link is
+  /// declared failed and the window discarded.
+  unsigned max_retries = 12;
+  /// Receiver-side out-of-order buffer capacity per peer.
+  std::size_t reorder_window = 64;
+};
+
+struct ReliabilityStats {
+  std::uint64_t data_tx = 0;        ///< reliable packets first-transmitted
+  std::uint64_t delivered = 0;      ///< in-order deliveries up the stack
+  std::uint64_t acks_tx = 0;
+  std::uint64_t acks_rx = 0;
+  std::uint64_t retransmits = 0;    ///< packets re-sent by timeouts
+  std::uint64_t timeouts = 0;       ///< timer expiries that retransmitted
+  std::uint64_t crc_drops = 0;      ///< corrupted packets discarded
+  std::uint64_t dup_drops = 0;      ///< duplicate packets discarded
+  std::uint64_t ooo_buffered = 0;   ///< out-of-order packets held
+  std::uint64_t ooo_dropped = 0;    ///< out-of-order past the buffer bound
+  std::uint64_t link_failures = 0;  ///< peers given up on
+  std::uint64_t sends_after_failure = 0;  ///< sends discarded on dead links
+
+  /// Aggregate across NICs (machine-level reporting).
+  ReliabilityStats& operator+=(const ReliabilityStats& o) {
+    data_tx += o.data_tx;
+    delivered += o.delivered;
+    acks_tx += o.acks_tx;
+    acks_rx += o.acks_rx;
+    retransmits += o.retransmits;
+    timeouts += o.timeouts;
+    crc_drops += o.crc_drops;
+    dup_drops += o.dup_drops;
+    ooo_buffered += o.ooo_buffered;
+    ooo_dropped += o.ooo_dropped;
+    link_failures += o.link_failures;
+    sends_after_failure += o.sends_after_failure;
+    return *this;
+  }
+};
+
+/// One NIC's reliability endpoint.  Owned by the Nic, interposed between
+/// the firmware and the Network in both directions.
+class ReliabilityLayer {
+ public:
+  /// `deliver_up` receives exactly the packets the old lossless network
+  /// would have delivered: in per-link order, exactly once, CRC-clean.
+  using DeliverUp = std::function<void(const net::Packet&)>;
+
+  ReliabilityLayer(sim::Engine& engine, std::string name,
+                   const ReliabilityConfig& config, net::Network& network,
+                   net::NodeId node, DeliverUp deliver_up);
+  ~ReliabilityLayer();
+
+  ReliabilityLayer(const ReliabilityLayer&) = delete;
+  ReliabilityLayer& operator=(const ReliabilityLayer&) = delete;
+
+  bool enabled() const { return config_.enabled; }
+
+  /// Transmit path: stamp, window, and send a packet (or pass it through
+  /// untouched when disabled).  On a failed link the packet is counted
+  /// and discarded — the link-failure status is the surfaced outcome.
+  void send(net::Packet packet);
+
+  /// Receive path: the Network's delivery handler.
+  void on_network_delivery(const net::Packet& packet);
+
+  const ReliabilityConfig& config() const { return config_; }
+  const ReliabilityStats& stats() const { return stats_; }
+  bool any_link_failed() const { return stats_.link_failures > 0; }
+  /// Unacknowledged packets currently in flight toward `peer`.
+  std::size_t window_size(net::NodeId peer) const;
+
+ private:
+  struct TxState {
+    std::uint32_t next_seq = 0;
+    std::uint32_t base = 0;  ///< oldest unacknowledged sequence number
+    std::deque<net::Packet> window;
+    sim::EventId timer = 0;
+    bool timer_armed = false;
+    unsigned attempts = 0;  ///< consecutive timeouts without progress
+    bool failed = false;
+  };
+  struct RxState {
+    std::uint32_t expected = 0;
+    /// Out-of-order packets held for in-sequence release, keyed by
+    /// sequence number (deterministic iteration by construction).
+    std::map<std::uint32_t, net::Packet> held;
+  };
+
+  void arm_timer(net::NodeId peer, TxState& tx);
+  void cancel_timer(TxState& tx);
+  void on_timeout(net::NodeId peer);
+  void on_ack(const net::Packet& packet);
+  void send_ack(net::NodeId peer, std::uint32_t ack_seq);
+
+  sim::Engine& engine_;
+  std::string name_;
+  ReliabilityConfig config_;
+  net::Network& network_;
+  net::NodeId node_;
+  DeliverUp deliver_up_;
+  std::map<net::NodeId, TxState> tx_;
+  std::map<net::NodeId, RxState> rx_;
+  ReliabilityStats stats_;
+};
+
+}  // namespace alpu::nic

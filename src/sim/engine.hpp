@@ -48,9 +48,10 @@ using EventId = std::uint64_t;
 /// capture sizes the simulator schedules on its hot path.
 class EventCallback {
  public:
-  /// Sized for the largest hot-path capture (a network Packet copy plus
-  /// `this`); coroutine resumes — the dominant event — use 8 bytes.
-  static constexpr std::size_t kInlineBytes = 48;
+  /// Sized for the largest hot-path capture (a 48-byte network Packet
+  /// copy plus `this` == 56); coroutine resumes — the dominant event —
+  /// use 8 bytes.
+  static constexpr std::size_t kInlineBytes = 56;
 
   EventCallback() noexcept = default;
 

@@ -1,0 +1,77 @@
+// Chaos soak: the Figure-5/6-class machine under network fault
+// injection, asserting MPI-level correctness end to end.
+//
+// One run builds a fresh machine with a FaultInjector on the network and
+// the NIC reliability sublayer enabled, drives an all-to-all randomized
+// traffic plan (eager and rendezvous sizes, tag = per-pair ordinal), and
+// verifies the guarantees the reliability layer must restore over the
+// faulty links:
+//
+//   * no lost message       — every rank completes every receive and the
+//                             byte totals conserve exactly;
+//   * no misordered message — each receive is posted with ANY_TAG, so
+//                             the matched tag exposes the arrival order
+//                             per (source, destination) pair: it must
+//                             equal the posting ordinal;
+//   * no duplicated message — a duplicate would match (and complete) a
+//                             receive out of turn, failing either check;
+//   * full drain            — posted/unexpected queues and ALPUs empty.
+//
+// Everything is deterministic: the injector draws from its own seeded
+// stream, each run owns a fresh engine, and `alpusim chaos` sweeps fault
+// rates through sweep_map, so results are byte-identical at any --jobs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "net/faults.hpp"
+#include "net/network.hpp"
+#include "nic/reliability.hpp"
+#include "workload/scenarios.hpp"
+
+namespace alpu::workload {
+
+struct ChaosParams {
+  NicMode mode = NicMode::kAlpu256;
+  int ranks = 4;
+  /// Messages per ordered (src, dst) pair.
+  int per_pair = 8;
+  /// Seeds the traffic plan and rank think-time (the fault stream is
+  /// seeded separately via `faults.seed`).
+  std::uint64_t seed = 1;
+  net::FaultConfig faults;
+  nic::ReliabilityConfig reliability;
+};
+
+struct ChaosResult {
+  bool completed = false;  ///< every rank program ran to completion
+  bool conserved = false;  ///< per-message byte counts all exact
+  bool ordered = false;    ///< per-pair tags arrived in posting order
+  bool drained = false;    ///< queues and ALPUs empty at the end
+  std::uint64_t messages = 0;  ///< MPI messages planned (and required)
+  common::TimePs sim_time = 0;
+
+  net::NetworkStats net;               ///< includes fault counters
+  nic::ReliabilityStats reliability;   ///< summed over all NICs
+  std::uint64_t probe_rejections = 0;  ///< summed NIC degradation stats
+  std::uint64_t fallback_resets = 0;
+  std::uint64_t fallback_searches = 0;
+
+  /// The pass/fail verdict `alpusim chaos` and CI assert on.
+  bool ok() const {
+    return completed && conserved && ordered && drained &&
+           reliability.link_failures == 0;
+  }
+};
+
+/// System config for a chaos run: the mode's Table-III machine plus the
+/// fault injector and the reliability sublayer (force-enabled whenever
+/// the fault config is non-trivial).
+mpi::SystemConfig make_chaos_system_config(const ChaosParams& params);
+
+/// Run one chaos soak.  Never throws on protocol failure — the result's
+/// flags carry the verdict so sweeps can tabulate them.
+ChaosResult run_chaos(const ChaosParams& params);
+
+}  // namespace alpu::workload

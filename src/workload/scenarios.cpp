@@ -155,6 +155,15 @@ LatencyResult collect(mpi::Machine& m, TimePs latency) {
   out.alpu_misses = s.alpu_posted_misses + s.alpu_unexpected_misses;
   out.l1_hit_rate = m.nic(0).memory().l1_stats().hit_rate();
   out.match_counters = m.nic(0).match_counters();
+  const net::NetworkStats& ns = m.network().stats();
+  out.net_faults_injected = ns.faults_dropped + ns.faults_duplicated +
+                            ns.faults_reordered + ns.faults_corrupted;
+  for (int r = 0; r < m.size(); ++r) {
+    out.retransmits += m.nic(r).reliability().stats().retransmits;
+    out.link_failures += m.nic(r).reliability().stats().link_failures;
+    out.alpu_probe_rejections += m.nic(r).stats().alpu_probe_rejections;
+    out.alpu_fallback_resets += m.nic(r).stats().alpu_fallback_resets;
+  }
   return out;
 }
 

@@ -84,6 +84,15 @@ struct LatencyResult {
   /// Probe-level engine work at the receiver (software lists + ALPUs):
   /// probes issued, comparator cells scanned, compaction entry moves.
   common::MatchCounters match_counters;
+
+  // Robustness-path accounting, zero on a clean run: faults the network
+  // injected, packets the reliability sublayer re-sent, degradation
+  // events at the NICs, and links given up on.  Summed machine-wide.
+  std::uint64_t net_faults_injected = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t alpu_probe_rejections = 0;
+  std::uint64_t alpu_fallback_resets = 0;
+  std::uint64_t link_failures = 0;
 };
 
 /// Run one pre-posted-queue measurement (Figure 5 data point).

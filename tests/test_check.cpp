@@ -6,10 +6,12 @@
 
 #include <vector>
 
+#include "alpu/alpu.hpp"
 #include "alpu/array.hpp"
 #include "check/checker.hpp"
 #include "check/spec.hpp"
 #include "match/match.hpp"
+#include "sim/engine.hpp"
 
 namespace alpu::check {
 namespace {
@@ -138,6 +140,99 @@ TEST(ProtocolSpec, QueuedProbesDrainBehindHeldInOrder) {
   EXPECT_EQ(out[0].cookie, 5u);
   EXPECT_EQ(out[1].probe_seq, 2u);
   EXPECT_EQ(out[1].cookie, 6u);
+}
+
+// ---- probe rejection composes with held failures and retries --------------
+
+TEST(ProtocolSpec, ProbeRejectedIsAPureNoOp) {
+  ProtocolSpec spec(AlpuFlavor::kPostedReceive, 4, match::kFullMask);
+  std::vector<SpecResponse> out;
+  spec.apply(Op{OpKind::kBegin, 0, 0, 0, 0}, out);
+  out.clear();
+  spec.apply(Op{OpKind::kProbe, match::pack({1, 0, 0}), 0, 0, 1}, out);
+  ASSERT_TRUE(out.empty());  // held
+
+  // The refusal leaves no trace: no response, no state change, and the
+  // held probe stays held (settle must make no progress).
+  spec.apply(Op{OpKind::kProbeRejected, 0, 0, 0, 0}, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(spec.has_held_probe());
+  EXPECT_TRUE(spec.in_insert_mode());
+  EXPECT_EQ(spec.list().size(), 0u);
+}
+
+TEST(ProtocolSpec, ProbeRejectionComposesWithHeldFailureRetry) {
+  // Drive a REAL transaction-level unit with a depth-1 header FIFO into
+  // a deterministic rejection, then prove the rejected-then-retried
+  // sequence is response-equivalent to the spec with kProbeRejected
+  // spliced in:
+  //
+  //   probe 1 misses and is held -> header consumption pauses
+  //   probe 2 accepted, parked in the (now full) FIFO
+  //   probe 3 REJECTED by the full FIFO        <- Op kProbeRejected
+  //   insert A retries the held probe 1 -> success; probe 2 becomes held
+  //   probe 3 re-offered -> accepted this time <- the firmware's retry
+  //   insert B retries probe 2 -> success; probe 3 becomes held
+  //   STOP INSERT resolves probe 3 as the failure it is
+  sim::Engine engine;
+  hw::AlpuConfig cfg;
+  cfg.flavor = AlpuFlavor::kPostedReceive;
+  cfg.total_cells = 4;
+  cfg.block_size = 2;
+  cfg.header_fifo_depth = 1;
+  hw::Alpu unit(engine, "dut", cfg);
+  ProtocolSpec spec(AlpuFlavor::kPostedReceive, 4, match::kFullMask);
+  const MatchWord h = match::pack({1, 0, 0});
+
+  // Run device and spec in lock-step; both must agree after every op.
+  auto step = [&](const Op& op, bool push_to_device = true) {
+    if (push_to_device) {
+      bool ok = true;
+      switch (op.kind) {
+        case OpKind::kBegin:
+          ok = unit.push_command({hw::CommandKind::kStartInsert, 0, 0, 0});
+          break;
+        case OpKind::kEnd:
+          ok = unit.push_command({hw::CommandKind::kStopInsert, 0, 0, 0});
+          break;
+        case OpKind::kInsert:
+          ok = unit.push_command(
+              {hw::CommandKind::kInsert, op.bits, op.mask, op.cookie});
+          break;
+        case OpKind::kProbe:
+          ok = unit.push_probe({op.bits, op.mask, op.seq});
+          break;
+        default:
+          break;
+      }
+      EXPECT_TRUE(ok) << to_string(op);
+    }
+    engine.run();
+    std::vector<SpecResponse> got;
+    while (std::optional<hw::Response> r = unit.pop_result()) {
+      got.push_back(
+          SpecResponse{r->kind, r->cookie, r->free_slots, r->probe_seq});
+    }
+    std::vector<SpecResponse> want;
+    spec.apply(op, want);
+    EXPECT_EQ(got, want) << "diverged at " << to_string(op);
+    EXPECT_EQ(unit.occupancy(), spec.list().size());
+  };
+
+  step(Op{OpKind::kBegin, 0, 0, 0, 0});
+  step(Op{OpKind::kProbe, h, 0, 0, 1});  // misses -> held
+  step(Op{OpKind::kProbe, h, 0, 0, 2});  // parked in the depth-1 FIFO
+
+  // The third probe is refused by the full FIFO: the device never sees
+  // it, and the spec records the refusal as an explicit no-op.
+  EXPECT_FALSE(unit.push_probe({h, 0, 3}));
+  step(Op{OpKind::kProbeRejected, 0, 0, 0, 0}, /*push_to_device=*/false);
+
+  step(Op{OpKind::kInsert, h, 0, 11, 0});  // retry answers probe 1
+  step(Op{OpKind::kProbe, h, 0, 0, 3});    // the firmware re-offers probe 3
+  step(Op{OpKind::kInsert, h, 0, 22, 0});  // retry answers probe 2
+  step(Op{OpKind::kEnd, 0, 0, 0, 0});      // probe 3 resolves as failure
+  EXPECT_EQ(unit.occupancy(), 0u);
 }
 
 // ---- known-good exhaustive runs -------------------------------------------

@@ -10,7 +10,9 @@
 
 #include "common/rng.hpp"
 #include "mpi/mpi.hpp"
+#include "workload/chaos.hpp"
 #include "workload/scenarios.hpp"
+#include "workload/sweep.hpp"
 
 namespace alpu::mpi {
 namespace {
@@ -185,6 +187,63 @@ INSTANTIATE_TEST_SUITE_P(
                           : (mode == NicMode::kAlpu128 ? "alpu128"
                                                        : "alpu256");
       return std::string(m) + "_" + std::to_string(seed);
+    });
+
+// ---------------------------------------------------------------------------
+// Faulty soak: the same class of randomized traffic, but over a lossy
+// network with the reliability sublayer recovering it.  Runs the fault
+// grid through sweep_map with 4 worker threads so TSan sees the parallel
+// sweep path under load (each point owns a fresh Engine + Machine).
+// ---------------------------------------------------------------------------
+
+class FaultySoak : public ::testing::TestWithParam<NicMode> {};
+
+TEST_P(FaultySoak, LossyNetworkStillConservesAndOrders) {
+  struct Point {
+    double drop;
+    std::uint64_t seed;
+  };
+  std::vector<Point> grid;
+  for (const double drop : {1e-3, 1e-2}) {
+    for (const std::uint64_t seed : {1001u, 2002u}) {
+      grid.push_back(Point{drop, seed});
+    }
+  }
+  const NicMode mode = GetParam();
+  const auto results = workload::sweep_map(
+      grid,
+      [mode](const Point& pt) {
+        workload::ChaosParams p;
+        p.mode = mode;
+        p.ranks = 4;
+        p.per_pair = 8;
+        p.seed = pt.seed;
+        p.faults.drop_rate = pt.drop;
+        p.faults.dup_rate = pt.drop / 2;
+        p.faults.reorder_rate = pt.drop / 2;
+        p.faults.corrupt_rate = pt.drop / 2;
+        p.faults.seed = 0x5eed + pt.seed;
+        return workload::run_chaos(p);
+      },
+      workload::SweepOptions{.jobs = 4});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const workload::ChaosResult& r = results[i];
+    EXPECT_TRUE(r.ok()) << "drop=" << grid[i].drop << " seed=" << grid[i].seed
+                        << ": completed=" << r.completed
+                        << " conserved=" << r.conserved
+                        << " ordered=" << r.ordered
+                        << " drained=" << r.drained
+                        << " link_failures=" << r.reliability.link_failures;
+    EXPECT_EQ(r.messages, 96u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, FaultySoak,
+    ::testing::Values(NicMode::kBaseline, NicMode::kAlpu128,
+                      NicMode::kAlpu256),
+    [](const ::testing::TestParamInfo<FaultySoak::ParamType>& info) {
+      return std::string(workload::nic_mode_name(info.param));
     });
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include "common/flags.hpp"
 #include "common/log.hpp"
 #include "fpga/area_model.hpp"
+#include "workload/chaos.hpp"
 #include "workload/report.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/sweep.hpp"
@@ -36,7 +37,7 @@ using workload::NicMode;
 int usage() {
   std::fprintf(stderr,
                "usage: alpusim <preposted|unexpected|pingpong|msgrate|fpga"
-               "|sweep|check>\n"
+               "|sweep|check|chaos>\n"
                "               [--mode baseline|alpu128|alpu256] [--length N]\n"
                "               [--fraction F] [--bytes N] [--iterations N]"
                " [--burst N] [--threshold N]\n"
@@ -49,7 +50,11 @@ int usage() {
                "               [--depth N] [--impl array|reference|alpu"
                "|pipelined|all]\n"
                "               [--inject-compaction-bug]"
-               "   (check mode)\n");
+               "   (check mode)\n"
+               "               [--drop R] [--dup R] [--reorder R]"
+               " [--corrupt R] [--ranks N]\n"
+               "               [--per-pair N] [--seeds N] [--fault-seed S]"
+               "   (chaos mode)\n");
   return 2;
 }
 
@@ -119,6 +124,15 @@ int run_check(const common::Flags& flags) {
   return all_ok ? 0 : 1;
 }
 
+NicMode mode_of(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "baseline") return NicMode::kBaseline;
+  if (name == "alpu128") return NicMode::kAlpu128;
+  if (name == "alpu256") return NicMode::kAlpu256;
+  *ok = false;
+  return NicMode::kBaseline;
+}
+
 /// `--verbose` companion output: aggregate probe-level engine counters
 /// over every data point of the sweep.  Printed to stderr so the CSV on
 /// stdout stays byte-identical with and without the flag.
@@ -130,6 +144,33 @@ void print_counters(const common::MatchCounters& c, std::size_t points) {
                static_cast<unsigned long long>(c.cells_scanned));
   std::fprintf(stderr, "match_compaction_moves=%llu\n",
                static_cast<unsigned long long>(c.compaction_moves));
+  std::fprintf(stderr, "match_inserts_dropped=%llu\n",
+               static_cast<unsigned long long>(c.inserts_dropped));
+}
+
+/// Robustness-path totals for `sweep --verbose` (all zero on a clean
+/// fault-free sweep — anything else means the figures were produced on
+/// a degraded machine and should not be trusted as calibration data).
+void print_robustness_counters(
+    const std::vector<workload::LatencyResult>& results) {
+  std::uint64_t faults = 0, retx = 0, rejects = 0, resets = 0, dead = 0;
+  for (const auto& r : results) {
+    faults += r.net_faults_injected;
+    retx += r.retransmits;
+    rejects += r.alpu_probe_rejections;
+    resets += r.alpu_fallback_resets;
+    dead += r.link_failures;
+  }
+  std::fprintf(stderr, "net_faults_injected=%llu\n",
+               static_cast<unsigned long long>(faults));
+  std::fprintf(stderr, "reliability_retransmits=%llu\n",
+               static_cast<unsigned long long>(retx));
+  std::fprintf(stderr, "alpu_probe_rejections=%llu\n",
+               static_cast<unsigned long long>(rejects));
+  std::fprintf(stderr, "alpu_fallback_resets=%llu\n",
+               static_cast<unsigned long long>(resets));
+  std::fprintf(stderr, "link_failures=%llu\n",
+               static_cast<unsigned long long>(dead));
 }
 
 /// `alpusim sweep`: regenerate a figure surface on the parallel sweep
@@ -147,8 +188,14 @@ int run_sweep(const common::Flags& flags) {
     std::printf("%s", workload::surface_csv(rows).c_str());
     if (verbose) {
       common::MatchCounters total;
-      for (const auto& row : rows) total += row.result.match_counters;
+      std::vector<workload::LatencyResult> results;
+      results.reserve(rows.size());
+      for (const auto& row : rows) {
+        total += row.result.match_counters;
+        results.push_back(row.result);
+      }
       print_counters(total, rows.size());
+      print_robustness_counters(results);
     }
     return 0;
   }
@@ -190,6 +237,7 @@ int run_sweep(const common::Flags& flags) {
       common::MatchCounters total;
       for (const auto& r : results) total += r.match_counters;
       print_counters(total, results.size());
+      print_robustness_counters(results);
     }
     return 0;
   }
@@ -197,13 +245,100 @@ int run_sweep(const common::Flags& flags) {
   return 2;
 }
 
-NicMode mode_of(const std::string& name, bool* ok) {
-  *ok = true;
-  if (name == "baseline") return NicMode::kBaseline;
-  if (name == "alpu128") return NicMode::kAlpu128;
-  if (name == "alpu256") return NicMode::kAlpu256;
-  *ok = false;
-  return NicMode::kBaseline;
+/// `alpusim chaos`: the fault-rate soak.  Sweeps drop rates (default
+/// {0, 1e-3, 1e-2}; override with --drop) across --seeds traffic plans
+/// on the parallel sweep pool, runs the all-to-all chaos workload at
+/// each point, and FAILs unless every point delivers every MPI message
+/// exactly once, in per-pair order, with all queues drained and no link
+/// declared dead.  Duplication/reorder/corruption rates ride along at
+/// half the drop rate each unless given explicitly.
+int run_chaos(const common::Flags& flags) {
+  workload::SweepOptions sweep;
+  sweep.jobs = static_cast<int>(flags.get_int("jobs", 0));
+
+  bool mode_ok = true;
+  const NicMode mode = mode_of(flags.get("mode", "alpu256"), &mode_ok);
+  if (!mode_ok) {
+    std::fprintf(stderr, "unknown --mode\n");
+    return 2;
+  }
+  const int ranks = static_cast<int>(flags.get_int("ranks", 4));
+  const int per_pair = static_cast<int>(flags.get_int("per-pair", 8));
+  const int nseeds = static_cast<int>(flags.get_int("seeds", 2));
+  const auto fault_seed =
+      static_cast<std::uint64_t>(flags.get_int("fault-seed", 0x5eed));
+
+  std::vector<double> rates;
+  if (flags.has("drop")) {
+    rates.push_back(flags.get_double("drop", 0.0));
+  } else {
+    rates = {0.0, 1e-3, 1e-2};
+  }
+
+  struct Point {
+    double rate;
+    std::uint64_t seed;
+  };
+  std::vector<Point> points;
+  for (double rate : rates) {
+    for (int s = 0; s < nseeds; ++s) {
+      points.push_back({rate, static_cast<std::uint64_t>(s + 1)});
+    }
+  }
+
+  const std::vector<workload::ChaosResult> results = workload::sweep_map(
+      points,
+      [&](const Point& pt) {
+        workload::ChaosParams p;
+        p.mode = mode;
+        p.ranks = ranks;
+        p.per_pair = per_pair;
+        p.seed = pt.seed;
+        p.faults.drop_rate = pt.rate;
+        p.faults.dup_rate = flags.get_double("dup", pt.rate / 2.0);
+        p.faults.reorder_rate = flags.get_double("reorder", pt.rate / 2.0);
+        p.faults.corrupt_rate = flags.get_double("corrupt", pt.rate / 2.0);
+        p.faults.seed = fault_seed + pt.seed;
+        return workload::run_chaos(p);
+      },
+      sweep);
+
+  std::printf(
+      "drop_rate,seed,messages,sim_ms,drops,dups,reorders,corruptions,"
+      "retransmits,timeouts,crc_drops,dup_drops,fallback_resets,ok\n");
+  bool all_ok = true;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const workload::ChaosResult& r = results[i];
+    all_ok = all_ok && r.ok();
+    std::printf(
+        "%g,%llu,%llu,%.3f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%s\n",
+        points[i].rate, static_cast<unsigned long long>(points[i].seed),
+        static_cast<unsigned long long>(r.messages),
+        common::to_ns(r.sim_time) / 1e6,
+        static_cast<unsigned long long>(r.net.faults_dropped),
+        static_cast<unsigned long long>(r.net.faults_duplicated),
+        static_cast<unsigned long long>(r.net.faults_reordered),
+        static_cast<unsigned long long>(r.net.faults_corrupted),
+        static_cast<unsigned long long>(r.reliability.retransmits),
+        static_cast<unsigned long long>(r.reliability.timeouts),
+        static_cast<unsigned long long>(r.reliability.crc_drops),
+        static_cast<unsigned long long>(r.reliability.dup_drops),
+        static_cast<unsigned long long>(r.fallback_resets),
+        r.ok() ? "PASS" : "FAIL");
+    if (!r.ok()) {
+      std::fprintf(stderr,
+                   "chaos FAIL at drop=%g seed=%llu: completed=%d "
+                   "conserved=%d ordered=%d drained=%d link_failures=%llu\n",
+                   points[i].rate,
+                   static_cast<unsigned long long>(points[i].seed),
+                   r.completed, r.conserved, r.ordered, r.drained,
+                   static_cast<unsigned long long>(
+                       r.reliability.link_failures));
+    }
+  }
+  std::fprintf(stderr, "chaos: %s (%zu points)\n", all_ok ? "PASS" : "FAIL",
+               points.size());
+  return all_ok ? 0 : 1;
 }
 
 void print_result(const workload::LatencyResult& r) {
@@ -233,6 +368,9 @@ int main(int argc, char** argv) {
   }
   if (scenario == "check") {
     return run_check(flags);
+  }
+  if (scenario == "chaos") {
+    return run_chaos(flags);
   }
 
   bool mode_ok = true;
