@@ -1,0 +1,159 @@
+// bench_engine — wall-clock throughput of the DES kernel and the
+// conservative-parallel ShardGroup.
+//
+// Three measurements:
+//
+//   * engine churn: a bare Engine burning through self-rescheduling
+//     event chains — the events/s ceiling of the slot-pool kernel with
+//     no simulation model attached;
+//   * machine rate: kernel events/s of a full 16-node all-to-all chaos
+//     machine (NICs, ALPUs, MPI coroutines) on a single engine — what
+//     sweep throughput is actually made of;
+//   * shard speedup: the same 16-node machine at --shards N (default 8)
+//     vs. 1 shard, wall-clock ratio.  The simulated results are
+//     byte-identical by construction (the determinism tests enforce
+//     it); this measures only how much wall time the window parallelism
+//     buys.  On a single-CPU host the ratio sits near (or below) 1 —
+//     it is reported, never gated.
+//
+//   bench_engine [--iters N] [--shards N] [--ranks N] [--json <path>]
+//
+// `--json` emits the machine-parsable block scripts/bench_report.py
+// --suite engine consumes and gates (events/s, slowdown-only).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "sim/engine.hpp"
+#include "workload/chaos.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point t0, Clock::time_point t1) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+/// Raw kernel churn: `chains` interleaved self-rescheduling events until
+/// `total` events have fired.  Returns events per wall-clock second.
+double measure_engine_churn(std::uint64_t total) {
+  using alpu::common::TimePs;
+  alpu::sim::Engine engine;
+  constexpr std::uint64_t kChains = 64;
+  std::uint64_t remaining = total;
+  struct Chain {
+    alpu::sim::Engine* engine;
+    std::uint64_t* remaining;
+    TimePs step;
+    void fire() {
+      if (*remaining == 0) return;
+      --*remaining;
+      engine->schedule_in(step, [this] { fire(); });
+    }
+  };
+  std::vector<Chain> chains(kChains);
+  for (std::uint64_t c = 0; c < kChains; ++c) {
+    chains[c] = Chain{&engine, &remaining, 1 + c % 7};
+    engine.schedule_at(c, [&chains, c] { chains[c].fire(); });
+  }
+  const auto t0 = Clock::now();
+  engine.run();
+  const auto t1 = Clock::now();
+  return static_cast<double>(engine.events_executed()) /
+         (elapsed_ns(t0, t1) * 1e-9);
+}
+
+struct MachineRate {
+  double events_per_sec = 0.0;
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+};
+
+/// Kernel events/s of the balanced 16-node all-to-all machine (fault
+/// free — pure forward-progress traffic) at a given shard count.
+MachineRate measure_machine(int ranks, int per_pair, int shards,
+                            int repeats) {
+  MachineRate r;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < repeats; ++i) {
+    alpu::workload::ChaosParams p;
+    p.mode = alpu::workload::NicMode::kAlpu256;
+    p.ranks = ranks;
+    p.per_pair = per_pair;
+    p.seed = 3;
+    p.shards = shards;
+    const alpu::workload::ChaosResult res = alpu::workload::run_chaos(p);
+    if (!res.ok()) {
+      std::fprintf(stderr, "bench machine run failed its own checks\n");
+      std::exit(1);
+    }
+    r.events += res.events_executed;
+  }
+  const auto t1 = Clock::now();
+  r.seconds = elapsed_ns(t0, t1) * 1e-9;
+  r.events_per_sec = static_cast<double>(r.events) / r.seconds;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags_opt = alpu::common::Flags::parse(argc, argv);
+  if (!flags_opt.has_value()) {
+    std::fprintf(stderr,
+                 "usage: bench_engine [--iters N] [--shards N] [--ranks N]"
+                 " [--json <path>]\n");
+    return 2;
+  }
+  const alpu::common::Flags& flags = *flags_opt;
+  const auto iters =
+      static_cast<std::uint64_t>(flags.get_int("iters", 2'000'000));
+  const int shards = static_cast<int>(flags.get_int("shards", 8));
+  const int ranks = static_cast<int>(flags.get_int("ranks", 16));
+  const int repeats = static_cast<int>(flags.get_int("repeats", 3));
+
+  const double churn = measure_engine_churn(iters);
+  std::printf("engine churn:        %12.0f events/s (%llu events)\n", churn,
+              static_cast<unsigned long long>(iters));
+
+  const MachineRate serial = measure_machine(ranks, 4, 1, repeats);
+  std::printf("machine (1 shard):   %12.0f events/s (%llu events, %.2fs)\n",
+              serial.events_per_sec,
+              static_cast<unsigned long long>(serial.events), serial.seconds);
+
+  const MachineRate sharded = measure_machine(ranks, 4, shards, repeats);
+  const double speedup = sharded.seconds > 0.0
+                             ? serial.seconds / sharded.seconds
+                             : 0.0;
+  std::printf("machine (%d shards): %12.0f events/s (%.2fs)\n", shards,
+              sharded.events_per_sec, sharded.seconds);
+  std::printf("shard speedup:       %.2fx wall-clock (informational; needs"
+              " >= %d cores to mean anything)\n",
+              speedup, shards);
+
+  if (flags.has("json")) {
+    const std::string path = flags.get("json", "");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"engine\",\n");
+    std::fprintf(f, "  \"iters\": %llu,\n",
+                 static_cast<unsigned long long>(iters));
+    std::fprintf(f, "  \"ranks\": %d,\n  \"shards\": %d,\n", ranks, shards);
+    std::fprintf(f, "  \"engine_events_per_sec\": %.0f,\n", churn);
+    std::fprintf(f, "  \"machine_events_per_sec\": %.0f,\n",
+                 serial.events_per_sec);
+    std::fprintf(f, "  \"sharded_events_per_sec\": %.0f,\n",
+                 sharded.events_per_sec);
+    std::fprintf(f, "  \"shard_speedup\": %.3f\n}\n", speedup);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -1,19 +1,27 @@
 #!/usr/bin/env python3
-"""Run the match-engine wall-clock benchmark and emit/check its JSON.
+"""Run a wall-clock benchmark suite and emit/check its JSON.
 
-Runs `bench_alpu_micro --json`, writes the result as BENCH_alpu_match.json
-(ns per probe at 64/128/256 cells plus the full-machine events/s rate),
-and optionally gates against a checked-in baseline:
+Two suites:
 
-    scripts/bench_report.py                         # run, write JSON
-    scripts/bench_report.py --iters 200000          # reduced CI budget
+  * alpu_match (default): `bench_alpu_micro --json`, written as
+    BENCH_alpu_match.json (ns per probe at 64/128/256 cells plus the
+    full-machine events/s rate);
+  * engine: `bench_engine --json`, written as BENCH_engine.json (DES
+    kernel churn events/s, 16-node machine events/s at 1 shard, and the
+    informational sharded wall-clock speedup).
+
+    scripts/bench_report.py                          # run, write JSON
+    scripts/bench_report.py --iters 200000           # reduced CI budget
     scripts/bench_report.py --check bench/baselines/alpu_match.json
+    scripts/bench_report.py --suite engine \\
+        --check bench/baselines/engine.json
 
-`--check` fails (exit 1) if any ns-per-probe metric regresses by more
-than the allowed factor (default 2x) against the baseline.  Only
-slowdowns fail: faster-than-baseline results always pass, and events/s
-is reported but never gated (it swings with host load far more than the
-tight probe loops do).
+`--check` fails (exit 1) if any gated metric regresses by more than the
+allowed factor (default 2x) against the baseline.  Only slowdowns fail:
+faster-than-baseline results always pass.  The alpu_match events/s and
+the engine suite's shard_speedup are reported but never gated (the
+speedup needs as many cores as shards to mean anything; CI runners
+rarely have them).
 """
 
 import argparse
@@ -23,8 +31,19 @@ import subprocess
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_BENCH = REPO / "build" / "bench" / "bench_alpu_micro"
-DEFAULT_OUT = REPO / "BENCH_alpu_match.json"
+BENCH_DIR = REPO / "build" / "bench"
+SUITES = {
+    "alpu_match": {
+        "binary": "bench_alpu_micro",
+        "out": "BENCH_alpu_match.json",
+        "default_iters": 2_000_000,
+    },
+    "engine": {
+        "binary": "bench_engine",
+        "out": "BENCH_engine.json",
+        "default_iters": 2_000_000,
+    },
+}
 
 
 def run_bench(bench: pathlib.Path, iters: int, out_path: pathlib.Path) -> dict:
@@ -35,6 +54,34 @@ def run_bench(bench: pathlib.Path, iters: int, out_path: pathlib.Path) -> dict:
     subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
     with open(out_path) as f:
         return json.load(f)
+
+
+def check_engine(result: dict, baseline: dict, max_ratio: float) -> int:
+    """Gate the engine suite's events/s rates (slowdown-only)."""
+    failures = 0
+    for key in ("engine_events_per_sec", "machine_events_per_sec"):
+        base = baseline.get(key)
+        got = result.get(key)
+        if base is None:
+            continue
+        if got is None:
+            print(f"MISSING {key} in result")
+            failures += 1
+            continue
+        # Throughput metric: the regression ratio is baseline/result.
+        ratio = base / got if got > 0 else float("inf")
+        verdict = "FAIL" if ratio > max_ratio else "ok"
+        print(f"{verdict:4} {key}: {got:.0f} /s vs baseline {base:.0f} /s "
+              f"({ratio:.2f}x slower)" if ratio >= 1 else
+              f"{verdict:4} {key}: {got:.0f} /s vs baseline {base:.0f} /s "
+              f"({1 / ratio:.2f}x faster)")
+        if ratio > max_ratio:
+            failures += 1
+    speedup = result.get("shard_speedup")
+    if speedup is not None:
+        print(f"info shard_speedup: {speedup:.2f}x wall-clock at "
+              f"{result.get('shards', '?')} shards (not gated)")
+    return failures
 
 
 def check(result: dict, baseline: dict, max_ratio: float) -> int:
@@ -63,33 +110,51 @@ def check(result: dict, baseline: dict, max_ratio: float) -> int:
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--bench", type=pathlib.Path, default=DEFAULT_BENCH,
-                    help="path to the bench_alpu_micro binary")
-    ap.add_argument("--iters", type=int, default=2_000_000,
-                    help="probe iterations per shape (reduce for CI)")
-    ap.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+    ap.add_argument("--suite", choices=sorted(SUITES), default="alpu_match",
+                    help="which benchmark suite to run")
+    ap.add_argument("--bench", type=pathlib.Path, default=None,
+                    help="path to the benchmark binary (default: the "
+                         "suite's binary under build/bench)")
+    ap.add_argument("--iters", type=int, default=None,
+                    help="iterations (reduce for CI)")
+    ap.add_argument("--out", type=pathlib.Path, default=None,
                     help="where to write the JSON result")
     ap.add_argument("--check", type=pathlib.Path, default=None,
                     help="baseline JSON to gate against")
     ap.add_argument("--max-ratio", type=float, default=2.0,
-                    help="fail --check when result/baseline exceeds this")
+                    help="fail --check when the regression factor "
+                         "exceeds this")
     args = ap.parse_args()
 
-    result = run_bench(args.bench, args.iters, args.out)
-    print(f"wrote {args.out}")
-    for cells, ns in sorted(result.get("match_ns_per_probe", {}).items(),
-                            key=lambda kv: int(kv[0])):
-        print(f"  match @ {cells:>3} cells: {ns:8.2f} ns/probe")
-    for cells, ns in result.get("match_tree_ns_per_probe", {}).items():
-        print(f"  match_tree @ {cells:>3} cells: {ns:8.2f} ns/probe")
-    eps = result.get("events_per_sec")
-    if eps:
-        print(f"  full-machine rate: {eps:.0f} events/s")
+    suite = SUITES[args.suite]
+    bench = args.bench or BENCH_DIR / suite["binary"]
+    iters = args.iters if args.iters is not None else suite["default_iters"]
+    out = args.out or REPO / suite["out"]
+
+    result = run_bench(bench, iters, out)
+    print(f"wrote {out}")
+    if args.suite == "engine":
+        print(f"  engine churn:  {result.get('engine_events_per_sec', 0):.0f}"
+              f" events/s")
+        print(f"  machine rate:  "
+              f"{result.get('machine_events_per_sec', 0):.0f} events/s")
+        print(f"  shard speedup: {result.get('shard_speedup', 0):.2f}x at "
+              f"{result.get('shards', '?')} shards")
+    else:
+        for cells, ns in sorted(result.get("match_ns_per_probe", {}).items(),
+                                key=lambda kv: int(kv[0])):
+            print(f"  match @ {cells:>3} cells: {ns:8.2f} ns/probe")
+        for cells, ns in result.get("match_tree_ns_per_probe", {}).items():
+            print(f"  match_tree @ {cells:>3} cells: {ns:8.2f} ns/probe")
+        eps = result.get("events_per_sec")
+        if eps:
+            print(f"  full-machine rate: {eps:.0f} events/s")
 
     if args.check is not None:
         with open(args.check) as f:
             baseline = json.load(f)
-        failures = check(result, baseline, args.max_ratio)
+        checker = check_engine if args.suite == "engine" else check
+        failures = checker(result, baseline, args.max_ratio)
         if failures:
             print(f"{failures} metric(s) regressed more than "
                   f"{args.max_ratio}x", file=sys.stderr)

@@ -46,6 +46,13 @@ BANNED = [
     ("gettimeofday()", re.compile(r"\bgettimeofday\s*\(")),
     ("chrono wall clock", re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b")),
     ("pointer-keyed std::map/set", re.compile(r"\bstd::(?:multi)?(?:map|set)\s*<[^,>]*\*")),
+    # The host's core count must never leak into a simulated result:
+    # shard counts, sweep partitioning, and every simulation parameter
+    # come from explicit flags/params.  Using it to size a pool of
+    # *independent* host threads (whose outputs land in per-index slots)
+    # is fine — waive those with a justification.
+    ("hardware_concurrency (must not shape simulated results)",
+     re.compile(r"\bhardware_concurrency\b")),
 ]
 
 UNORDERED_DECL = re.compile(

@@ -25,22 +25,45 @@ constexpr int kBarrierTag = 0;
 
 Machine::Machine(sim::Engine& engine, const SystemConfig& config)
     : engine_(engine), config_(config) {
-  assert(config.nprocs >= 1);
-  network_ = std::make_unique<net::Network>(engine, config.network);
-  if (config.faults.any()) {
-    assert(config.nic.reliability.enabled &&
+  build(nullptr);
+}
+
+Machine::Machine(sim::ShardGroup& shards, const SystemConfig& config)
+    : engine_(shards.shard(0)), config_(config) {
+  build(&shards);
+}
+
+void Machine::build(sim::ShardGroup* shards) {
+  assert(config_.nprocs >= 1);
+  // The Network (a passive router: all its work happens inside the
+  // sending node's events) registers as a component of the shard-0 /
+  // legacy engine.
+  network_ = std::make_unique<net::Network>(engine_, config_.network);
+  if (config_.faults.any()) {
+    assert(config_.nic.reliability.enabled &&
            "fault injection without the reliability sublayer loses packets");
-    network_->install_faults(config.faults);
+    network_->install_faults(config_.faults);
   }
-  nodes_.resize(static_cast<std::size_t>(config.nprocs));
-  for (int r = 0; r < config.nprocs; ++r) {
+  const unsigned nshards = shards != nullptr ? shards->size() : 1;
+  std::vector<unsigned> shard_map(static_cast<std::size_t>(config_.nprocs));
+  nodes_.resize(static_cast<std::size_t>(config_.nprocs));
+  for (int r = 0; r < config_.nprocs; ++r) {
+    const unsigned s = shard_of(r, config_.nprocs, nshards);
+    shard_map[static_cast<std::size_t>(r)] = s;
+    sim::Engine& node_engine =
+        shards != nullptr ? shards->shard(s) : engine_;
     Node& node = nodes_[static_cast<std::size_t>(r)];
     node.nic = std::make_unique<nic::Nic>(
-        engine, "nic" + std::to_string(r),
-        static_cast<net::NodeId>(r), config.nic, *network_);
+        node_engine, "nic" + std::to_string(r),
+        static_cast<net::NodeId>(r), config_.nic, *network_);
     node.host = std::make_unique<host::Host>(
-        engine, "host" + std::to_string(r), *node.nic, config.host);
+        node_engine, "host" + std::to_string(r), *node.nic, config_.host);
     node.rank = std::make_unique<Rank>(*this, r, *node.host);
+  }
+  // A 1-shard group keeps the legacy direct-schedule path: byte-exact
+  // single-threaded behaviour, no outbox, no barrier.
+  if (shards != nullptr && shards->parallel()) {
+    network_->enable_sharding(*shards, std::move(shard_map));
   }
 }
 
@@ -156,7 +179,7 @@ Rank::Rank(Machine& machine, int rank, host::Host& host)
 
 int Rank::size() const { return machine_.size(); }
 
-sim::Engine& Rank::engine() { return machine_.engine(); }
+sim::Engine& Rank::engine() { return machine_.engine(rank_); }
 
 Request Rank::isend(int dest, int tag, std::uint32_t bytes,
                     std::uint32_t context) {

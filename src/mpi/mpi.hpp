@@ -171,6 +171,13 @@ class Comm {
 class Machine {
  public:
   Machine(sim::Engine& engine, const SystemConfig& config);
+
+  /// Parallel-DES machine: node r's components live on shard
+  /// `shard_of(r, nprocs, shards.size())` and the Network becomes the
+  /// shard boundary.  With a 1-shard group this is exactly the
+  /// single-engine machine (no barrier, no outbox, identical event
+  /// order).  Run it with `shards.run_all(network().min_lookahead())`.
+  Machine(sim::ShardGroup& shards, const SystemConfig& config);
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -181,8 +188,21 @@ class Machine {
   nic::Nic& nic(int r) { return *nodes_[static_cast<std::size_t>(r)].nic; }
   host::Host& host(int r) { return *nodes_[static_cast<std::size_t>(r)].host; }
   net::Network& network() { return *network_; }
+  /// The legacy/shard-0 engine (single-engine machines have only this).
   sim::Engine& engine() { return engine_; }
+  /// The engine rank r's components are scheduled on (its shard).
+  sim::Engine& engine(int r) {
+    return nodes_[static_cast<std::size_t>(r)].nic->engine();
+  }
   const SystemConfig& config() const { return config_; }
+
+  /// Contiguous block partition of ranks onto shards (deterministic;
+  /// the same map at any shard count covering the same ranks).
+  static unsigned shard_of(int rank, int nprocs, unsigned shards) {
+    return static_cast<unsigned>(
+        (static_cast<std::uint64_t>(rank) * shards) /
+        static_cast<std::uint64_t>(nprocs));
+  }
 
   /// Create a communicator over `members` (world ranks, which become
   /// comm ranks 0..n-1 in order).  Allocates two fresh context ids.
@@ -201,6 +221,8 @@ class Machine {
     std::unique_ptr<host::Host> host;
     std::unique_ptr<Rank> rank;
   };
+
+  void build(sim::ShardGroup* shards);
 
   sim::Engine& engine_;
   SystemConfig config_;

@@ -1,27 +1,81 @@
 #include "net/faults.hpp"
 
+#include <memory>
+
 namespace alpu::net {
 
-FaultInjector::FaultInjector(const FaultConfig& config)
-    : config_(config),
-      rng_(config.seed),
-      script_seen_(config.script.size(), 0) {}
+namespace {
+
+/// Distinct seed per directed link.  The odd multipliers spread nearby
+/// (src, dst) pairs across the 64-bit space; Xoshiro's splitmix-based
+/// construction decorrelates even adjacent seeds, so per-link streams
+/// are independent for any practical purpose.
+std::uint64_t link_seed(std::uint64_t seed, NodeId src, NodeId dst) {
+  return seed ^
+         (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(src) + 1)) ^
+         (0xC2B2AE3D27D4EB4FULL * (static_cast<std::uint64_t>(dst) + 1));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config) : config_(config) {}
+
+FaultInjector::~FaultInjector() = default;
+
+void FaultInjector::reserve_nodes(std::size_t n) {
+  while (per_src_.size() < n) {
+    auto state = std::make_unique<SrcState>();
+    state->script_seen.resize(config_.script.size(), 0);
+    per_src_.push_back(std::move(state));
+  }
+}
+
+FaultInjector::SrcState& FaultInjector::src_state(NodeId src) {
+  if (per_src_.size() <= src) reserve_nodes(src + 1);
+  return *per_src_[src];
+}
+
+FaultInjector::LinkState& FaultInjector::link_state(SrcState& src_state,
+                                                    NodeId src, NodeId dst) {
+  const auto it = src_state.links.find(dst);
+  if (it != src_state.links.end()) return it->second;
+  return src_state.links
+      .emplace(dst, LinkState(link_seed(config_.seed, src, dst)))
+      .first->second;
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats total;
+  for (const auto& src : per_src_) {
+    if (src == nullptr) continue;
+    for (const auto& [dst, link] : src->links) {
+      total.drops += link.stats.drops;
+      total.duplicates += link.stats.duplicates;
+      total.reorders += link.stats.reorders;
+      total.corruptions += link.stats.corruptions;
+      total.scripted_fired += link.stats.scripted_fired;
+    }
+  }
+  return total;
+}
 
 FaultDecision FaultInjector::decide(const Packet& packet) {
   FaultDecision d;
+  SrcState& src = src_state(packet.src);
+  LinkState& link = link_state(src, packet.src, packet.dst);
 
   // Fixed draw schedule: five draws per packet, always, so one fault
   // firing (or a scripted entry matching) never displaces the random
-  // positions of any later fault.
-  const bool r_drop = rng_.chance(config_.drop_rate);
-  const bool r_dup = rng_.chance(config_.dup_rate);
-  const bool r_reorder = rng_.chance(config_.reorder_rate);
+  // positions of any later fault on the same link.
+  const bool r_drop = link.rng.chance(config_.drop_rate);
+  const bool r_dup = link.rng.chance(config_.dup_rate);
+  const bool r_reorder = link.rng.chance(config_.reorder_rate);
   const common::TimePs r_delay =
       1 + static_cast<common::TimePs>(
-              rng_.below(static_cast<std::uint64_t>(
+              link.rng.below(static_cast<std::uint64_t>(
                   config_.reorder_window_ps > 0 ? config_.reorder_window_ps
                                                 : 1)));
-  const bool r_corrupt = rng_.chance(config_.corrupt_rate);
+  const bool r_corrupt = link.rng.chance(config_.corrupt_rate);
 
   d.drop = r_drop;
   d.duplicate = r_dup;
@@ -30,13 +84,14 @@ FaultDecision FaultInjector::decide(const Packet& packet) {
 
   // Scripted overlay: every matching entry counts this packet; an entry
   // whose occurrence comes due forces its effect on top of the random
-  // ones.
+  // ones.  An entry's src filter pins it to one sender's partition, so
+  // the counters stay shard-confined too.
   for (std::size_t i = 0; i < config_.script.size(); ++i) {
     const ScriptedFault& s = config_.script[i];
     if (s.src != packet.src || s.dst != packet.dst) continue;
     if (s.packet_kind.has_value() && *s.packet_kind != packet.kind) continue;
-    if (++script_seen_[i] != s.nth) continue;
-    ++stats_.scripted_fired;
+    if (++src.script_seen[i] != s.nth) continue;
+    ++link.stats.scripted_fired;
     switch (s.kind) {
       case FaultKind::kDrop:
         d.drop = true;
@@ -53,10 +108,10 @@ FaultDecision FaultInjector::decide(const Packet& packet) {
     }
   }
 
-  if (d.drop) ++stats_.drops;
-  if (d.duplicate) ++stats_.duplicates;
-  if (d.extra_delay > 0) ++stats_.reorders;
-  if (d.corrupt) ++stats_.corruptions;
+  if (d.drop) ++link.stats.drops;
+  if (d.duplicate) ++link.stats.duplicates;
+  if (d.extra_delay > 0) ++link.stats.reorders;
+  if (d.corrupt) ++link.stats.corruptions;
   return d;
 }
 

@@ -9,10 +9,15 @@
 // so the NIC reliability sublayer (src/nic/reliability.hpp) can be
 // exercised — deterministically:
 //
-//   * every random decision comes from one seeded Xoshiro256 owned by
-//     the injector (itself owned by one single-threaded Engine), and a
-//     FIXED number of draws is consumed per packet, so whether one fault
-//     fires never shifts the positions of later ones;
+//   * every random decision comes from a seeded Xoshiro256 owned by the
+//     packet's directed link (seeded from {config seed, src, dst}), and
+//     a FIXED number of draws is consumed per packet, so whether one
+//     fault fires never shifts the positions of later ones — and a
+//     link's fault pattern depends only on its own traffic, never on
+//     how sends on other links interleave with it.  That per-link
+//     confinement is also what lets sharded (parallel-DES) machines run
+//     the injector concurrently: all state a decide() touches belongs
+//     to the sending node's partition;
 //   * scripted faults ("drop the 3rd CTS on link 0->1") are matched by
 //     per-entry occurrence counting, independent of the random stream,
 //     for surgically targeted protocol tests;
@@ -28,6 +33,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -100,22 +107,46 @@ struct FaultStats {
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultConfig& config);
+  ~FaultInjector();
 
   /// Decide the fate of one packet about to be scheduled for delivery.
   /// Consumes exactly five RNG draws per call (drop, dup, reorder,
-  /// reorder-delay, corrupt) regardless of outcome, then overlays any
-  /// scripted fault whose occurrence count comes due.
+  /// reorder-delay, corrupt) from the packet's own link stream,
+  /// regardless of outcome, then overlays any scripted fault whose
+  /// occurrence count comes due.  Touches only the sending node's
+  /// partition (shard-safe).
   FaultDecision decide(const Packet& packet);
 
+  /// Pre-size the per-sender partition for nodes [0, n): no lazy growth
+  /// once shards decide concurrently.  Called by
+  /// Network::enable_sharding; optional in single-engine use.
+  void reserve_nodes(std::size_t n);
+
   const FaultConfig& config() const { return config_; }
-  const FaultStats& stats() const { return stats_; }
+  /// Aggregated over all links (machine-wide totals).
+  FaultStats stats() const;
 
  private:
+  /// One directed link's state: its private RNG stream plus counters.
+  struct LinkState {
+    explicit LinkState(std::uint64_t seed) : rng(seed) {}
+    common::Xoshiro256 rng;
+    FaultStats stats;
+  };
+  /// One sending node's partition: its outgoing links plus, for each
+  /// script entry with this src, the matching-packet count so far.
+  struct SrcState {
+    std::map<NodeId, LinkState> links;
+    std::vector<std::uint64_t> script_seen;
+  };
+
+  SrcState& src_state(NodeId src);
+  LinkState& link_state(SrcState& src_state, NodeId src, NodeId dst);
+
   FaultConfig config_;
-  common::Xoshiro256 rng_;
-  /// Packets seen so far matching script entry i's (link, kind) filter.
-  std::vector<std::uint64_t> script_seen_;
-  FaultStats stats_;
+  /// Indexed by sending node; unique_ptr keeps entries address-stable
+  /// across (setup-time) growth.
+  std::vector<std::unique_ptr<SrcState>> per_src_;
 };
 
 }  // namespace alpu::net

@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "net/faults.hpp"
@@ -11,10 +12,21 @@ Network::Network(sim::Engine& engine, const NetworkConfig& config)
 
 Network::~Network() = default;
 
-void Network::attach(NodeId node, DeliveryHandler handler) {
-  if (handlers_.size() <= node) handlers_.resize(node + 1);
-  assert(!handlers_[node] && "node already attached");
-  handlers_[node] = std::move(handler);
+Network::PerNode& Network::node_state(NodeId node) {
+  if (nodes_.size() <= node) {
+    assert(shards_ == nullptr &&
+           "all nodes must attach before enable_sharding");
+    nodes_.resize(node + 1);
+  }
+  return nodes_[node];
+}
+
+void Network::attach(NodeId node, sim::Engine& node_engine,
+                     DeliveryHandler handler) {
+  PerNode& state = node_state(node);
+  assert(!state.handler && "node already attached");
+  state.engine = &node_engine;
+  state.handler = std::move(handler);
 }
 
 void Network::install_faults(const FaultConfig& config) {
@@ -22,13 +34,93 @@ void Network::install_faults(const FaultConfig& config) {
   faults_ = std::make_unique<FaultInjector>(config);
 }
 
+void Network::enable_sharding(sim::ShardGroup& group,
+                              std::vector<unsigned> shard_of) {
+  assert(shards_ == nullptr && "sharding already enabled");
+  assert(group.parallel() && "a 1-shard group runs the legacy direct path");
+  assert(shard_of.size() >= nodes_.size() &&
+         "every attached node needs a shard assignment");
+  shards_ = &group;
+  shard_of_ = std::move(shard_of);
+  // Pre-size the per-sender partition: no vector growth can happen once
+  // worker threads send concurrently.
+  if (nodes_.size() < shard_of_.size()) nodes_.resize(shard_of_.size());
+  if (faults_ != nullptr) faults_->reserve_nodes(nodes_.size());
+}
+
+void Network::set_wire_latency(NodeId src, NodeId dst, TimePs latency) {
+  wire_latency_override_[{src, dst}] = latency;
+}
+
+TimePs Network::wire_latency(NodeId src, NodeId dst) const {
+  const auto it = wire_latency_override_.find({src, dst});
+  return it == wire_latency_override_.end() ? config_.wire_latency
+                                            : it->second;
+}
+
+TimePs Network::min_lookahead() const {
+  TimePs min_wire = config_.wire_latency;
+  for (const auto& [link, latency] : wire_latency_override_) {
+    min_wire = std::min(min_wire, latency);
+  }
+  return min_wire + config_.header_bytes * config_.ps_per_byte;
+}
+
+const NetworkStats& Network::stats() const {
+  aggregated_stats_ = {};
+  for (const PerNode& n : nodes_) {
+    aggregated_stats_.packets += n.stats.packets;
+    aggregated_stats_.payload_bytes += n.stats.payload_bytes;
+    aggregated_stats_.busiest_link_busy = std::max(
+        aggregated_stats_.busiest_link_busy, n.stats.busiest_link_busy);
+    aggregated_stats_.faults_dropped += n.stats.faults_dropped;
+    aggregated_stats_.faults_duplicated += n.stats.faults_duplicated;
+    aggregated_stats_.faults_reordered += n.stats.faults_reordered;
+    aggregated_stats_.faults_corrupted += n.stats.faults_corrupted;
+  }
+  return aggregated_stats_;
+}
+
+void Network::schedule_delivery(const Packet& packet, TimePs when,
+                                TimePs sent_at) {
+  // Capture {this, packet} (56 bytes: inline in EventCallback) rather
+  // than a PerNode reference — nodes_ may still grow in single-engine
+  // unit-test setups.
+  if (shards_ == nullptr) {
+    nodes_[packet.dst].engine->schedule_at(
+        when, [this, packet] { nodes_[packet.dst].handler(packet); });
+    return;
+  }
+  // Parallel mode: EVERY delivery — including one whose destination
+  // happens to share the sender's shard — goes through the window
+  // barrier.  That keeps the set of events an engine schedules (and so
+  // its sequence numbers and same-timestamp tie order) independent of
+  // the partition, which is what makes 2-shard and 8-shard runs
+  // byte-identical.  Safe because `when` >= sent_at + min_lookahead()
+  // >= the current window's end.
+  PerNode& src = nodes_[packet.src];
+  sim::CrossKey key;
+  key.when = when;
+  key.sent_at = sent_at;
+  key.src_node = packet.src;
+  key.src_seq = src.departure_seq++;
+  shards_->post(shard_of_[packet.src], shard_of_[packet.dst], key,
+                [this, packet] { nodes_[packet.dst].handler(packet); });
+}
+
 void Network::send(Packet packet) {
-  assert(packet.dst < handlers_.size() && handlers_[packet.dst] &&
+  assert(packet.dst < nodes_.size() && nodes_[packet.dst].handler &&
          "destination not attached");
-  const TimePs now = engine().now();
+  PerNode& src = node_state(packet.src);
+  // Sends happen inside the sending node's events, so in sharded mode
+  // this is the sender's shard clock; in the single-engine machine it is
+  // the one global clock (src.engine is null for never-attached senders
+  // in unit tests — fall back to the component engine, identical there).
+  const TimePs now =
+      src.engine != nullptr ? src.engine->now() : engine().now();
   packet.injected_at = now;
-  ++stats_.packets;
-  stats_.payload_bytes += packet.payload_bytes;
+  ++src.stats.packets;
+  src.stats.payload_bytes += packet.payload_bytes;
 
   // Serialise header + payload onto the (src, dst) link; the link frees
   // up when the last byte leaves, and delivery happens one wire latency
@@ -36,16 +128,14 @@ void Network::send(Packet packet) {
   // order — a later send can never be delivered before an earlier one.
   const std::uint64_t bytes = config_.header_bytes + packet.payload_bytes;
   const TimePs serialise = bytes * config_.ps_per_byte;
-  TimePs& free_at = link_free_[{packet.src, packet.dst}];
+  TimePs& free_at = src.link_free[packet.dst];
   const TimePs start = std::max(now, free_at);
   free_at = start + serialise;
-  stats_.busiest_link_busy = std::max(stats_.busiest_link_busy, free_at);
-  const TimePs deliver_at = free_at + config_.wire_latency;
+  src.stats.busiest_link_busy = std::max(src.stats.busiest_link_busy, free_at);
+  const TimePs deliver_at = free_at + wire_latency(packet.src, packet.dst);
 
   if (faults_ == nullptr) {
-    engine().schedule_at(deliver_at, [this, packet] {
-      handlers_[packet.dst](packet);
-    });
+    schedule_delivery(packet, deliver_at, now);
     return;
   }
 
@@ -55,33 +145,29 @@ void Network::send(Packet packet) {
   const FaultDecision d = faults_->decide(packet);
   if (d.corrupt) {
     packet.crc_ok = false;
-    ++stats_.faults_corrupted;
+    ++src.stats.faults_corrupted;
   }
   if (d.duplicate) {
     // The copy tail-gates the original by one header serialisation time
     // (a link-layer replay, not a second injection: it does not occupy
     // the sender's injection port again).
-    ++stats_.faults_duplicated;
+    ++src.stats.faults_duplicated;
     const TimePs copy_at =
         deliver_at + config_.header_bytes * config_.ps_per_byte;
-    engine().schedule_at(copy_at, [this, packet] {
-      handlers_[packet.dst](packet);
-    });
+    schedule_delivery(packet, copy_at, now);
   }
   if (d.drop) {
-    ++stats_.faults_dropped;
+    ++src.stats.faults_dropped;
     return;  // the original never arrives (a duplicate may still)
   }
   TimePs at = deliver_at;
   if (d.extra_delay > 0) {
     // Reordering: this packet is held in the switch while later traffic
     // on the same link overtakes it.
-    ++stats_.faults_reordered;
+    ++src.stats.faults_reordered;
     at += d.extra_delay;
   }
-  engine().schedule_at(at, [this, packet] {
-    handlers_[packet.dst](packet);
-  });
+  schedule_delivery(packet, at, now);
 }
 
 }  // namespace alpu::net

@@ -16,6 +16,7 @@
 #include "common/time.hpp"
 #include "match/match.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel.hpp"
 
 namespace alpu::net {
 
@@ -84,6 +85,16 @@ struct FaultConfig;
 class FaultInjector;
 
 /// The machine-wide interconnect.
+///
+/// Sharded (parallel-DES) operation: Network is also the shard boundary.
+/// After `enable_sharding`, all per-send mutable state (link horizons,
+/// stats, the fault injector's per-link RNG streams) is partitioned by
+/// the SENDING node, so concurrent sends from different shards never
+/// touch the same state, and every delivery is posted to the ShardGroup
+/// outbox (scheduled at the next window barrier in canonical order)
+/// instead of directly onto an engine.  The wire latency plus the
+/// header serialisation floor is the conservative lookahead that makes
+/// the window protocol safe — see `min_lookahead()`.
 class Network : public sim::Component {
  public:
   using DeliveryHandler = std::function<void(const Packet&)>;
@@ -91,13 +102,25 @@ class Network : public sim::Component {
   Network(sim::Engine& engine, const NetworkConfig& config);
   ~Network() override;  // out-of-line: FaultInjector is incomplete here
 
-  /// Register the receive handler for `node` (its NIC's Rx path).
-  void attach(NodeId node, DeliveryHandler handler);
+  /// Register the receive handler for `node` (its NIC's Rx path),
+  /// running on `node_engine` (the node's shard; the Network's own
+  /// engine in the single-shard machine).
+  void attach(NodeId node, sim::Engine& node_engine, DeliveryHandler handler);
+
+  /// Single-engine convenience: attach with the Network's own engine.
+  void attach(NodeId node, DeliveryHandler handler) {
+    attach(node, engine(), std::move(handler));
+  }
 
   /// Install a fault injector (src/net/faults.hpp) interposed on every
   /// send.  Without one the network is the original lossless in-order
   /// model with an unchanged delivery schedule.
   void install_faults(const FaultConfig& config);
+
+  /// Route every delivery through `group`'s window barriers (parallel
+  /// mode).  `shard_of[n]` maps node n to its shard index.  Call after
+  /// all nodes have attached and before the first send.
+  void enable_sharding(sim::ShardGroup& group, std::vector<unsigned> shard_of);
 
   /// Inject a packet at the current simulation time.  Delivery fires the
   /// destination handler after serialisation + wire latency, in order
@@ -105,18 +128,57 @@ class Network : public sim::Component {
   /// installed fault injector drops, duplicates, delays or corrupts it.
   void send(Packet packet);
 
+  /// Override the wire latency of one directed link (heterogeneous
+  /// topologies).  Must be set before the first send; in sharded mode it
+  /// feeds min_lookahead(), so a slower link never tightens the windows
+  /// and a faster one is accounted for.
+  void set_wire_latency(NodeId src, NodeId dst, TimePs latency);
+
+  /// Effective wire latency of one directed link.
+  TimePs wire_latency(NodeId src, NodeId dst) const;
+
+  /// Conservative lookahead bound: no send issued at time t is ever
+  /// delivered (anywhere) before t + min_lookahead().  Derivation: every
+  /// packet serialises at least `header_bytes` before the wire, so
+  /// delivery >= t + header_bytes * ps_per_byte + min over links of the
+  /// wire latency.  Strictly positive for any physical configuration.
+  TimePs min_lookahead() const;
+
   const NetworkConfig& config() const { return config_; }
-  const NetworkStats& stats() const { return stats_; }
+  /// Machine-wide counters (aggregated over the per-sender partitions).
+  const NetworkStats& stats() const;
   const FaultInjector* faults() const { return faults_.get(); }
 
  private:
+  /// All mutable per-send state, partitioned by sending node: inside a
+  /// window only the sender's shard thread touches its entry.
+  struct PerNode {
+    sim::Engine* engine = nullptr;  ///< set by attach()
+    DeliveryHandler handler;
+    /// Serialisation horizon per destination: when this node's injection
+    /// port toward dst frees up.
+    std::map<NodeId, TimePs> link_free;
+    /// Monotone per-sender counter stamped on posted deliveries — the
+    /// partition-stable tie-break of the canonical merge key.
+    std::uint64_t departure_seq = 0;
+    NetworkStats stats;
+  };
+
+  PerNode& node_state(NodeId node);
+  /// Schedule one delivery at `when` (sent at `sent_at` by `src`):
+  /// directly on the destination's engine in single-engine mode, via the
+  /// ShardGroup outbox in sharded mode.
+  void schedule_delivery(const Packet& packet, TimePs when, TimePs sent_at);
+
   NetworkConfig config_;
-  std::vector<DeliveryHandler> handlers_;
-  /// Serialisation horizon per directed link: the time the link's
-  /// injection port frees up.
-  std::map<std::pair<NodeId, NodeId>, TimePs> link_free_;
+  std::vector<PerNode> nodes_;
+  /// Per-directed-link wire-latency overrides (config_.wire_latency
+  /// otherwise).  Written only during setup.
+  std::map<std::pair<NodeId, NodeId>, TimePs> wire_latency_override_;
   std::unique_ptr<FaultInjector> faults_;
-  NetworkStats stats_;
+  sim::ShardGroup* shards_ = nullptr;
+  std::vector<unsigned> shard_of_;
+  mutable NetworkStats aggregated_stats_;
 };
 
 }  // namespace alpu::net

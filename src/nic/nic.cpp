@@ -82,7 +82,7 @@ Nic::Nic(sim::Engine& engine, std::string name, net::NodeId node,
   // Raw deliveries pass through the reliability sublayer, which forwards
   // exactly the packets the lossless network used to deliver (in order,
   // once, CRC-clean) to on_network_delivery.
-  network_.attach(node_, [this](const net::Packet& p) {
+  network_.attach(node_, engine, [this](const net::Packet& p) {
     reliability_.on_network_delivery(p);
   });
 }

@@ -11,6 +11,40 @@ namespace alpu::nic {
 using common::LogLevel;
 using common::TimePs;
 
+// ---------------------------------------------------------------------------
+// PacketRing
+// ---------------------------------------------------------------------------
+
+bool PacketRing::push_back(const net::Packet& p) {
+  bool grew = false;
+  if (size_ == slots_.size()) {
+    grow(size_ + 1);
+    grew = true;
+  }
+  slots_[(head_ + size_) & (slots_.size() - 1)] = p;
+  ++size_;
+  return grew;
+}
+
+void PacketRing::pop_front() {
+  head_ = (head_ + 1) & (slots_.size() - 1);
+  --size_;
+}
+
+void PacketRing::clear() {
+  head_ = 0;
+  size_ = 0;
+}
+
+void PacketRing::grow(std::size_t at_least) {
+  std::size_t cap = slots_.empty() ? 8 : slots_.size() * 2;
+  while (cap < at_least) cap *= 2;
+  std::vector<net::Packet> next(cap);
+  for (std::size_t i = 0; i < size_; ++i) next[i] = at(i);
+  slots_ = std::move(next);
+  head_ = 0;
+}
+
 ReliabilityLayer::ReliabilityLayer(sim::Engine& engine, std::string name,
                                    const ReliabilityConfig& config,
                                    net::Network& network, net::NodeId node,
@@ -56,7 +90,7 @@ void ReliabilityLayer::send(net::Packet packet) {
   }
   packet.reliable = true;
   packet.seq = tx.next_seq++;
-  tx.window.push_back(packet);
+  if (tx.window.push_back(packet)) ++stats_.buffer_allocs;
   ++stats_.data_tx;
   network_.send(packet);
   if (!tx.timer_armed) arm_timer(packet.dst, tx);
@@ -96,11 +130,13 @@ void ReliabilityLayer::on_timeout(net::NodeId peer) {
     tx.window.clear();
     return;
   }
-  // Go-back-N: retransmit every unacknowledged packet, in order.
+  // Go-back-N: retransmit every unacknowledged packet, in order.  The
+  // pooled ring is iterated in place — retransmission storms touch no
+  // allocator.
   ++stats_.timeouts;
-  for (const net::Packet& p : tx.window) {
+  for (std::size_t i = 0; i < tx.window.size(); ++i) {
     ++stats_.retransmits;
-    network_.send(p);
+    network_.send(tx.window.at(i));
   }
   arm_timer(peer, tx);
 }
@@ -160,6 +196,12 @@ void ReliabilityLayer::on_network_delivery(const net::Packet& packet) {
     return;
   }
   RxState& rx = rx_[packet.src];
+  if (rx.held.capacity() < config_.reorder_window) {
+    // One-time pool reservation per peer: after this, holding and
+    // releasing out-of-order packets never touches the allocator.
+    rx.held.reserve(config_.reorder_window);
+    ++stats_.buffer_allocs;
+  }
   if (packet.seq < rx.expected) {
     // Duplicate (retransmission of something already delivered).  The
     // re-ACK matters: if the original ACK was lost, only this stops the
@@ -171,10 +213,16 @@ void ReliabilityLayer::on_network_delivery(const net::Packet& packet) {
   }
   if (packet.seq > rx.expected) {
     // Out of order: hold within the bounded buffer, or drop beyond it
-    // (go-back-N retransmission refills the gap either way).
+    // (go-back-N retransmission refills the gap either way).  The hold
+    // is a sorted insert into the reserved vector — capacity never
+    // grows, since size is bounded by the reserved reorder_window.
+    const auto it = std::lower_bound(
+        rx.held.begin(), rx.held.end(), packet.seq,
+        [](const std::pair<std::uint32_t, net::Packet>& held,
+           std::uint32_t seq) { return held.first < seq; });
     if (rx.held.size() < config_.reorder_window &&
-        rx.held.find(packet.seq) == rx.held.end()) {
-      rx.held.emplace(packet.seq, packet);
+        (it == rx.held.end() || it->first != packet.seq)) {
+      rx.held.emplace(it, packet.seq, packet);
       ++stats_.ooo_buffered;
     } else {
       ++stats_.ooo_dropped;
@@ -182,16 +230,23 @@ void ReliabilityLayer::on_network_delivery(const net::Packet& packet) {
     return;
   }
   // In sequence: deliver, then release any directly-following held
-  // packets, then ACK the new cumulative horizon once.
+  // packets (a sorted prefix of `held`), then ACK the new cumulative
+  // horizon once.
   deliver_up_(packet);
   ++stats_.delivered;
   ++rx.expected;
-  for (auto it = rx.held.find(rx.expected); it != rx.held.end();
-       it = rx.held.find(rx.expected)) {
-    deliver_up_(it->second);
+  std::size_t released = 0;
+  while (released < rx.held.size() &&
+         rx.held[released].first == rx.expected) {
+    deliver_up_(rx.held[released].second);
     ++stats_.delivered;
-    rx.held.erase(it);
     ++rx.expected;
+    ++released;
+  }
+  // Front-erase keeps the reserved capacity: no allocation.
+  if (released > 0) {
+    rx.held.erase(rx.held.begin(),
+                  rx.held.begin() + static_cast<std::ptrdiff_t>(released));
   }
   send_ack(packet.src, rx.expected);
 }

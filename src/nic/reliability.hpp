@@ -31,17 +31,51 @@
 // survive loss of any leg: each leg is an ordinary reliable packet here.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/time.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 
 namespace alpu::nic {
+
+/// Fixed-capacity (grow-by-doubling) ring of packets — the go-back-N
+/// retransmit window without per-packet heap traffic.  A deque here
+/// allocates a node every few pushes under retransmission storms; the
+/// ring allocates only when the window outgrows its current backing
+/// array, so steady-state retries are allocation-free (the
+/// `buffer_allocs`/`buffer_reserved` counters in ReliabilityStats prove
+/// it).
+class PacketRing {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  const net::Packet& front() const { return slots_[head_]; }
+  /// i-th oldest element (0 == front) — the retransmit iteration order.
+  const net::Packet& at(std::size_t i) const {
+    return slots_[(head_ + i) & (slots_.size() - 1)];
+  }
+
+  /// Returns true when the push grew the backing array (an allocation —
+  /// the caller counts it).
+  bool push_back(const net::Packet& p);
+  void pop_front();
+  void clear();
+
+ private:
+  void grow(std::size_t at_least);
+
+  std::vector<net::Packet> slots_;  ///< power-of-two capacity
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
 
 struct ReliabilityConfig {
   /// Off by default: the clean-path figures must not change.
@@ -73,6 +107,11 @@ struct ReliabilityStats {
   std::uint64_t ooo_dropped = 0;    ///< out-of-order past the buffer bound
   std::uint64_t link_failures = 0;  ///< peers given up on
   std::uint64_t sends_after_failure = 0;  ///< sends discarded on dead links
+  /// Backing-array growths of the pooled tx-window / rx-held buffers.
+  /// Each is one heap allocation; at steady state (windows warmed up)
+  /// this counter must stop moving — the zero-allocation property the
+  /// soak tests assert.
+  std::uint64_t buffer_allocs = 0;
 
   /// Aggregate across NICs (machine-level reporting).
   ReliabilityStats& operator+=(const ReliabilityStats& o) {
@@ -88,6 +127,7 @@ struct ReliabilityStats {
     ooo_dropped += o.ooo_dropped;
     link_failures += o.link_failures;
     sends_after_failure += o.sends_after_failure;
+    buffer_allocs += o.buffer_allocs;
     return *this;
   }
 };
@@ -128,7 +168,7 @@ class ReliabilityLayer {
   struct TxState {
     std::uint32_t next_seq = 0;
     std::uint32_t base = 0;  ///< oldest unacknowledged sequence number
-    std::deque<net::Packet> window;
+    PacketRing window;  ///< unACKed packets, pooled (no per-push allocs)
     sim::EventId timer = 0;
     bool timer_armed = false;
     unsigned attempts = 0;  ///< consecutive timeouts without progress
@@ -136,9 +176,11 @@ class ReliabilityLayer {
   };
   struct RxState {
     std::uint32_t expected = 0;
-    /// Out-of-order packets held for in-sequence release, keyed by
-    /// sequence number (deterministic iteration by construction).
-    std::map<std::uint32_t, net::Packet> held;
+    /// Out-of-order packets held for in-sequence release, sorted by
+    /// sequence number.  Capacity is reserved to `reorder_window` on
+    /// first use, so steady-state holds/releases never allocate (a map
+    /// node-allocates on every hold).
+    std::vector<std::pair<std::uint32_t, net::Packet>> held;
   };
 
   void arm_timer(net::NodeId peer, TxState& tx);

@@ -114,6 +114,41 @@ void Engine::finish_components() {
 
 TimePs Engine::run() { return run_until(common::kTimeNever); }
 
+TimePs Engine::next_event_time() {
+  while (!heap_.empty()) {
+    const QueueItem top = heap_.front();
+    const std::uint32_t index = static_cast<std::uint32_t>(top.id & kSlotMask);
+    if (slot(index).key == top.id) return top.when;
+    heap_pop();  // tombstone of a cancelled event
+  }
+  return common::kTimeNever;
+}
+
+TimePs Engine::run_window(TimePs end) {
+  init_components();
+  while (!heap_.empty()) {
+    const QueueItem top = heap_.front();
+    const std::uint32_t index = static_cast<std::uint32_t>(top.id & kSlotMask);
+    Slot& s = slot(index);
+    if (s.key != top.id) {
+      heap_pop();
+      continue;
+    }
+    // Strict bound: an event at exactly `end` belongs to the next window
+    // (the coordinator sized this window so no cross-shard influence can
+    // land before `end`, not at it).
+    if (top.when >= end) break;
+    heap_pop();
+    EventCallback fn = std::move(s.fn);
+    release_slot(index);
+    --live_events_;
+    now_ = top.when;
+    ++events_executed_;
+    fn();
+  }
+  return now_;
+}
+
 TimePs Engine::run_until(TimePs deadline) {
   init_components();
   stop_requested_ = false;

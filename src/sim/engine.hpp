@@ -210,6 +210,23 @@ class Engine {
   /// `deadline` still fire.
   TimePs run_until(TimePs deadline);
 
+  /// Conservative-window run: fire every event strictly before `end`,
+  /// then return with events at >= `end` left pending.  Unlike run(),
+  /// finish hooks never fire (the window loop calls run() once the whole
+  /// group drains).  Used by the parallel ShardGroup coordinator.
+  TimePs run_window(TimePs end);
+
+  /// Timestamp of the earliest live event, or kTimeNever when none is
+  /// pending.  Skims cancelled-event tombstones off the heap top as a
+  /// side effect (cheap, and work run_window would do anyway).
+  TimePs next_event_time();
+
+  /// Fire the components' init() hooks now if they have not run yet.
+  /// run()/run_window() call this implicitly; the ShardGroup coordinator
+  /// calls it explicitly so every shard's initial events exist before
+  /// the first window is sized.
+  void ensure_initialized() { init_components(); }
+
   /// Request that run() return after the current event completes.
   void stop() { stop_requested_ = true; }
 

@@ -1,0 +1,148 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace alpu::sim {
+
+namespace {
+
+/// Strict total order on the canonical key.  src_seq is monotone per
+/// src_node, so no two events from one node compare equal and the sort
+/// is a total order over any merge set.
+bool canonical_less(const CrossKey& a, const CrossKey& b) {
+  if (a.when != b.when) return a.when < b.when;
+  if (a.sent_at != b.sent_at) return a.sent_at < b.sent_at;
+  if (a.src_node != b.src_node) return a.src_node < b.src_node;
+  return a.src_seq < b.src_seq;
+}
+
+}  // namespace
+
+ShardGroup::ShardGroup(unsigned shards) {
+  ALPU_ASSERT(shards >= 1, "a ShardGroup needs at least one shard");
+  engines_.reserve(shards);
+  for (unsigned i = 0; i < shards; ++i) {
+    engines_.push_back(std::make_unique<Engine>());
+  }
+  outbox_.resize(shards);
+}
+
+ShardGroup::~ShardGroup() = default;
+
+void ShardGroup::post(unsigned src_shard, unsigned dst_shard,
+                      const CrossKey& key, EventCallback fn,
+                      EventId* id_out) {
+  ALPU_ASSERT(parallel(), "post() is only meaningful with >1 shard");
+  ALPU_DEBUG_ASSERT(src_shard < size() && dst_shard < size(),
+                    "shard index out of range");
+  outbox_[src_shard].push_back(
+      CrossEvent{key, dst_shard, std::move(fn), id_out});
+}
+
+void ShardGroup::merge_and_plan() {
+  // Gather and sort this window's cross-shard events canonically, then
+  // schedule them onto their destination engines in that order — the
+  // destination's monotone sequence numbers turn sort order into firing
+  // order for same-timestamp events.
+  std::size_t total = 0;
+  for (const auto& box : outbox_) total += box.size();
+  if (total > 0) {
+    merge_scratch_.clear();
+    merge_scratch_.reserve(total);
+    for (auto& box : outbox_) {
+      for (CrossEvent& e : box) merge_scratch_.push_back(std::move(e));
+      box.clear();
+    }
+    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+              [](const CrossEvent& a, const CrossEvent& b) {
+                return canonical_less(a.key, b.key);
+              });
+    for (CrossEvent& e : merge_scratch_) {
+      const EventId id =
+          engines_[e.dst_shard]->schedule_at(e.key.when, std::move(e.fn));
+      if (e.id_out != nullptr) *e.id_out = id;
+    }
+    merge_scratch_.clear();
+  }
+
+  // Size the next window: the earliest pending event anywhere plus the
+  // conservative lookahead.  Nothing pending -> the whole group drained.
+  TimePs t_min = common::kTimeNever;
+  for (auto& e : engines_) t_min = std::min(t_min, e->next_event_time());
+  if (t_min == common::kTimeNever) {
+    done_ = true;
+    return;
+  }
+  ++windows_run_;
+  window_end_ = t_min + lookahead_;
+}
+
+void ShardGroup::run_windows(TimePs lookahead) {
+  lookahead_ = lookahead;
+  done_ = false;
+  windows_run_ = 0;
+
+  // Init every shard's components up front (in shard order, on this
+  // thread) so the first window sees all t=0 events.
+  for (auto& e : engines_) e->ensure_initialized();
+
+  std::barrier sync(static_cast<std::ptrdiff_t>(size()),
+                    [this]() noexcept { merge_and_plan(); });
+  auto worker = [this, &sync](unsigned shard_index) {
+    for (;;) {
+      // The completion step above runs between every arrival and every
+      // release, so window_end_/done_ reads and outbox hand-offs are
+      // ordered by the barrier (TSan-clean, no atomics needed).
+      sync.arrive_and_wait();
+      if (done_) return;
+      engines_[shard_index]->run_window(window_end_);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(size() - 1);
+  for (unsigned i = 1; i < size(); ++i) threads.emplace_back(worker, i);
+  worker(0);  // the caller is shard 0's worker
+  for (std::thread& t : threads) t.join();
+}
+
+TimePs ShardGroup::run_all(TimePs lookahead) {
+  if (!parallel()) {
+    // Exactly the pre-parallel simulator: same engine, same run loop,
+    // same event order, finish hooks fired by run() itself.
+    return engines_[0]->run();
+  }
+  ALPU_ASSERT(lookahead > 0,
+              "parallel windows need a positive conservative lookahead");
+  run_windows(lookahead);
+  // Drained: fire finish hooks per shard (run() on an empty heap).
+  TimePs end = 0;
+  for (auto& e : engines_) end = std::max(end, e->run());
+  return end;
+}
+
+std::uint64_t ShardGroup::events_executed() const {
+  std::uint64_t sum = 0;
+  for (const auto& e : engines_) sum += e->events_executed();
+  return sum;
+}
+
+TimePs ShardGroup::max_now() const {
+  TimePs t = 0;
+  for (const auto& e : engines_) t = std::max(t, e->now());
+  return t;
+}
+
+std::uint64_t ShardGroup::pending_events() const {
+  std::uint64_t sum = 0;
+  for (const auto& e : engines_) sum += e->pending_events();
+  for (const auto& box : outbox_) sum += box.size();
+  return sum;
+}
+
+}  // namespace alpu::sim

@@ -1,0 +1,132 @@
+// Conservative time-window parallel DES (YAWNS / bounded-lag style).
+//
+// A ShardGroup owns N independent single-threaded Engines ("shards").
+// The model partitions its components across the shards (the Machine
+// assigns each simulated node to one shard) and the group advances all
+// shards in lock-step windows:
+//
+//   1. barrier: merge every shard's outbox of cross-shard events into
+//      the destination engines, in one canonical order;
+//   2. compute T = min over shards of next_event_time(), and the window
+//      end W = T + lookahead;
+//   3. release the workers: each shard runs its own events with
+//      timestamp < W on its own thread, posting any event destined for
+//      another shard (or required to be in canonical order — see below)
+//      to its outbox instead of scheduling it directly;
+//   4. repeat until every heap and outbox is empty, then run each
+//      shard's finish hooks.
+//
+// Safety (why no shard can miss an influence): `lookahead` must satisfy
+// the conservative contract — a model action executed at time t may only
+// post events with timestamp >= t + lookahead onto another shard.  The
+// network provides exactly that bound (min over links of wire latency
+// plus the header serialisation floor, Network::min_lookahead), so every
+// event posted during window [T, W) lands at >= T + lookahead = W and is
+// merged at the next barrier before any shard reaches W.
+//
+// Determinism (why the output is byte-identical at any shard count):
+// merged events are sorted by the canonical key
+//
+//     (when, sent_at, src_node, src_seq)
+//
+// — nothing in it depends on the partition or on thread timing.  `when`
+// orders deliveries in time; `sent_at`/`src_node`/`src_seq` (the send
+// time, the sending node, and a per-sending-node monotone counter) break
+// same-instant ties identically no matter which shard the sender landed
+// on.  The destination engine then assigns its own monotone sequence
+// numbers in sorted order, so same-`when` merged events fire in key
+// order.  Note the key deliberately differs from a per-shard sequence:
+// a (src_shard, per-shard seq) key would order ties differently at
+// different shard counts.
+//
+// A ShardGroup of size 1 never starts a thread, never uses the outbox,
+// and run_all() is exactly Engine::run() — the single-threaded path is
+// byte-for-byte the pre-parallel simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/engine.hpp"
+
+namespace alpu::sim {
+
+/// Canonical merge key of one cross-shard event (see file comment).
+struct CrossKey {
+  TimePs when = 0;      ///< delivery timestamp on the destination shard
+  TimePs sent_at = 0;   ///< timestamp of the action that produced it
+  std::uint32_t src_node = 0;  ///< model-level source (partition-stable)
+  std::uint64_t src_seq = 0;   ///< per-src_node monotone counter
+};
+
+class ShardGroup {
+ public:
+  /// Create `shards` >= 1 independent engines.
+  explicit ShardGroup(unsigned shards);
+  ~ShardGroup();
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(engines_.size()); }
+  Engine& shard(unsigned i) { return *engines_[i]; }
+  bool parallel() const { return engines_.size() > 1; }
+
+  /// Post an event into `dst_shard`'s engine at the next window barrier.
+  /// Must be called from `src_shard`'s worker thread during a window (or
+  /// before run_all); requires size() > 1.  If `id_out` is non-null the
+  /// EventId assigned at the barrier handoff is stored there (readable
+  /// by destination-shard events in later windows — the barrier orders
+  /// the write before them).
+  void post(unsigned src_shard, unsigned dst_shard, const CrossKey& key,
+            EventCallback fn, EventId* id_out = nullptr);
+
+  /// Run every shard to completion and fire finish hooks.  `lookahead`
+  /// is the conservative bound described in the file comment; it must be
+  /// > 0 when size() > 1.  Returns the final simulated time (the max
+  /// over shards).  size() == 1 delegates to Engine::run() unchanged.
+  TimePs run_all(TimePs lookahead);
+
+  /// Sum of events executed across shards (equals the single-engine
+  /// count for the same model: the partition adds no events).
+  std::uint64_t events_executed() const;
+
+  /// Max of shard clocks (the global end time after run_all).
+  TimePs max_now() const;
+
+  /// Live events pending across all shards plus unposted outbox entries.
+  std::uint64_t pending_events() const;
+
+  /// Windows the last run_all() executed (1 window == one barrier round;
+  /// reported by bench_engine as coordination-overhead context).
+  std::uint64_t windows_run() const { return windows_run_; }
+
+ private:
+  struct CrossEvent {
+    CrossKey key;
+    unsigned dst_shard = 0;
+    EventCallback fn;
+    EventId* id_out = nullptr;
+  };
+
+  /// Barrier-completion step: merge + schedule all outboxes, then size
+  /// the next window.  Runs on exactly one thread while all workers are
+  /// parked in the barrier.
+  void merge_and_plan();
+  void run_windows(TimePs lookahead);
+
+  std::vector<std::unique_ptr<Engine>> engines_;
+  /// outbox_[s]: events posted by shard s during the current window.
+  /// Touched only by shard s's thread inside a window and only by the
+  /// barrier-completion thread between windows (barrier-ordered).
+  std::vector<std::vector<CrossEvent>> outbox_;
+  std::vector<CrossEvent> merge_scratch_;
+  TimePs lookahead_ = 0;
+  TimePs window_end_ = 0;
+  bool done_ = false;
+  std::uint64_t windows_run_ = 0;
+};
+
+}  // namespace alpu::sim

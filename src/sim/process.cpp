@@ -6,7 +6,7 @@
 
 namespace alpu::sim {
 
-std::size_t ProcessPool::spawn(Process p) {
+std::size_t ProcessPool::spawn_on(Engine& engine, Process p) {
   ALPU_ASSERT(p.valid(), "spawning an invalid (moved-from or done) process");
   auto flag = std::make_unique<bool>(false);
   p.handle_.promise().done_flag = flag.get();
@@ -15,7 +15,7 @@ std::size_t ProcessPool::spawn(Process p) {
   flags_.push_back(std::move(flag));
   // Kick off at the current time, through the queue so that spawning
   // inside an event callback does not reenter model code immediately.
-  engine_.schedule_in(0, [handle] { handle.resume(); });
+  engine.schedule_in(0, [handle] { handle.resume(); });
   return owned_.size() - 1;
 }
 

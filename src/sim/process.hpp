@@ -106,7 +106,12 @@ class ProcessPool {
 
   /// Start `p` as a root activity at the current simulation time.
   /// Returns an index usable with `done(i)`.
-  std::size_t spawn(Process p);
+  std::size_t spawn(Process p) { return spawn_on(engine_, std::move(p)); }
+
+  /// Start `p` on a specific engine (a shard of a ShardGroup).  The pool
+  /// still owns the coroutine; it only kicks off — and thereafter runs —
+  /// on `engine`'s thread.
+  std::size_t spawn_on(Engine& engine, Process p);
 
   /// True once the i-th spawned process has run to completion.
   bool done(std::size_t i) const { return flags_[i] != nullptr && *flags_[i]; }

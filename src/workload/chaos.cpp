@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "mpi/mpi.hpp"
+#include "sim/parallel.hpp"
 
 namespace alpu::workload {
 
@@ -94,7 +95,8 @@ sim::Process chaos_rank(mpi::Machine& machine, const Plan& plan, int rank,
         work_left = true;
       }
       if (rng.chance(0.2)) {
-        co_await sim::delay(machine.engine(), rng.below(3'000) * 1'000);
+        // Think time schedules on this rank's own shard engine.
+        co_await sim::delay(self.engine(), rng.below(3'000) * 1'000);
       }
     }
   }
@@ -129,19 +131,24 @@ mpi::SystemConfig make_chaos_system_config(const ChaosParams& params) {
 ChaosResult run_chaos(const ChaosParams& params) {
   const Plan plan = make_plan(params.ranks, params.per_pair, params.seed);
 
-  sim::Engine engine;
-  mpi::Machine machine(engine, make_chaos_system_config(params));
-  sim::ProcessPool pool(engine);
+  const unsigned nshards = static_cast<unsigned>(
+      std::clamp(params.shards, 1, std::max(params.ranks, 1)));
+  sim::ShardGroup shards(nshards);
+  mpi::Machine machine(shards, make_chaos_system_config(params));
+  sim::ProcessPool pool(machine.engine());
   std::vector<RankOutcome> outcomes(
       static_cast<std::size_t>(params.ranks));
   for (int r = 0; r < params.ranks; ++r) {
-    pool.spawn(chaos_rank(machine, plan, r, params.seed, outcomes));
+    pool.spawn_on(machine.engine(r),
+                  chaos_rank(machine, plan, r, params.seed, outcomes));
   }
-  engine.run();
+  const common::TimePs end =
+      shards.run_all(machine.network().min_lookahead());
 
   ChaosResult res;
   res.completed = pool.all_done();
-  res.sim_time = engine.now();
+  res.sim_time = end;
+  res.events_executed = shards.events_executed();
   res.net = machine.network().stats();
 
   res.conserved = true;

@@ -42,6 +42,11 @@ struct ChaosParams {
   std::uint64_t seed = 1;
   net::FaultConfig faults;
   nic::ReliabilityConfig reliability;
+  /// Engine shards for the conservative-parallel run (clamped to
+  /// `ranks`; 1 = the byte-exact single-threaded path).  The verdict and
+  /// every counter are byte-identical at any shard count — including
+  /// under fault injection.
+  int shards = 1;
 };
 
 struct ChaosResult {
@@ -51,6 +56,8 @@ struct ChaosResult {
   bool drained = false;    ///< queues and ALPUs empty at the end
   std::uint64_t messages = 0;  ///< MPI messages planned (and required)
   common::TimePs sim_time = 0;
+  /// Kernel events executed across all shards (events/s yardstick).
+  std::uint64_t events_executed = 0;
 
   net::NetworkStats net;               ///< includes fault counters
   nic::ReliabilityStats reliability;   ///< summed over all NICs

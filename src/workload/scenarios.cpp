@@ -1,12 +1,23 @@
 #include "workload/scenarios.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <vector>
 
+#include "sim/parallel.hpp"
+
 namespace alpu::workload {
 
 namespace {
+
+/// Clamp a requested shard count to something the machine can use: at
+/// least 1, at most one shard per node (an empty shard would only add
+/// barrier traffic).
+unsigned effective_shards(int requested, int nprocs) {
+  const int clamped = std::clamp(requested, 1, std::max(nprocs, 1));
+  return static_cast<unsigned>(clamped);
+}
 
 // Benchmark message tags.
 constexpr int kReadyTag = 1;
@@ -205,16 +216,18 @@ mpi::SystemConfig make_system_config(NicMode mode, int nprocs) {
 }
 
 LatencyResult run_preposted(const PrepostedParams& params) {
-  sim::Engine engine;
   const mpi::SystemConfig cfg =
       params.system.has_value() ? *params.system
                                 : make_system_config(params.mode);
-  mpi::Machine machine(engine, cfg);
+  sim::ShardGroup shards(effective_shards(params.shards, cfg.nprocs));
+  mpi::Machine machine(shards, cfg);
   Timestamps times;
-  sim::ProcessPool pool(engine);
-  pool.spawn(preposted_receiver(machine.rank(0), params, times));
-  pool.spawn(preposted_sender(machine.rank(1), params, times));
-  const TimePs end = engine.run();
+  sim::ProcessPool pool(machine.engine());
+  pool.spawn_on(machine.engine(0),
+                preposted_receiver(machine.rank(0), params, times));
+  pool.spawn_on(machine.engine(1),
+                preposted_sender(machine.rank(1), params, times));
+  const TimePs end = shards.run_all(machine.network().min_lookahead());
   assert(pool.all_done() && "benchmark deadlocked");
   assert(times.send_times.size() == times.done_times.size() &&
          !times.send_times.empty());
@@ -225,27 +238,29 @@ LatencyResult run_preposted(const PrepostedParams& params) {
   }
   LatencyResult out = collect(machine, total / times.send_times.size());
   out.total_sim_time = end;
-  out.events_executed = engine.events_executed();
+  out.events_executed = shards.events_executed();
   return out;
 }
 
 LatencyResult run_unexpected(const UnexpectedParams& params) {
-  sim::Engine engine;
   const mpi::SystemConfig cfg =
       params.system.has_value() ? *params.system
                                 : make_system_config(params.mode);
-  mpi::Machine machine(engine, cfg);
+  sim::ShardGroup shards(effective_shards(params.shards, cfg.nprocs));
+  mpi::Machine machine(shards, cfg);
   Timestamps times;
-  sim::ProcessPool pool(engine);
-  pool.spawn(unexpected_receiver(machine.rank(0), params, times));
-  pool.spawn(unexpected_sender(machine.rank(1), params, times));
-  const TimePs end = engine.run();
+  sim::ProcessPool pool(machine.engine());
+  pool.spawn_on(machine.engine(0),
+                unexpected_receiver(machine.rank(0), params, times));
+  pool.spawn_on(machine.engine(1),
+                unexpected_sender(machine.rank(1), params, times));
+  const TimePs end = shards.run_all(machine.network().min_lookahead());
   assert(pool.all_done() && "benchmark deadlocked");
   assert(times.recv_done >= times.post_started);
   // Figure 6 latency includes the receive-posting time.
   LatencyResult out = collect(machine, times.recv_done - times.post_started);
   out.total_sim_time = end;
-  out.events_executed = engine.events_executed();
+  out.events_executed = shards.events_executed();
   return out;
 }
 
@@ -284,16 +299,18 @@ sim::Process message_rate_sender(mpi::Rank& rank,
 
 TimePs run_message_rate(const MessageRateParams& params) {
   assert(params.burst > 0);
-  sim::Engine engine;
   const mpi::SystemConfig cfg =
       params.system.has_value() ? *params.system
                                 : make_system_config(params.mode);
-  mpi::Machine machine(engine, cfg);
+  sim::ShardGroup shards(effective_shards(params.shards, cfg.nprocs));
+  mpi::Machine machine(shards, cfg);
   Timestamps times;
-  sim::ProcessPool pool(engine);
-  pool.spawn(message_rate_receiver(machine.rank(0), params, times));
-  pool.spawn(message_rate_sender(machine.rank(1), params, times));
-  engine.run();
+  sim::ProcessPool pool(machine.engine());
+  pool.spawn_on(machine.engine(0),
+                message_rate_receiver(machine.rank(0), params, times));
+  pool.spawn_on(machine.engine(1),
+                message_rate_sender(machine.rank(1), params, times));
+  shards.run_all(machine.network().min_lookahead());
   assert(pool.all_done() && "message-rate benchmark deadlocked");
   return (times.recv_done - times.send_issued) /
          static_cast<std::uint64_t>(params.burst);

@@ -58,6 +58,10 @@ struct PrepostedParams {
   int iterations = 1;
   /// Override the system config (threshold studies etc.).
   std::optional<mpi::SystemConfig> system;
+  /// Engine shards for the conservative-parallel run (clamped to the
+  /// node count; 1 = the byte-exact single-threaded path).  Results are
+  /// byte-identical at any shard count.
+  int shards = 1;
 };
 
 struct UnexpectedParams {
@@ -66,6 +70,8 @@ struct UnexpectedParams {
   std::size_t queue_length = 0;
   std::uint32_t message_bytes = 0;
   std::optional<mpi::SystemConfig> system;
+  /// Engine shards (see PrepostedParams::shards).
+  int shards = 1;
 };
 
 /// Outcome of one measurement.
@@ -114,6 +120,8 @@ struct MessageRateParams {
   int burst = 64;
   std::uint32_t message_bytes = 0;
   std::optional<mpi::SystemConfig> system;
+  /// Engine shards (see PrepostedParams::shards).
+  int shards = 1;
 };
 
 /// Measure the per-message gap (inverse message rate, the LogP parameter

@@ -11,6 +11,9 @@ namespace alpu::workload {
 
 int resolve_jobs(int jobs) {
   if (jobs > 0) return jobs;
+  // determinism: ok — sizes only the pool of host worker threads; each
+  // data point is an independent simulation whose result lands in its
+  // input-index slot, so the job count never touches simulated output.
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
@@ -97,12 +100,13 @@ std::vector<SurfaceRow> run_preposted_surface(
     const std::vector<SurfacePoint>& points, const SweepOptions& options) {
   std::vector<LatencyResult> results = sweep_map(
       points,
-      [](const SurfacePoint& pt) {
+      [&options](const SurfacePoint& pt) {
         PrepostedParams p;
         p.mode = pt.mode;
         p.queue_length = pt.queue_length;
         p.fraction_traversed = pt.fraction_traversed;
         p.message_bytes = pt.message_bytes;
+        p.shards = options.shards;
         return run_preposted(p);
       },
       options);

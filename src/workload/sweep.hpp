@@ -28,6 +28,10 @@ namespace alpu::workload {
 struct SweepOptions {
   /// Worker threads; <= 0 means std::thread::hardware_concurrency().
   int jobs = 0;
+  /// Engine shards inside each data-point simulation (forwarded to the
+  /// scenario params; clamped per machine).  1 = single-threaded engine.
+  /// Results are byte-identical at every shard count.
+  int shards = 1;
 };
 
 /// Resolve a --jobs value: <= 0 becomes hardware_concurrency (min 1).

@@ -217,8 +217,8 @@ struct Endpoints {
     net.attach(1, [this](const Packet& p) { rx.on_network_delivery(p); });
   }
 
-  void send_burst(int count) {
-    engine.schedule_at(0, [this, count] {
+  void send_burst(int count, common::TimePs at = 0) {
+    engine.schedule_at(at, [this, count] {
       for (int i = 1; i <= count; ++i) {
         Packet p;
         p.src = 0;
@@ -312,6 +312,75 @@ TEST(Reliability, SurvivesACompoundFaultStorm) {
   ep.send_burst(100);
   ep.engine.run();
   EXPECT_EQ(ep.delivered, in_order(100));
+  EXPECT_EQ(ep.tx.stats().link_failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Pooled buffers (PacketRing retransmit window / reserved reorder hold).
+// ---------------------------------------------------------------------------
+
+TEST(PacketRing, FifoOrderAcrossWraparoundAndGrowth) {
+  nic::PacketRing ring;
+  auto pkt = [](std::uint64_t token) {
+    Packet p;
+    p.token = token;
+    return p;
+  };
+  EXPECT_TRUE(ring.push_back(pkt(0)));  // first push allocates
+  std::uint64_t next_in = 1, next_out = 0;
+  // Push/pop churn far past the capacity so head_ wraps repeatedly,
+  // then force growths mid-stream; FIFO order must hold throughout.
+  for (int round = 0; round < 200; ++round) {
+    while (ring.size() < 5) ring.push_back(pkt(next_in++));
+    EXPECT_EQ(ring.front().token, next_out);
+    EXPECT_EQ(ring.at(ring.size() - 1).token, next_in - 1);
+    ring.pop_front();
+    ++next_out;
+  }
+  std::uint64_t growths = 0;
+  while (ring.size() < 100) {
+    if (ring.push_back(pkt(next_in++))) ++growths;
+  }
+  EXPECT_GT(growths, 0u);
+  EXPECT_GE(ring.capacity(), 100u);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.at(i).token, next_out + i);
+  }
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_GE(ring.capacity(), 100u);  // clear keeps the pool
+}
+
+TEST(Reliability, PooledBuffersStopAllocatingAtSteadyState) {
+  FaultConfig faults;
+  faults.drop_rate = 0.08;
+  faults.dup_rate = 0.04;
+  faults.reorder_rate = 0.04;
+  faults.corrupt_rate = 0.04;
+  faults.seed = 7;
+  Endpoints ep(faults);
+  // Warm-up: the first burst grows the tx window ring to the burst size
+  // and reserves the rx reorder buffer.
+  ep.send_burst(64);
+  ep.engine.run();
+  ASSERT_EQ(ep.delivered, in_order(64));
+  const std::uint64_t warm_tx = ep.tx.stats().buffer_allocs;
+  const std::uint64_t warm_rx = ep.rx.stats().buffer_allocs;
+  EXPECT_GT(warm_tx, 0u);   // the warm-up did allocate (ring growth)
+  EXPECT_LE(warm_tx, 5u);   // ...but only log2-many times, not per packet
+  EXPECT_LE(warm_rx, 1u);   // one reorder-buffer reservation
+
+  // Steady state: ten more identical bursts through the same (faulty)
+  // link, complete with retransmission storms — not one further buffer
+  // allocation is allowed.
+  for (int burst = 1; burst <= 10; ++burst) {
+    ep.send_burst(64, ep.engine.now() + 1'000'000);
+    ep.engine.run();
+  }
+  EXPECT_EQ(ep.delivered.size(), 64u * 11u);
+  EXPECT_GT(ep.tx.stats().retransmits, 0u);
+  EXPECT_EQ(ep.tx.stats().buffer_allocs, warm_tx);
+  EXPECT_EQ(ep.rx.stats().buffer_allocs, warm_rx);
   EXPECT_EQ(ep.tx.stats().link_failures, 0u);
 }
 

@@ -191,5 +191,44 @@ TEST(Network, RandomTrafficStaysInOrderPerLink) {
   EXPECT_EQ(delivered, sent);  // nothing lost, nothing duplicated
 }
 
+TEST(Network, MinLookaheadIsWirePlusHeaderSerialisation) {
+  sim::Engine engine;
+  Network net(engine, cfg());
+  // Base config: 200 ns wire + 32 * 500 ps header serialisation floor.
+  EXPECT_EQ(net.min_lookahead(), 200'000u + 32u * 500u);
+}
+
+TEST(Network, PerLinkLatencyOverridesFeedMinLookahead) {
+  sim::Engine engine;
+  Network net(engine, cfg());
+  // A slower link must not tighten the window...
+  net.set_wire_latency(0, 1, 900'000);
+  EXPECT_EQ(net.wire_latency(0, 1), 900'000u);
+  EXPECT_EQ(net.wire_latency(1, 0), 200'000u);  // others keep the default
+  EXPECT_EQ(net.min_lookahead(), 200'000u + 16'000u);
+  // ...but a faster one tightens it to its own latency.
+  net.set_wire_latency(2, 3, 50'000);
+  EXPECT_EQ(net.min_lookahead(), 50'000u + 16'000u);
+}
+
+TEST(Network, OverriddenLinkDeliversAtItsOwnLatency) {
+  sim::Engine engine;
+  Network net(engine, cfg());
+  net.set_wire_latency(1, 0, 900'000);
+  Capture rx;
+  net.attach(0, [&](const Packet& p) {
+    rx.packets.push_back(p);
+    rx.times.push_back(engine.now());
+  });
+  net.attach(1, [](const Packet&) {});
+  Packet p;
+  p.src = 1;
+  p.dst = 0;
+  engine.schedule_at(0, [&] { net.send(p); });
+  engine.run();
+  ASSERT_EQ(rx.times.size(), 1u);
+  EXPECT_EQ(rx.times[0], 32u * 500u + 900'000u);
+}
+
 }  // namespace
 }  // namespace alpu::net

@@ -246,5 +246,57 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(workload::nic_mode_name(info.param));
     });
 
+// The faulty soak again, but with each chaos machine itself sharded
+// across engine threads (conservative parallel DES).  Every counter
+// must equal the single-shard run's — this is the suite the TSan CI job
+// drives to prove the window protocol is also data-race-free.
+class ShardedFaultySoak : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedFaultySoak, MatchesSingleShardUnderFaults) {
+  const int shards = GetParam();
+  auto run_at = [](int nshards) {
+    workload::ChaosParams p;
+    p.mode = NicMode::kAlpu256;
+    p.ranks = 8;
+    p.per_pair = 6;
+    p.seed = 11;
+    p.faults.drop_rate = 0.02;
+    p.faults.dup_rate = 0.01;
+    p.faults.reorder_rate = 0.01;
+    p.faults.corrupt_rate = 0.01;
+    p.shards = nshards;
+    return workload::run_chaos(p);
+  };
+  const workload::ChaosResult base = run_at(1);
+  const workload::ChaosResult sharded = run_at(shards);
+  EXPECT_TRUE(base.ok());
+  EXPECT_TRUE(sharded.ok());
+  EXPECT_EQ(base.sim_time, sharded.sim_time);
+  EXPECT_EQ(base.messages, sharded.messages);
+  EXPECT_EQ(base.net.packets, sharded.net.packets);
+  EXPECT_EQ(base.net.faults_dropped, sharded.net.faults_dropped);
+  EXPECT_EQ(base.net.faults_duplicated, sharded.net.faults_duplicated);
+  EXPECT_EQ(base.net.faults_reordered, sharded.net.faults_reordered);
+  EXPECT_EQ(base.net.faults_corrupted, sharded.net.faults_corrupted);
+  EXPECT_EQ(base.reliability.retransmits, sharded.reliability.retransmits);
+  EXPECT_EQ(base.reliability.delivered, sharded.reliability.delivered);
+  EXPECT_EQ(base.reliability.dup_drops, sharded.reliability.dup_drops);
+  EXPECT_EQ(base.reliability.crc_drops, sharded.reliability.crc_drops);
+  // Pooled reliability buffers: the retransmission storm above must not
+  // have grown buffers beyond the handful of warm-up reservations (a
+  // couple of ring growths + one rx reservation per active peer pair).
+  EXPECT_GT(base.reliability.retransmits, 0u);
+  EXPECT_LE(base.reliability.buffer_allocs,
+            static_cast<std::uint64_t>(8 * 7 * 3));
+  EXPECT_EQ(base.reliability.buffer_allocs,
+            sharded.reliability.buffer_allocs);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedFaultySoak,
+                         ::testing::Values(2, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
 }  // namespace
 }  // namespace alpu::mpi

@@ -47,6 +47,10 @@ int usage() {
                " [--flavor posted|unexpected] [--report]\n"
                "               [--figure 5|6] [--jobs N] [--quick]"
                " [--verbose]   (sweep mode)\n"
+               "               [--shards N]   (conservative-parallel engine"
+               " shards per simulation;\n"
+               "                               results byte-identical at"
+               " any count)\n"
                "               [--depth N] [--impl array|reference|alpu"
                "|pipelined|all]\n"
                "               [--inject-compaction-bug]"
@@ -178,6 +182,7 @@ void print_robustness_counters(
 int run_sweep(const common::Flags& flags) {
   workload::SweepOptions sweep;
   sweep.jobs = static_cast<int>(flags.get_int("jobs", 0));
+  sweep.shards = static_cast<int>(flags.get_int("shards", 1));
   const bool quick = flags.get_bool("quick");
   const bool verbose = flags.get_bool("verbose");
   const std::int64_t figure = flags.get_int("figure", 5);
@@ -219,10 +224,11 @@ int run_sweep(const common::Flags& flags) {
     }
     const std::vector<workload::LatencyResult> results = workload::sweep_map(
         points,
-        [](const Point& pt) {
+        [&sweep](const Point& pt) {
           workload::UnexpectedParams p;
           p.mode = pt.mode;
           p.queue_length = pt.length;
+          p.shards = sweep.shards;
           return workload::run_unexpected(p);
         },
         sweep);
@@ -255,6 +261,7 @@ int run_sweep(const common::Flags& flags) {
 int run_chaos(const common::Flags& flags) {
   workload::SweepOptions sweep;
   sweep.jobs = static_cast<int>(flags.get_int("jobs", 0));
+  sweep.shards = static_cast<int>(flags.get_int("shards", 1));
 
   bool mode_ok = true;
   const NicMode mode = mode_of(flags.get("mode", "alpu256"), &mode_ok);
@@ -299,6 +306,7 @@ int run_chaos(const common::Flags& flags) {
         p.faults.reorder_rate = flags.get_double("reorder", pt.rate / 2.0);
         p.faults.corrupt_rate = flags.get_double("corrupt", pt.rate / 2.0);
         p.faults.seed = fault_seed + pt.seed;
+        p.shards = sweep.shards;
         return workload::run_chaos(p);
       },
       sweep);
@@ -399,6 +407,8 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(flags.get_int("minbatch", 1));
   }
 
+  const int shards = static_cast<int>(flags.get_int("shards", 1));
+
   if (scenario == "preposted") {
     workload::PrepostedParams p;
     p.mode = mode;
@@ -408,6 +418,7 @@ int main(int argc, char** argv) {
     p.message_bytes =
         static_cast<std::uint32_t>(flags.get_int("bytes", 0));
     p.iterations = static_cast<int>(flags.get_int("iterations", 1));
+    p.shards = shards;
     print_result(workload::run_preposted(p));
   } else if (scenario == "unexpected") {
     workload::UnexpectedParams p;
@@ -416,6 +427,7 @@ int main(int argc, char** argv) {
     p.queue_length = static_cast<std::size_t>(flags.get_int("length", 0));
     p.message_bytes =
         static_cast<std::uint32_t>(flags.get_int("bytes", 0));
+    p.shards = shards;
     print_result(workload::run_unexpected(p));
   } else if (scenario == "pingpong") {
     const common::TimePs t = workload::run_pingpong(
@@ -430,6 +442,7 @@ int main(int argc, char** argv) {
     p.burst = static_cast<int>(flags.get_int("burst", 64));
     p.message_bytes =
         static_cast<std::uint32_t>(flags.get_int("bytes", 0));
+    p.shards = shards;
     const common::TimePs gap = workload::run_message_rate(p);
     std::printf("gap_ns=%.1f\n", common::to_ns(gap));
     std::printf("mmsgs_per_s=%.3f\n", 1e3 / common::to_ns(gap));
