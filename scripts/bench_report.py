@@ -1,20 +1,26 @@
 #!/usr/bin/env python3
 """Run a wall-clock benchmark suite and emit/check its JSON.
 
-Two suites:
+Three suites:
 
   * alpu_match (default): `bench_alpu_micro --json`, written as
     BENCH_alpu_match.json (ns per probe at 64/128/256 cells plus the
     full-machine events/s rate);
   * engine: `bench_engine --json`, written as BENCH_engine.json (DES
     kernel churn events/s, 16-node machine events/s at 1 shard, and the
-    informational sharded wall-clock speedup).
+    informational sharded wall-clock speedup);
+  * message_rate: `bench_message_rate --json`, written as
+    BENCH_message_rate.json (wall-clock ns per simulated MPI message for
+    the control-path grid: baseline/ALPU NICs with short and long
+    standing queues plus a rendezvous-sized point).
 
     scripts/bench_report.py                          # run, write JSON
     scripts/bench_report.py --iters 200000           # reduced CI budget
     scripts/bench_report.py --check bench/baselines/alpu_match.json
     scripts/bench_report.py --suite engine \\
         --check bench/baselines/engine.json
+    scripts/bench_report.py --suite message_rate \\
+        --check bench/baselines/message_rate.json
 
 `--check` fails (exit 1) if any gated metric regresses by more than the
 allowed factor (default 2x) against the baseline.  Only slowdowns fail:
@@ -42,6 +48,11 @@ SUITES = {
         "binary": "bench_engine",
         "out": "BENCH_engine.json",
         "default_iters": 2_000_000,
+    },
+    "message_rate": {
+        "binary": "bench_message_rate",
+        "out": "BENCH_message_rate.json",
+        "default_iters": 16_384,
     },
 }
 
@@ -81,6 +92,31 @@ def check_engine(result: dict, baseline: dict, max_ratio: float) -> int:
     if speedup is not None:
         print(f"info shard_speedup: {speedup:.2f}x wall-clock at "
               f"{result.get('shards', '?')} shards (not gated)")
+    return failures
+
+
+def check_message_rate(result: dict, baseline: dict, max_ratio: float) -> int:
+    """Gate wall-clock ns/message per grid point (slowdown-only)."""
+    failures = 0
+    for point, base_ns in baseline.get("wall_ns_per_message", {}).items():
+        got = result.get("wall_ns_per_message", {}).get(point)
+        if got is None:
+            print(f"MISSING wall_ns_per_message[{point}] in result")
+            failures += 1
+            continue
+        ratio = got / base_ns if base_ns > 0 else float("inf")
+        verdict = "FAIL" if ratio > max_ratio else "ok"
+        print(f"{verdict:4} {point}: {got:.0f} ns/message vs "
+              f"baseline {base_ns:.0f} ns ({ratio:.2f}x)")
+        if ratio > max_ratio:
+            failures += 1
+    # Simulated gaps are representation-independent; report, never gate.
+    for point, gap in result.get("sim_gap_ns", {}).items():
+        base_gap = baseline.get("sim_gap_ns", {}).get(point)
+        if base_gap is not None and abs(gap - base_gap) > 1e-6:
+            print(f"WARN {point}: sim gap moved "
+                  f"({gap:.3f} ns vs {base_gap:.3f} ns) — the simulation "
+                  f"itself changed, not just the wall clock")
     return failures
 
 
@@ -140,6 +176,11 @@ def main() -> int:
               f"{result.get('machine_events_per_sec', 0):.0f} events/s")
         print(f"  shard speedup: {result.get('shard_speedup', 0):.2f}x at "
               f"{result.get('shards', '?')} shards")
+    elif args.suite == "message_rate":
+        for point, ns in result.get("wall_ns_per_message", {}).items():
+            gap = result.get("sim_gap_ns", {}).get(point, 0.0)
+            print(f"  {point:>16}: {ns:10.0f} ns/message wall "
+                  f"(sim gap {gap:.1f} ns)")
     else:
         for cells, ns in sorted(result.get("match_ns_per_probe", {}).items(),
                                 key=lambda kv: int(kv[0])):
@@ -153,7 +194,8 @@ def main() -> int:
     if args.check is not None:
         with open(args.check) as f:
             baseline = json.load(f)
-        checker = check_engine if args.suite == "engine" else check
+        checker = {"engine": check_engine,
+                   "message_rate": check_message_rate}.get(args.suite, check)
         failures = checker(result, baseline, args.max_ratio)
         if failures:
             print(f"{failures} metric(s) regressed more than "

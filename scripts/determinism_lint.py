@@ -17,7 +17,12 @@ nondeterminism at review time:
     std::unordered_{map,set} member is flagged unless the loop body is
     demonstrably order-independent;
   * pointer-keyed ordered containers (std::map/std::set keyed on T*) —
-    ordered by allocation address, i.e. by ASLR.
+    ordered by allocation address, i.e. by ASLR;
+  * raw std::unordered_{map,set} declarations in the NIC/net control
+    path (src/nic, src/net) — those tables hold per-message protocol
+    state and must use the deterministic pooled containers from
+    common/dense.hpp (DenseNodeTable, FlatMap) so no CSV or counter can
+    ever depend on hash-bucket order or per-message allocation.
 
 A finding can be waived by putting a comment containing
 `determinism: ok` on the flagged line or the line above it, with a
@@ -59,6 +64,13 @@ UNORDERED_DECL = re.compile(
     r"\bstd::unordered_(?:multi)?(?:map|set)\s*<[^;]*>\s+(\w+)\s*[;{=]")
 RANGE_FOR = re.compile(r"\bfor\s*\([^():]*:\s*(?:this->)?(\w+)\s*\)")
 
+# Directories whose per-message tables must be the deterministic pooled
+# containers (common/dense.hpp) rather than raw unordered maps; any
+# std::unordered_{map,set} declared here is flagged even if never
+# iterated (the next edit might iterate it).
+CONTROL_PATH_DIRS = {"nic", "net"}
+UNORDERED_ANY = re.compile(r"\bstd::unordered_(?:multi)?(?:map|set)\b")
+
 
 def strip_comments(line: str) -> str:
     """Remove // and /* */ comment text from one line (approximate: the
@@ -95,6 +107,7 @@ def waived(lines: list[str], lineno: int) -> bool:
 
 def lint_file(path: pathlib.Path, unordered: set[str]) -> list[str]:
     findings = []
+    control_path = bool(CONTROL_PATH_DIRS & set(path.parts))
     lines = path.read_text(encoding="utf-8").splitlines()
     for lineno, raw in enumerate(lines, start=1):
         if waived(lines, lineno):
@@ -104,6 +117,11 @@ def lint_file(path: pathlib.Path, unordered: set[str]) -> list[str]:
             if pattern.search(code):
                 findings.append(
                     f"{path}:{lineno}: {label}: {raw.strip()}")
+        if control_path and UNORDERED_ANY.search(code):
+            findings.append(
+                f"{path}:{lineno}: raw unordered container on the NIC/net "
+                f"control path (use common/dense.hpp DenseNodeTable/FlatMap):"
+                f" {raw.strip()}")
         m = RANGE_FOR.search(code)
         if m and m.group(1) in unordered:
             findings.append(

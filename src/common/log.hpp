@@ -70,3 +70,16 @@ void logf(LogLevel level, TimePs now, std::string_view tag,
 }
 
 }  // namespace alpu::common
+
+/// Call-site log gate.  `logf` already skips *formatting* when filtered,
+/// but its arguments — often `to_string(...)` calls that build strings —
+/// are still evaluated at the call site.  This macro checks the level
+/// before touching the arguments, so per-packet trace lines cost one
+/// predictable branch when logging is off (the benchmark default).
+#define ALPU_LOGF(level, now, tag, ...)                              \
+  do {                                                               \
+    if (static_cast<int>(level) <=                                   \
+        static_cast<int>(::alpu::common::log_level())) {             \
+      ::alpu::common::logf((level), (now), (tag), __VA_ARGS__);      \
+    }                                                                \
+  } while (0)

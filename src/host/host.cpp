@@ -58,10 +58,10 @@ sim::Process Host::wait(PendingHandle handle) {
 
 void Host::on_completion(const nic::Completion& completion) {
   ++completions_seen_;
-  auto it = pending_.find(completion.req_id);
-  assert(it != pending_.end() && "completion for unknown request");
-  PendingHandle handle = it->second;
-  pending_.erase(it);
+  PendingHandle* found = pending_.find(completion.req_id);
+  assert(found != nullptr && "completion for unknown request");
+  PendingHandle handle = *found;
+  pending_.erase(completion.req_id);
   handle->completion = completion;
   handle->done = true;
   handle->on_done.fire();

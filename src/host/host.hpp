@@ -10,8 +10,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
+#include "common/dense.hpp"
 #include "common/time.hpp"
 #include "mem/memory_system.hpp"
 #include "nic/host_protocol.hpp"
@@ -87,7 +87,9 @@ class Host : public sim::Component {
   nic::Nic& nic_;
   mem::MemorySystem memory_;
   mem::SimHeap buffers_;
-  std::unordered_map<std::uint64_t, PendingHandle> pending_;
+  /// Outstanding requests by req_id: pooled flat map, so the steady
+  /// submit/complete churn recycles slots instead of allocating nodes.
+  common::FlatMap<std::uint64_t, PendingHandle> pending_;
   std::uint64_t next_req_id_ = 1;
   std::uint64_t completions_seen_ = 0;
 };

@@ -25,10 +25,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/dense.hpp"
 #include "common/stats.hpp"
 #include "match/match.hpp"
 
@@ -60,46 +60,86 @@ struct UnexpectedEntry {
 
 namespace detail {
 
-/// Cookie→index side table shared by both lists.  Append and lookup are
-/// O(1); erase refreshes the positions of the shifted suffix while the
-/// arena memmoves it (the erase is already O(suffix), so the refresh
-/// does not change its complexity class).
+/// Cookie→index side table shared by both lists.  Append, lookup and
+/// the hashed part of erase are O(1); the erase additionally renumbers
+/// the shifted suffix while the arena memmoves it (the erase is
+/// already O(suffix), so this does not change its complexity class).
+///
+/// Cookies resolve to *stable handles* (slots of `index_of_handle_`)
+/// through a pooled FlatMap, and only the handle→index plane moves when
+/// entries shift.  The suffix renumbering — run once per suffix entry
+/// on EVERY erase, so it dominates long-queue message cost — is then a
+/// pair of sequential vector stores per entry instead of a hash probe:
+/// the hash table itself is untouched by shifts.
 class CookieIndex {
  public:
+  /// Register `cookie` at `index`; appends are always at the tail.
   void append(Cookie cookie, std::size_t index) {
-    const bool inserted =
-        pos_.emplace(cookie, static_cast<std::uint32_t>(index)).second;
-    ALPU_ASSERT(inserted, "duplicate cookie appended to a match list");
-    (void)inserted;
-  }
-  void erase(Cookie cookie) { pos_.erase(cookie); }
-  void refresh(const std::vector<Cookie>& cookies, std::size_t first) {
-    for (std::size_t i = first; i < cookies.size(); ++i) {
-      pos_[cookies[i]] = static_cast<std::uint32_t>(i);
+    ALPU_ASSERT(pos_.find(cookie) == nullptr,
+                "duplicate cookie appended to a match list");
+    ALPU_ASSERT(index == order_.size(),
+                "match-list append must be at the tail");
+    std::uint32_t handle;
+    if (!free_.empty()) {
+      handle = free_.back();
+      free_.pop_back();
+      index_of_handle_[handle] = static_cast<std::uint32_t>(index);
+    } else {
+      handle = static_cast<std::uint32_t>(index_of_handle_.size());
+      index_of_handle_.push_back(static_cast<std::uint32_t>(index));
     }
+    pos_[cookie] = handle;
+    order_.push_back(handle);
   }
-  bool contains(Cookie cookie) const { return pos_.count(cookie) != 0; }
+  /// Drop `cookie` (currently at `index`) and renumber the suffix the
+  /// caller is about to memmove down by one.
+  void erase(Cookie cookie, std::size_t index) {
+    const std::uint32_t* handle = pos_.find(cookie);
+    ALPU_ASSERT(handle != nullptr, "cookie not present in match list");
+    ALPU_ASSERT(index_of_handle_[*handle] == index,
+                "match-list erase index does not hold this cookie");
+    free_.push_back(*handle);
+    pos_.erase(cookie);
+    const std::size_t n = order_.size();
+    for (std::size_t i = index + 1; i < n; ++i) {
+      const std::uint32_t moved = order_[i];
+      order_[i - 1] = moved;
+      index_of_handle_[moved] = static_cast<std::uint32_t>(i - 1);
+    }
+    order_.pop_back();
+  }
+  bool contains(Cookie cookie) const { return pos_.contains(cookie); }
   std::size_t size() const { return pos_.size(); }
   /// Structural invariant (ALPU_CHECKED builds): the side table is a
   /// bijection onto the arena — every cookie maps to the index that
   /// holds it, and the sizes agree.
   bool consistent_with(const std::vector<Cookie>& cookies) const {
     if (pos_.size() != cookies.size()) return false;
+    if (order_.size() != cookies.size()) return false;
     for (std::size_t i = 0; i < cookies.size(); ++i) {
-      const auto it = pos_.find(cookies[i]);
-      if (it == pos_.end() || it->second != i) return false;
+      const std::uint32_t* handle = pos_.find(cookies[i]);
+      if (handle == nullptr || order_[i] != *handle) return false;
+      if (index_of_handle_[*handle] != i) return false;
     }
     return true;
   }
   std::size_t index_of(Cookie cookie) const {
-    const auto it = pos_.find(cookie);
-    ALPU_ASSERT(it != pos_.end(), "cookie not present in match list");
-    return it->second;
+    const std::uint32_t* handle = pos_.find(cookie);
+    ALPU_ASSERT(handle != nullptr, "cookie not present in match list");
+    return index_of_handle_[*handle];
   }
-  void clear() { pos_.clear(); }
+  void clear() {
+    pos_.clear();
+    order_.clear();
+    index_of_handle_.clear();
+    free_.clear();
+  }
 
  private:
-  std::unordered_map<Cookie, std::uint32_t> pos_;
+  common::FlatMap<Cookie, std::uint32_t> pos_;  ///< cookie → stable handle
+  std::vector<std::uint32_t> order_;  ///< arena index → handle (mirrors arena)
+  std::vector<std::uint32_t> index_of_handle_;  ///< handle → arena index
+  std::vector<std::uint32_t> free_;             ///< recycled handles
 };
 
 }  // namespace detail
@@ -236,7 +276,7 @@ inline SearchResult PostedList::search_from(std::size_t first,
 
 inline void PostedList::erase(std::size_t index) {
   ALPU_ASSERT(index < size(), "posted-list erase index out of range");
-  index_.erase(cookies_[index]);
+  index_.erase(cookies_[index], index);
   const std::size_t moved = size() - index - 1;
   if (moved > 0) {
     std::memmove(&bits_[index], &bits_[index + 1],
@@ -253,7 +293,6 @@ inline void PostedList::erase(std::size_t index) {
   mask_.pop_back();
   cookies_.pop_back();
   addrs_.pop_back();
-  index_.refresh(cookies_, index);
   ALPU_INVARIANT(index_.consistent_with(cookies_),
                  "posted-list erase broke the cookie map");
 }
@@ -279,7 +318,7 @@ inline SearchResult UnexpectedList::search_from(std::size_t first,
 
 inline void UnexpectedList::erase(std::size_t index) {
   ALPU_ASSERT(index < size(), "unexpected-list erase index out of range");
-  index_.erase(cookies_[index]);
+  index_.erase(cookies_[index], index);
   const std::size_t moved = size() - index - 1;
   if (moved > 0) {
     std::memmove(&words_[index], &words_[index + 1],
@@ -293,7 +332,6 @@ inline void UnexpectedList::erase(std::size_t index) {
   words_.pop_back();
   cookies_.pop_back();
   addrs_.pop_back();
-  index_.refresh(cookies_, index);
   ALPU_INVARIANT(index_.consistent_with(cookies_),
                  "unexpected-list erase broke the cookie map");
 }

@@ -1,5 +1,7 @@
 #include "mem/cache.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace alpu::mem {
@@ -9,64 +11,24 @@ Cache::Cache(const CacheConfig& config)
   assert(config.size_bytes % config.line_bytes == 0);
   assert(config.num_lines() % config.ways == 0);
   assert(sets_ > 0);
-  lines_.resize(sets_ * config_.ways);
-}
-
-CacheAccess Cache::access(Addr addr, bool is_write) {
-  ++stats_.accesses;
-  const std::size_t set = set_index(addr);
-  const Addr tag = tag_of(addr);
-  Line* base = &lines_[set * config_.ways];
-
-  // Hit path.
-  for (std::size_t w = 0; w < config_.ways; ++w) {
-    Line& line = base[w];
-    if (line.valid && line.tag == tag) {
-      ++stats_.hits;
-      line.lru = ++lru_clock_;
-      line.dirty = line.dirty || is_write;
-      return CacheAccess{.hit = true, .evicted_dirty = false};
-    }
+  mask_words_ = (config_.ways + 63) / 64;
+  pow2_geometry_ = std::has_single_bit(config_.line_bytes) &&
+                   std::has_single_bit(sets_);
+  if (pow2_geometry_) {
+    line_shift_ = static_cast<unsigned>(std::countr_zero(config_.line_bytes));
+    set_shift_ = static_cast<unsigned>(std::countr_zero(sets_));
   }
-
-  // Miss: allocate, preferring an invalid way, else the true-LRU victim.
-  ++stats_.misses;
-  Line* victim = nullptr;
-  for (std::size_t w = 0; w < config_.ways; ++w) {
-    Line& line = base[w];
-    if (!line.valid) {
-      victim = &line;
-      break;
-    }
-    if (victim == nullptr || line.lru < victim->lru) victim = &line;
-  }
-  CacheAccess out{.hit = false, .evicted_dirty = false};
-  if (victim->valid) {
-    ++stats_.evictions;
-    if (victim->dirty) {
-      ++stats_.writebacks;
-      out.evicted_dirty = true;
-    }
-  }
-  victim->valid = true;
-  victim->tag = tag;
-  victim->lru = ++lru_clock_;
-  victim->dirty = is_write;
-  return out;
-}
-
-bool Cache::contains(Addr addr) const {
-  const std::size_t set = set_index(addr);
-  const Addr tag = tag_of(addr);
-  const Line* base = &lines_[set * config_.ways];
-  for (std::size_t w = 0; w < config_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) return true;
-  }
-  return false;
+  tags_.resize(sets_ * config_.ways);
+  lru_.resize(sets_ * config_.ways);
+  valid_.resize(sets_ * mask_words_);
+  dirty_.resize(sets_ * mask_words_);
 }
 
 void Cache::flush() {
-  for (Line& line : lines_) line = Line{};
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  std::fill(valid_.begin(), valid_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
 }
 
 }  // namespace alpu::mem

@@ -1,6 +1,7 @@
 #include "mem/dram.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace alpu::mem {
@@ -8,14 +9,27 @@ namespace alpu::mem {
 Dram::Dram(const DramConfig& config) : config_(config) {
   assert(config.banks > 0);
   banks_.resize(config.banks);
+  // Practical channel geometries are powers of two; fold the per-access
+  // row/bank index math into shifts (divisions stay for odd test shapes).
+  pow2_geometry_ = std::has_single_bit(config_.row_bytes) &&
+                   std::has_single_bit(config_.banks);
+  if (pow2_geometry_) {
+    row_shift_ = static_cast<unsigned>(std::countr_zero(config_.row_bytes));
+    bank_shift_ = static_cast<unsigned>(std::countr_zero(config_.banks));
+  }
 }
 
 TimePs Dram::access(std::uint64_t addr, TimePs now) {
   ++stats_.accesses;
-  const std::uint64_t row_global = addr / config_.row_bytes;
+  const std::uint64_t row_global =
+      pow2_geometry_ ? addr >> row_shift_ : addr / config_.row_bytes;
   // Interleave rows across banks so sequential rows hit distinct banks.
-  Bank& bank = banks_[row_global % banks_.size()];
-  const std::uint64_t row = row_global / banks_.size();
+  const std::size_t bank_index =
+      pow2_geometry_ ? static_cast<std::size_t>(row_global) & (banks_.size() - 1)
+                     : static_cast<std::size_t>(row_global % banks_.size());
+  Bank& bank = banks_[bank_index];
+  const std::uint64_t row =
+      pow2_geometry_ ? row_global >> bank_shift_ : row_global / banks_.size();
 
   TimePs start = now;
   if (bank.busy_until > start) {

@@ -55,6 +55,9 @@ class Dram {
 
   DramConfig config_;
   std::vector<Bank> banks_;
+  bool pow2_geometry_ = false;  ///< row_bytes and banks both powers of two
+  unsigned row_shift_ = 0;      ///< log2(row_bytes) when pow2_geometry_
+  unsigned bank_shift_ = 0;     ///< log2(banks) when pow2_geometry_
   DramStats stats_;
 };
 

@@ -8,48 +8,6 @@ MemorySystem::MemorySystem(const MemorySystemConfig& config)
   if (config.use_dram) dram_.emplace(config.dram);
 }
 
-TimePs MemorySystem::access(Addr addr, TimePs now, bool is_write) {
-  if (is_write) {
-    ++stats_.stores;
-  } else {
-    ++stats_.loads;
-  }
-
-  TimePs cost = config_.l1_hit_ps;
-  const CacheAccess a1 = l1_.access(addr, is_write);
-  if (!a1.hit) {
-    bool need_backend = true;
-    if (l2_.has_value()) {
-      cost += config_.l2_hit_ps;
-      const CacheAccess a2 = l2_->access(addr, is_write);
-      need_backend = !a2.hit;
-    }
-    if (need_backend) {
-      cost += config_.backend_ps;
-      if (dram_.has_value()) {
-        cost += dram_->access(addr, now + cost);
-      }
-      // A dirty eviction also costs a writeback; model it as overlapped
-      // with the fill except for one extra backend hop's occupancy, which
-      // at this fidelity we fold into the fill (write buffers hide it).
-    }
-  }
-  stats_.total_time += cost;
-  return cost;
-}
-
-TimePs MemorySystem::touch_range(Addr addr, std::uint64_t bytes, TimePs now,
-                                 bool is_write) {
-  const std::uint64_t line = config_.l1.line_bytes;
-  const Addr first = addr / line;
-  const Addr last = (addr + (bytes == 0 ? 0 : bytes - 1)) / line;
-  TimePs total = 0;
-  for (Addr l = first; l <= last; ++l) {
-    total += access(l * line, now + total, is_write);
-  }
-  return total;
-}
-
 void MemorySystem::flush() {
   l1_.flush();
   if (l2_.has_value()) l2_->flush();

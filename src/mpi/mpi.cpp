@@ -56,6 +56,9 @@ void Machine::build(sim::ShardGroup* shards) {
     node.nic = std::make_unique<nic::Nic>(
         node_engine, "nic" + std::to_string(r),
         static_cast<net::NodeId>(r), config_.nic, *network_);
+    // The node count is fixed here: pre-size every per-peer control
+    // table so none grows on the message hot path.
+    node.nic->reserve_nodes(static_cast<std::size_t>(config_.nprocs));
     node.host = std::make_unique<host::Host>(
         node_engine, "host" + std::to_string(r), *node.nic, config_.host);
     node.rank = std::make_unique<Rank>(*this, r, *node.host);

@@ -28,6 +28,9 @@ void FaultInjector::reserve_nodes(std::size_t n) {
     state->script_seen.resize(config_.script.size(), 0);
     per_src_.push_back(std::move(state));
   }
+  // Pre-size every sender's link table too: in sharded mode no dense
+  // row is ever added while workers decide concurrently.
+  for (auto& src : per_src_) src->links.reserve(n);
 }
 
 FaultInjector::SrcState& FaultInjector::src_state(NodeId src) {
@@ -37,18 +40,21 @@ FaultInjector::SrcState& FaultInjector::src_state(NodeId src) {
 
 FaultInjector::LinkState& FaultInjector::link_state(SrcState& src_state,
                                                     NodeId src, NodeId dst) {
-  const auto it = src_state.links.find(dst);
-  if (it != src_state.links.end()) return it->second;
-  return src_state.links
-      .emplace(dst, LinkState(link_seed(config_.seed, src, dst)))
-      .first->second;
+  LinkState& link = src_state.links[dst];
+  if (!link.seeded) {
+    // First packet on this link: seed its private stream, exactly as
+    // the old map's emplace-on-first-use did.
+    link.rng = common::Xoshiro256(link_seed(config_.seed, src, dst));
+    link.seeded = true;
+  }
+  return link;
 }
 
 FaultStats FaultInjector::stats() const {
   FaultStats total;
   for (const auto& src : per_src_) {
     if (src == nullptr) continue;
-    for (const auto& [dst, link] : src->links) {
+    for (const LinkState& link : src->links) {
       total.drops += link.stats.drops;
       total.duplicates += link.stats.duplicates;
       total.reorders += link.stats.reorders;

@@ -33,11 +33,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/dense.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "net/network.hpp"
@@ -128,15 +128,18 @@ class FaultInjector {
 
  private:
   /// One directed link's state: its private RNG stream plus counters.
+  /// Default-constructed unseeded; decide() seeds the stream on the
+  /// link's first packet (same first-use seeding as before, now a dense
+  /// row instead of a tree node).
   struct LinkState {
-    explicit LinkState(std::uint64_t seed) : rng(seed) {}
-    common::Xoshiro256 rng;
+    common::Xoshiro256 rng{0};
     FaultStats stats;
+    bool seeded = false;
   };
   /// One sending node's partition: its outgoing links plus, for each
   /// script entry with this src, the matching-packet count so far.
   struct SrcState {
-    std::map<NodeId, LinkState> links;
+    common::DenseNodeTable<LinkState> links;
     std::vector<std::uint64_t> script_seen;
   };
 

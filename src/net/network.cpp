@@ -45,11 +45,19 @@ void Network::enable_sharding(sim::ShardGroup& group,
   // Pre-size the per-sender partition: no vector growth can happen once
   // worker threads send concurrently.
   if (nodes_.size() < shard_of_.size()) nodes_.resize(shard_of_.size());
+  for (PerNode& n : nodes_) n.links.reserve(nodes_.size());
   if (faults_ != nullptr) faults_->reserve_nodes(nodes_.size());
 }
 
 void Network::set_wire_latency(NodeId src, NodeId dst, TimePs latency) {
   wire_latency_override_[{src, dst}] = latency;
+  // Write through to a link that already resolved its latency, so late
+  // (post-first-send) overrides behave exactly as before the fold.
+  if (src < nodes_.size()) {
+    if (LinkState* link = nodes_[src].links.find(dst)) {
+      link->wire_latency = latency;
+    }
+  }
 }
 
 TimePs Network::wire_latency(NodeId src, NodeId dst) const {
@@ -128,11 +136,17 @@ void Network::send(Packet packet) {
   // order — a later send can never be delivered before an earlier one.
   const std::uint64_t bytes = config_.header_bytes + packet.payload_bytes;
   const TimePs serialise = bytes * config_.ps_per_byte;
-  TimePs& free_at = src.link_free[packet.dst];
-  const TimePs start = std::max(now, free_at);
-  free_at = start + serialise;
-  src.stats.busiest_link_busy = std::max(src.stats.busiest_link_busy, free_at);
-  const TimePs deliver_at = free_at + wire_latency(packet.src, packet.dst);
+  LinkState& link = src.links[packet.dst];
+  if (link.wire_latency == kLatencyUnresolved) {
+    // First packet on this link: resolve the override once.  Every
+    // later send is a single indexed load instead of a tree probe.
+    link.wire_latency = wire_latency(packet.src, packet.dst);
+  }
+  const TimePs start = std::max(now, link.free_at);
+  link.free_at = start + serialise;
+  src.stats.busiest_link_busy =
+      std::max(src.stats.busiest_link_busy, link.free_at);
+  const TimePs deliver_at = link.free_at + link.wire_latency;
 
   if (faults_ == nullptr) {
     schedule_delivery(packet, deliver_at, now);

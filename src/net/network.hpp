@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/dense.hpp"
 #include "common/time.hpp"
 #include "match/match.hpp"
 #include "sim/engine.hpp"
@@ -150,14 +151,28 @@ class Network : public sim::Component {
   const FaultInjector* faults() const { return faults_.get(); }
 
  private:
+  /// Latency sentinel: the link has not resolved its override yet.
+  static constexpr TimePs kLatencyUnresolved = ~TimePs{0};
+
+  /// Hot per-directed-link state, one cache line row per destination in
+  /// the sender's dense table.  `wire_latency` folds the per-link
+  /// override lookup (formerly a std::map probe on EVERY send) into
+  /// state resolved once, on the link's first packet.
+  struct LinkState {
+    /// Serialisation horizon: when this injection port frees up.
+    TimePs free_at = 0;
+    TimePs wire_latency = kLatencyUnresolved;
+  };
+
   /// All mutable per-send state, partitioned by sending node: inside a
   /// window only the sender's shard thread touches its entry.
   struct PerNode {
     sim::Engine* engine = nullptr;  ///< set by attach()
     DeliveryHandler handler;
-    /// Serialisation horizon per destination: when this node's injection
-    /// port toward dst frees up.
-    std::map<NodeId, TimePs> link_free;
+    /// Per-destination link state, indexed by NodeId (dense: the machine
+    /// fixes the node count).  Grows only on a link's first use, and
+    /// only in the owning sender's thread.
+    common::DenseNodeTable<LinkState> links;
     /// Monotone per-sender counter stamped on posted deliveries — the
     /// partition-stable tie-break of the canonical merge key.
     std::uint64_t departure_seq = 0;
@@ -173,7 +188,9 @@ class Network : public sim::Component {
   NetworkConfig config_;
   std::vector<PerNode> nodes_;
   /// Per-directed-link wire-latency overrides (config_.wire_latency
-  /// otherwise).  Written only during setup.
+  /// otherwise).  Written only during setup; the configuration source
+  /// of truth for min_lookahead().  The hot path never probes it —
+  /// send() reads the copy resolved into LinkState on first use.
   std::map<std::pair<NodeId, NodeId>, TimePs> wire_latency_override_;
   std::unique_ptr<FaultInjector> faults_;
   sim::ShardGroup* shards_ = nullptr;

@@ -85,6 +85,21 @@ Nic::Nic(sim::Engine& engine, std::string name, net::NodeId node,
   network_.attach(node_, engine, [this](const net::Packet& p) {
     reliability_.on_network_delivery(p);
   });
+  // Every control-path container reports backing growth into the same
+  // pair of counters (done here, after stats_ is constructed).
+  const common::AllocSink sink{&stats_.control_allocs,
+                               &stats_.control_bytes};
+  posted_info_.set_alloc_sink(sink);
+  unexpected_info_.set_alloc_sink(sink);
+  rdvz_send_.set_alloc_sink(sink);
+  rdvz_recv_.set_alloc_sink(sink);
+  tx_order_.set_alloc_sink(sink);
+  reliability_.set_alloc_sink(sink);
+}
+
+void Nic::reserve_nodes(std::size_t n) {
+  tx_order_.reserve(n);
+  reliability_.reserve_nodes(n);
 }
 
 void Nic::init() {
@@ -444,7 +459,7 @@ sim::Process Nic::update_alpu(AlpuCtx& ctx, bool is_posted) {
   const std::size_t batch = std::min({pending,
                                       static_cast<std::size_t>(granted),
                                       config_.alpu_policy.max_batch});
-  common::logf(LogLevel::kTrace, engine().now(), name(),
+  ALPU_LOGF(LogLevel::kTrace, engine().now(), name(),
                "alpu insert session ({}): pending={} granted={} batch={}",
                is_posted ? "posted" : "unexpected", pending, granted, batch);
   for (std::size_t i = 0; i < batch; ++i) {
@@ -508,7 +523,7 @@ sim::Process Nic::degrade_alpu(AlpuCtx& ctx, bool is_posted) {
     posted_probe_enabled_ = false;  // idempotent: rejection cleared it
     posted_degraded_ = true;
   }
-  common::logf(LogLevel::kDebug, eng.now(), name(),
+  ALPU_LOGF(LogLevel::kDebug, eng.now(), name(),
                "alpu fallback ({}): resetting unit, synced={} forgotten",
                is_posted ? "posted" : "unexpected", ctx.synced);
   // RESET is honoured from Read Command and the command FIFO is serviced
@@ -600,7 +615,7 @@ sim::Process Nic::handle_packet(RxItem item) {
         }
       }
 
-      common::logf(LogLevel::kDebug, engine().now(), name(),
+      ALPU_LOGF(LogLevel::kDebug, engine().now(), name(),
                    "rx {} from {}: {}", match::to_string(
                        match::unpack(p.match_bits)),
                    p.src, matched ? "matched" : "unexpected");
@@ -625,10 +640,10 @@ sim::Process Nic::handle_packet(RxItem item) {
 
     case net::PacketKind::kCtsRendezvous: {
       // Sender side: our RTS was matched; stream the payload.
-      auto it = rdvz_send_.find(p.token);
-      ALPU_ASSERT(it != rdvz_send_.end(), "CTS with unknown token");
-      const RdvzSendState st = it->second;
-      rdvz_send_.erase(it);
+      const RdvzSendState* found = rdvz_send_.find(p.token);
+      ALPU_ASSERT(found != nullptr, "CTS with unknown token");
+      const RdvzSendState st = *found;
+      rdvz_send_.erase(p.token);
       t += instr(config_.costs.rendezvous_cycles);
       stats_.firmware_busy += t;
       co_await sim::delay(eng, t);
@@ -651,10 +666,10 @@ sim::Process Nic::handle_packet(RxItem item) {
 
     case net::PacketKind::kRendezvousData: {
       // Receiver side: the bulk payload for an earlier CTS.
-      auto it = rdvz_recv_.find(p.token);
-      ALPU_ASSERT(it != rdvz_recv_.end(), "DATA with unknown token");
-      const RdvzRecvState st = it->second;
-      rdvz_recv_.erase(it);
+      const RdvzRecvState* found = rdvz_recv_.find(p.token);
+      ALPU_ASSERT(found != nullptr, "DATA with unknown token");
+      const RdvzRecvState st = *found;
+      rdvz_recv_.erase(p.token);
       t += instr(config_.costs.rendezvous_cycles);
       stats_.firmware_busy += t;
       co_await sim::delay(eng, t);
@@ -676,11 +691,10 @@ sim::Process Nic::deliver_to_posted(match::Cookie cookie,
                                     const net::Packet& packet,
                                     TimePs accrued) {
   auto& eng = engine();
-  const auto info_it = posted_info_.find(cookie);
-  ALPU_ASSERT(info_it != posted_info_.end(),
-              "posted cookie missing from the info map");
-  const PostedInfo info = info_it->second;
-  posted_info_.erase(info_it);
+  const PostedInfo* found = posted_info_.find(cookie);
+  ALPU_ASSERT(found != nullptr, "posted cookie missing from the info map");
+  const PostedInfo info = *found;
+  posted_info_.erase(cookie);
 
   TimePs t = accrued + instr(config_.costs.delivery_setup_cycles);
 
@@ -719,21 +733,43 @@ sim::Process Nic::deliver_to_posted(match::Cookie cookie,
 // ---------------------------------------------------------------------------
 
 void Nic::inject_matchable(const net::Packet& packet, std::uint64_t ticket) {
-  auto& parked = tx_parked_[packet.dst];
-  if (ticket != tx_ticket_due_[packet.dst]) {
-    parked.emplace(ticket, packet);
+  TxOrder& ord = tx_order_[packet.dst];
+  if (ticket != ord.due) {
+    // Sorted insert by ticket (the parked set is the handful of legs in
+    // flight toward one peer, so the shift is short).  The vector keeps
+    // its capacity across releases; count the rare growth.
+    const std::size_t old_cap = ord.parked.capacity();
+    const auto it = std::lower_bound(
+        ord.parked.begin(), ord.parked.end(), ticket,
+        [](const std::pair<std::uint64_t, net::Packet>& held,
+           std::uint64_t t) { return held.first < t; });
+    ord.parked.emplace(it, ticket, packet);
+    if (ord.parked.capacity() != old_cap) {
+      ++stats_.control_allocs;
+      stats_.control_bytes +=
+          ord.parked.capacity() * sizeof(ord.parked.front());
+    }
     return;
   }
   reliability_.send(packet);
   ++stats_.packets_tx;
+  // Release the consecutive run of parked successors (a sorted prefix).
   std::uint64_t due = ticket + 1;
-  for (auto it = parked.begin();
-       it != parked.end() && it->first == due; it = parked.erase(it)) {
-    reliability_.send(it->second);
+  std::size_t released = 0;
+  while (released < ord.parked.size() &&
+         ord.parked[released].first == due) {
+    reliability_.send(ord.parked[released].second);
     ++stats_.packets_tx;
     ++due;
+    ++released;
   }
-  tx_ticket_due_[packet.dst] = due;
+  if (released > 0) {
+    // Front-erase keeps the reserved capacity: no allocation.
+    ord.parked.erase(ord.parked.begin(),
+                     ord.parked.begin() +
+                         static_cast<std::ptrdiff_t>(released));
+  }
+  ord.due = due;
 }
 
 sim::Process Nic::handle_request(HostRequest request) {
@@ -744,7 +780,7 @@ sim::Process Nic::handle_request(HostRequest request) {
     // Matching order at the receiver must follow request order here, so
     // both eager and rendezvous legs draw their wire-order ticket while
     // the firmware still holds the request (inject_matchable).
-    const std::uint64_t ticket = tx_ticket_next_[request.dst]++;
+    const std::uint64_t ticket = tx_order_[request.dst].next++;
     if (request.send_bytes <= config_.eager_threshold) {
       stats_.firmware_busy += t;
       co_await sim::delay(eng, t);
@@ -865,7 +901,7 @@ sim::Process Nic::handle_request(HostRequest request) {
     }
   }
 
-  common::logf(LogLevel::kDebug, engine().now(), name(),
+  ALPU_LOGF(LogLevel::kDebug, engine().now(), name(),
                "post recv {}: {}", match::to_string(request.pattern),
                matched ? "matched unexpected" : "queued");
   if (matched) {
@@ -892,10 +928,10 @@ sim::Process Nic::deliver_from_unexpected(match::Cookie cookie,
                                           TimePs accrued) {
   auto& eng = engine();
   const std::size_t index = unexpected_index_of(cookie);
-  const auto info_it = unexpected_info_.find(cookie);
-  ALPU_ASSERT(info_it != unexpected_info_.end(),
+  const UnexpectedInfo* found = unexpected_info_.find(cookie);
+  ALPU_ASSERT(found != nullptr,
               "unexpected cookie missing from the info map");
-  const UnexpectedInfo info = info_it->second;
+  const UnexpectedInfo info = *found;
   const match::MatchWord bits = unexpected_.at(index).word;
   erase_unexpected(index);
 

@@ -25,14 +25,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "alpu/alpu.hpp"
+#include "common/dense.hpp"
 #include "alpu/pipelined.hpp"
 #include "match/list.hpp"
 #include "mem/memory_system.hpp"
@@ -74,6 +73,16 @@ struct NicStats {
 
   std::uint64_t completions = 0;
   common::TimePs firmware_busy = 0;  ///< summed charged time
+
+  // Control-path allocation accounting: backing-array growths of the
+  // NIC's dense node tables, pooled flat maps, parked-leg queues and
+  // the reliability layer's per-peer tables.  Each count is one heap
+  // allocation; at steady state (tables warmed up, pools primed) both
+  // counters must stop moving — the zero-allocation property the soak
+  // tests assert, mirroring ReliabilityStats.buffer_allocs for the
+  // retransmit ring.
+  std::uint64_t control_allocs = 0;
+  std::uint64_t control_bytes = 0;  ///< bytes of backing capacity grown
 };
 
 class Nic : public sim::Component {
@@ -91,6 +100,11 @@ class Nic : public sim::Component {
   /// Register the completion sink.  Invoked `completion_ps` after the
   /// firmware writes the record (models host-visibility latency).
   void set_completion_handler(std::function<void(const Completion&)> h);
+
+  /// Pre-size every per-peer control table for nodes [0, n) (the
+  /// Machine passes its node count at build time): no node-keyed table
+  /// grows on the message hot path afterwards.
+  void reserve_nodes(std::size_t n);
 
   // ---- introspection ----
 
@@ -281,10 +295,15 @@ class Nic : public sim::Component {
 
   match::PostedList posted_;
   match::UnexpectedList unexpected_;
-  std::unordered_map<match::Cookie, PostedInfo> posted_info_;
-  std::unordered_map<match::Cookie, UnexpectedInfo> unexpected_info_;
-  std::unordered_map<std::uint64_t, RdvzSendState> rdvz_send_;
-  std::unordered_map<std::uint64_t, RdvzRecvState> rdvz_recv_;
+  /// Per-message protocol side tables: insertion-ordered pooled flat
+  /// maps (common::FlatMap), so the PostedInfo/UnexpectedInfo and
+  /// rendezvous states they hold are recycled through slot free lists —
+  /// steady-state insert/erase churn never touches the allocator, and
+  /// no behaviour can depend on hash-bucket order.
+  common::FlatMap<match::Cookie, PostedInfo> posted_info_;
+  common::FlatMap<match::Cookie, UnexpectedInfo> unexpected_info_;
+  common::FlatMap<std::uint64_t, RdvzSendState> rdvz_send_;
+  common::FlatMap<std::uint64_t, RdvzRecvState> rdvz_recv_;
 
   // Per-destination transmit-order gate for matchable legs (eager
   // packets and rendezvous RTS headers).  MPI non-overtaking is defined
@@ -295,10 +314,14 @@ class Nic : public sim::Component {
   // overtake it on the wire.  Tickets are issued in request-processing
   // order; a leg whose turn has not yet come is parked until the
   // earlier injection releases it (same event, no extra model time).
-  std::unordered_map<net::NodeId, std::uint64_t> tx_ticket_next_;
-  std::unordered_map<net::NodeId, std::uint64_t> tx_ticket_due_;
-  std::unordered_map<net::NodeId, std::map<std::uint64_t, net::Packet>>
-      tx_parked_;
+  struct TxOrder {
+    std::uint64_t next = 0;  ///< next ticket to issue
+    std::uint64_t due = 0;   ///< next ticket allowed onto the wire
+    /// Out-of-turn legs, sorted by ticket.  Capacity is retained across
+    /// release, so a warmed queue parks without allocating.
+    std::vector<std::pair<std::uint64_t, net::Packet>> parked;
+  };
+  common::DenseNodeTable<TxOrder> tx_order_;
   match::Cookie next_cookie_ = 1;
   std::uint64_t next_token_ = 1;
 

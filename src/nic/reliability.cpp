@@ -61,15 +61,12 @@ ReliabilityLayer::ReliabilityLayer(sim::Engine& engine, std::string name,
 ReliabilityLayer::~ReliabilityLayer() {
   // Dead timers must not fire into a destroyed object (relevant only
   // when a Machine is torn down with events still pending).
-  for (auto& [peer, tx] : tx_) {
-    (void)peer;
-    cancel_timer(tx);
-  }
+  for (TxState& tx : tx_) cancel_timer(tx);
 }
 
 std::size_t ReliabilityLayer::window_size(net::NodeId peer) const {
-  const auto it = tx_.find(peer);
-  return it == tx_.end() ? 0 : it->second.window.size();
+  const TxState* tx = tx_.find(peer);
+  return tx == nullptr ? 0 : tx->window.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -124,7 +121,7 @@ void ReliabilityLayer::on_timeout(net::NodeId peer) {
     // spinning forever (the engine drains; callers observe the status).
     tx.failed = true;
     ++stats_.link_failures;
-    common::logf(LogLevel::kInfo, engine_.now(), name_,
+    ALPU_LOGF(LogLevel::kInfo, engine_.now(), name_,
                  "link to {} failed after {} retries ({} packets discarded)",
                  peer, config_.max_retries, tx.window.size());
     tx.window.clear();

@@ -34,10 +34,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/dense.hpp"
 #include "common/time.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
@@ -164,6 +164,19 @@ class ReliabilityLayer {
   /// Unacknowledged packets currently in flight toward `peer`.
   std::size_t window_size(net::NodeId peer) const;
 
+  /// Point backing-array growth of the per-peer tables at the owner's
+  /// counters (the Nic wires NicStats.control_allocs/control_bytes).
+  void set_alloc_sink(common::AllocSink sink) {
+    tx_.set_alloc_sink(sink);
+    rx_.set_alloc_sink(sink);
+  }
+  /// Pre-size both per-peer tables for nodes [0, n): no growth on the
+  /// hot path afterwards.
+  void reserve_nodes(std::size_t n) {
+    tx_.reserve(n);
+    rx_.reserve(n);
+  }
+
  private:
   struct TxState {
     std::uint32_t next_seq = 0;
@@ -195,8 +208,10 @@ class ReliabilityLayer {
   net::Network& network_;
   net::NodeId node_;
   DeliverUp deliver_up_;
-  std::map<net::NodeId, TxState> tx_;
-  std::map<net::NodeId, RxState> rx_;
+  /// Per-peer protocol state, NodeId-indexed (dense: peers are the
+  /// machine's nodes).  Formerly std::map — a tree probe per packet.
+  common::DenseNodeTable<TxState> tx_;
+  common::DenseNodeTable<RxState> rx_;
   ReliabilityStats stats_;
 };
 

@@ -11,11 +11,10 @@
 //
 //  * Callbacks are stored in an EventCallback — a small-buffer-optimized
 //    move-only callable.  Every capture the simulator's components
-//    actually schedule (coroutine handles, `this` pointers, Packet and
-//    Completion copies) fits in the 48-byte inline buffer, so the steady
-//    state allocates nothing per event; larger captures (the ~90-byte
-//    HostRequest copy, once per MPI call) fall back to the heap and stay
-//    correct.
+//    actually schedule (coroutine handles, `this` pointers, Packet,
+//    Completion and HostRequest copies) fits in the inline buffer, so
+//    the steady state allocates nothing per event; anything larger falls
+//    back to the heap and stays correct.
 //
 //  * Pending events live in a slot pool indexed by the low bits of the
 //    EventId; the high bits carry the slot's generation.  Cancellation
@@ -48,10 +47,12 @@ using EventId = std::uint64_t;
 /// capture sizes the simulator schedules on its hot path.
 class EventCallback {
  public:
-  /// Sized for the largest hot-path capture (a 48-byte network Packet
-  /// copy plus `this` == 56); coroutine resumes — the dominant event —
-  /// use 8 bytes.
-  static constexpr std::size_t kInlineBytes = 56;
+  /// Sized for the largest hot-path capture: the ~96-byte HostRequest
+  /// copy (scheduled once per MPI call by Host::submit and again by the
+  /// NIC's doorbell leg) plus `this`.  Coroutine resumes — the dominant
+  /// event — use 8 bytes; the wider buffer trades a little slot-pool
+  /// memory for keeping every steady-state schedule allocation-free.
+  static constexpr std::size_t kInlineBytes = 112;
 
   EventCallback() noexcept = default;
 

@@ -23,6 +23,65 @@
 
 namespace alpu::sim {
 
+namespace detail {
+
+// Coroutine frames churn at protocol rate (every modelled request,
+// packet and delivery spawns one), and the default frame allocation is
+// a malloc/free round trip per spawn.  This pool recycles frames in
+// 64-byte size classes through thread-local LIFO free lists — each
+// ShardGroup worker owns its lists, so no locks and no cross-thread
+// ordering enters the simulation.  Under sanitizers the pool is
+// bypassed: retained free-list blocks on exited shard threads would
+// otherwise read as leaks.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ALPU_POOL_COROUTINE_FRAMES 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ALPU_POOL_COROUTINE_FRAMES 0
+#else
+#define ALPU_POOL_COROUTINE_FRAMES 1
+#endif
+#else
+#define ALPU_POOL_COROUTINE_FRAMES 1
+#endif
+
+class FramePool {
+ public:
+  static void* allocate(std::size_t n) {
+#if ALPU_POOL_COROUTINE_FRAMES
+    const std::size_t bucket = (n + 63) >> 6;
+    if (bucket < kBuckets) {
+      void*& head = lists_[bucket];
+      if (head != nullptr) {
+        void* out = head;
+        head = *static_cast<void**>(out);
+        return out;
+      }
+      return ::operator new(bucket << 6);
+    }
+#endif
+    return ::operator new(n);
+  }
+
+  static void release(void* p, std::size_t n) noexcept {
+#if ALPU_POOL_COROUTINE_FRAMES
+    const std::size_t bucket = (n + 63) >> 6;
+    if (bucket < kBuckets) {
+      *static_cast<void**>(p) = lists_[bucket];
+      lists_[bucket] = p;
+      return;
+    }
+#endif
+    ::operator delete(p);
+  }
+
+ private:
+  static constexpr std::size_t kBuckets = 17;  ///< frames up to 1 KiB pooled
+  static thread_local inline void* lists_[kBuckets];
+};
+
+}  // namespace detail
+
 /// A lazily-started coroutine representing simulated sequential activity.
 ///
 /// A Process may be either spawned as a root activity on the engine
@@ -33,6 +92,15 @@ class [[nodiscard]] Process {
   struct promise_type {
     std::coroutine_handle<> continuation;  // resumed at final suspend
     bool* done_flag = nullptr;             // optional external completion flag
+
+    // Route frame allocation through the recycling pool (the sized
+    // delete is guaranteed: frames always destroy via handle.destroy()).
+    static void* operator new(std::size_t n) {
+      return detail::FramePool::allocate(n);
+    }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      detail::FramePool::release(p, n);
+    }
 
     Process get_return_object() {
       return Process{std::coroutine_handle<promise_type>::from_promise(*this)};

@@ -1,9 +1,16 @@
-// Unit tests for alpu::common — FIFO, RNG, stats, time, tables, logging.
+// Unit tests for alpu::common — FIFO, RNG, stats, time, tables, logging,
+// and the cache-resident control-path containers (dense.hpp).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/dense.hpp"
 #include "common/fifo.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -291,6 +298,241 @@ TEST(Log, LevelGateDefaultsOff) {
   set_log_level(LogLevel::kDebug);
   EXPECT_EQ(log_level(), LogLevel::kDebug);
   set_log_level(LogLevel::kOff);
+}
+
+// ---- DenseNodeTable --------------------------------------------------------
+
+TEST(DenseNodeTable, IndexedAccessAndGrowth) {
+  DenseNodeTable<int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.find(0), nullptr);
+  t[3] = 42;
+  EXPECT_EQ(t.size(), 4u);  // grows to cover the id
+  EXPECT_EQ(t[3], 42);
+  ASSERT_NE(t.find(3), nullptr);
+  EXPECT_EQ(*t.find(3), 42);
+  ASSERT_NE(t.find(1), nullptr);  // covered, default-constructed
+  EXPECT_EQ(*t.find(1), 0);
+  EXPECT_EQ(t.find(4), nullptr);  // never covered
+}
+
+TEST(DenseNodeTable, IterationIsIndexOrder) {
+  DenseNodeTable<int> t;
+  t.reserve(5);
+  // Write in scrambled order; iteration must still be index order.
+  for (std::uint32_t id : {4u, 0u, 2u, 1u, 3u}) t[id] = static_cast<int>(id);
+  std::vector<int> seen(t.begin(), t.end());
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(DenseNodeTable, ReserveMakesSteadyStateAllocationFree) {
+  DenseNodeTable<std::uint64_t> t;
+  std::uint64_t allocs = 0, bytes = 0;
+  t.set_alloc_sink(AllocSink{&allocs, &bytes});
+  t.reserve(64);
+  EXPECT_GE(allocs, 1u);  // setup growth is counted...
+  const std::uint64_t setup_allocs = allocs;
+  for (std::uint32_t id = 0; id < 64; ++id) t[id] = id;  // ...but the
+  EXPECT_EQ(allocs, setup_allocs);  // reserved range never grows again
+  EXPECT_GT(bytes, 0u);
+}
+
+// ---- FlatMap ---------------------------------------------------------------
+
+TEST(FlatMap, InsertFindEraseBasics) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.contains(7));
+  m[7] = 70;
+  m[9] = 90;
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(7));
+  ASSERT_NE(m.find(9), nullptr);
+  EXPECT_EQ(*m.find(9), 90);
+  EXPECT_EQ(m.at(7), 70);
+  EXPECT_EQ(m.find(8), nullptr);
+  EXPECT_TRUE(m.erase(7));
+  EXPECT_FALSE(m.erase(7));  // already gone
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(FlatMap, IterationFollowsInsertionOrderAcrossEraseAndRehash) {
+  FlatMap<std::uint64_t, int> m;
+  std::vector<std::uint64_t> order;
+  // Enough keys to force several rehashes from the 8-bucket floor.
+  for (std::uint64_t k = 1000; k < 1100; ++k) {
+    m[k] = static_cast<int>(k);
+    order.push_back(k);
+  }
+  // Erase every third key; survivors keep their relative order.
+  std::vector<std::uint64_t> survivors;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i % 3 == 0) {
+      EXPECT_TRUE(m.erase(order[i]));
+    } else {
+      survivors.push_back(order[i]);
+    }
+  }
+  // New insertions (recycling freed slots) append at the tail.
+  for (std::uint64_t k = 5000; k < 5010; ++k) {
+    m[k] = static_cast<int>(k);
+    survivors.push_back(k);
+  }
+  std::vector<std::uint64_t> walked;
+  for (const auto& [key, value] : m) {
+    walked.push_back(key);
+    EXPECT_EQ(value, static_cast<int>(key));
+  }
+  EXPECT_EQ(walked, survivors);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(FlatMap, RecycledSlotsStartClean) {
+  FlatMap<std::uint64_t, std::vector<int>> m;
+  m[1] = {1, 2, 3};
+  EXPECT_TRUE(m.erase(1));
+  // The next insertion reuses the freed slot; its value must be V{},
+  // not the previous occupant's protocol state.
+  std::vector<int>& fresh = m[2];
+  EXPECT_TRUE(fresh.empty());
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(FlatMap, SteadyStateChurnIsAllocationFree) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  std::uint64_t allocs = 0, bytes = 0;
+  m.set_alloc_sink(AllocSink{&allocs, &bytes});
+  m.reserve(128);
+  // Warm the free list to its high-water mark once.
+  for (std::uint64_t k = 0; k < 128; ++k) m[k] = k;
+  for (std::uint64_t k = 0; k < 128; ++k) m.erase(k);
+  const std::uint64_t warm_allocs = allocs;
+  // Steady state: insert/erase churn at the same population must never
+  // touch the allocator again (slots recycle, index never rehashes).
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t k = 0; k < 100; ++k) m[0x1000u * round + k] = k;
+    for (std::uint64_t k = 0; k < 100; ++k) m.erase(0x1000u * round + k);
+  }
+  EXPECT_EQ(allocs, warm_allocs);
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(FlatMap, ClearKeepsCapacityAndResetsContents) {
+  FlatMap<std::uint64_t, int> m;
+  std::uint64_t allocs = 0;
+  m.set_alloc_sink(AllocSink{&allocs, nullptr});
+  m.reserve(32);
+  for (std::uint64_t k = 0; k < 32; ++k) m[k] = 1;
+  const std::uint64_t warm_allocs = allocs;
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(3), nullptr);
+  for (std::uint64_t k = 0; k < 32; ++k) m[k] = 2;  // refill: no growth
+  EXPECT_EQ(allocs, warm_allocs);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+// Differential fuzz: FlatMap vs std::map contents and vs an explicit
+// insertion-order list (std::unordered_map cross-checks find()).  Every
+// operation the control path performs — find-or-insert, overwrite,
+// erase, lookup — must agree with the reference on every step, and the
+// structural invariants must hold throughout.
+TEST(FlatMap, DifferentialFuzzAgainstStdMaps) {
+  Xoshiro256 rng(0xF1A77EEDu);
+  FlatMap<std::uint64_t, std::uint64_t> flat;
+  std::map<std::uint64_t, std::uint64_t> ordered;
+  std::unordered_map<std::uint64_t, std::uint64_t> hashed;
+  std::vector<std::uint64_t> insertion_order;
+
+  const auto reference_erase = [&](std::uint64_t key) {
+    ordered.erase(key);
+    hashed.erase(key);
+    for (std::size_t i = 0; i < insertion_order.size(); ++i) {
+      if (insertion_order[i] == key) {
+        insertion_order.erase(insertion_order.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  };
+
+  for (int step = 0; step < 20'000; ++step) {
+    // Small key space keeps collision/recycle pressure high.
+    const std::uint64_t key = rng.below(512);
+    switch (rng.below(4)) {
+      case 0:
+      case 1: {  // find-or-insert + overwrite
+        const bool existed = ordered.count(key) != 0;
+        const std::uint64_t value = rng();
+        flat[key] = value;
+        ordered[key] = value;
+        hashed[key] = value;
+        if (!existed) insertion_order.push_back(key);
+        break;
+      }
+      case 2: {  // erase
+        const bool expect_hit = ordered.count(key) != 0;
+        EXPECT_EQ(flat.erase(key), expect_hit);
+        if (expect_hit) reference_erase(key);
+        break;
+      }
+      default: {  // lookup
+        const auto it = hashed.find(key);
+        const std::uint64_t* got = flat.find(key);
+        if (it == hashed.end()) {
+          EXPECT_EQ(got, nullptr);
+        } else {
+          ASSERT_NE(got, nullptr);
+          EXPECT_EQ(*got, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), ordered.size());
+    if (step % 1'000 == 999) {
+      ASSERT_TRUE(flat.check_invariants()) << "at step " << step;
+      // Full sweep: iteration order == insertion order, values match.
+      std::size_t i = 0;
+      for (const auto& [k, v] : flat) {
+        ASSERT_LT(i, insertion_order.size());
+        ASSERT_EQ(k, insertion_order[i]) << "at step " << step;
+        ASSERT_EQ(v, ordered.at(k));
+        ++i;
+      }
+      ASSERT_EQ(i, insertion_order.size());
+    }
+  }
+  EXPECT_TRUE(flat.check_invariants());
+}
+
+// Two maps fed the same operation sequence must walk identically —
+// the determinism contract the NIC control path relies on (CSV output
+// iterates rendezvous/cookie tables).
+TEST(FlatMap, IdenticalHistoriesIterateIdentically) {
+  const auto drive = [](FlatMap<std::uint64_t, int>& m) {
+    Xoshiro256 rng(42);
+    for (int i = 0; i < 2'000; ++i) {
+      const std::uint64_t key = rng.below(64);
+      if (rng.below(3) == 0) {
+        m.erase(key);
+      } else {
+        m[key] = static_cast<int>(i);
+      }
+    }
+  };
+  FlatMap<std::uint64_t, int> a, b;
+  drive(a);
+  drive(b);
+  ASSERT_EQ(a.size(), b.size());
+  auto ita = a.begin();
+  auto itb = b.begin();
+  for (; ita != a.end(); ++ita, ++itb) {
+    EXPECT_EQ((*ita).first, (*itb).first);
+    EXPECT_EQ((*ita).second, (*itb).second);
+  }
 }
 
 }  // namespace

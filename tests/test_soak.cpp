@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "mpi/mpi.hpp"
+#include "sim/parallel.hpp"
 #include "workload/chaos.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/sweep.hpp"
@@ -294,6 +295,94 @@ TEST_P(ShardedFaultySoak, MatchesSingleShardUnderFaults) {
 
 INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedFaultySoak,
                          ::testing::Values(2, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Steady-state allocation gate for the NIC control path.  The dense
+// tables and pooled FlatMaps (common/dense.hpp) report every backing
+// growth through NicStats.control_allocs; after one full traffic wave
+// has pushed each structure to its high-water mark, an identical second
+// wave — same plan, faults still firing — must not grow anything.  This
+// is the machine-level counterpart of FlatMap.SteadyStateChurnIsAllocationFree
+// in test_common.cpp, and it runs at 1 and 2 shards so the sharded
+// control path is pinned too.
+// ---------------------------------------------------------------------------
+
+/// Runs the plan's traffic twice from one coroutine, snapshotting this
+/// rank's own NIC allocation counter after each wave drains.  Each rank
+/// reads only the NIC on its own shard, so the reads are race-free.
+sim::Process two_wave_rank(Machine& machine, const Plan& plan, int rank,
+                           std::vector<std::uint64_t>& after_wave1,
+                           std::vector<std::uint64_t>& after_wave2) {
+  Rank& self = machine.rank(rank);
+  for (int wave = 0; wave < 2; ++wave) {
+    std::vector<Request> sends;
+    std::vector<Request> recvs;
+    for (int peer = 0; peer < plan.nranks; ++peer) {
+      if (peer == rank) continue;
+      const auto p = static_cast<std::size_t>(peer);
+      const auto r = static_cast<std::size_t>(rank);
+      for (std::size_t i = 0; i < plan.messages[p][r].size(); ++i) {
+        sends.push_back(self.isend(peer, static_cast<int>(i),
+                                   plan.messages[p][r][i]));
+      }
+      for (std::size_t i = 0; i < plan.messages[r][p].size(); ++i) {
+        recvs.push_back(self.irecv(peer, static_cast<int>(i), 64 * 1024));
+      }
+    }
+    co_await self.waitall(std::move(sends));
+    for (Request& rq : recvs) co_await self.wait(rq);
+    co_await self.barrier();
+    auto& snapshot = wave == 0 ? after_wave1 : after_wave2;
+    snapshot[static_cast<std::size_t>(rank)] =
+        machine.nic(rank).stats().control_allocs;
+  }
+}
+
+class SteadyStateAllocs : public ::testing::TestWithParam<int> {};
+
+TEST_P(SteadyStateAllocs, ControlPathStopsAllocatingAfterWarmup) {
+  const int nshards = GetParam();
+  constexpr int kRanks = 4;
+  constexpr int kPerPair = 6;
+  const Plan plan = make_plan(kRanks, kPerPair, 0xA110C5);
+
+  SystemConfig cfg = workload::make_system_config(NicMode::kAlpu256, kRanks);
+  cfg.faults.drop_rate = 0.01;
+  cfg.faults.dup_rate = 0.005;
+  cfg.faults.reorder_rate = 0.005;
+  cfg.faults.corrupt_rate = 0.005;
+  cfg.nic.reliability.enabled = true;
+
+  sim::ShardGroup shards(static_cast<unsigned>(nshards));
+  Machine machine(shards, cfg);
+  sim::ProcessPool pool(machine.engine());
+  std::vector<std::uint64_t> after_wave1(kRanks, 0);
+  std::vector<std::uint64_t> after_wave2(kRanks, 0);
+  for (int r = 0; r < kRanks; ++r) {
+    pool.spawn_on(machine.engine(r),
+                  two_wave_rank(machine, plan, r, after_wave1, after_wave2));
+  }
+  shards.run_all(machine.network().min_lookahead());
+  ASSERT_TRUE(pool.all_done()) << "two-wave soak deadlocked";
+
+  for (int r = 0; r < kRanks; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    // Warm-up growth happened at all (the sink is actually wired)...
+    EXPECT_GT(after_wave1[ri], 0u) << "rank " << r;
+    // ...and the second wave grew nothing: every table had reached its
+    // high-water mark, every erase/insert recycled a pooled slot.
+    EXPECT_EQ(after_wave2[ri], after_wave1[ri])
+        << "rank " << r << ": control path allocated "
+        << (after_wave2[ri] - after_wave1[ri])
+        << " more time(s) during the steady-state wave";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, SteadyStateAllocs,
+                         ::testing::Values(1, 2),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return "shards" + std::to_string(info.param);
                          });
