@@ -1,164 +1,20 @@
 #!/usr/bin/env python3
-"""Determinism lint for the simulator sources.
-
-Every experiment in this repo is required to be bit-reproducible from
-its parameters (docs/SIMULATOR.md): the DES kernel breaks timestamp
-ties with a monotone sequence number, the sweep runner produces
-byte-identical CSV at every job count, and the workloads take explicit
-seeds.  That guarantee is easy to destroy with one careless line, and
-the compiler will not complain.  This lint rejects the known sources of
-nondeterminism at review time:
-
-  * wall-clock and libc randomness — rand()/srand()/random_device,
-    time()/gettimeofday()/chrono clocks — anything that makes a run
-    depend on when or where it executed;
-  * iteration over unordered containers — hash iteration order varies
-    across libstdc++ versions and ASLR, so any range-for over a
-    std::unordered_{map,set} member is flagged unless the loop body is
-    demonstrably order-independent;
-  * pointer-keyed ordered containers (std::map/std::set keyed on T*) —
-    ordered by allocation address, i.e. by ASLR;
-  * raw std::unordered_{map,set} declarations in the NIC/net control
-    path (src/nic, src/net) — those tables hold per-message protocol
-    state and must use the deterministic pooled containers from
-    common/dense.hpp (DenseNodeTable, FlatMap) so no CSV or counter can
-    ever depend on hash-bucket order or per-message allocation.
-
-A finding can be waived by putting a comment containing
-`determinism: ok` on the flagged line or the line above it, with a
-justification (grep for existing waivers for the expected style).
-
-Usage: determinism_lint.py [DIR ...]     (default: src/)
-Exit status: 0 clean, 1 findings, 2 usage error.
+"""Compatibility shim: the determinism lint grew into the rule-based
+project linter at tools/lint/.  This entry point keeps the old CLI
+(`determinism_lint.py [DIR|FILE ...]`, exit 0 clean / 1 findings /
+2 usage) and the legacy ``determinism: ok`` waiver comments working;
+new code and CI should invoke ``python3 tools/lint/lint.py`` directly,
+which adds per-rule waivers, --format json and rule self-tests.
 """
 
 from __future__ import annotations
 
 import pathlib
-import re
 import sys
 
-SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
 
-WAIVER = "determinism: ok"
-
-# Each entry: (human label, compiled regex).  Patterns are matched per
-# line after comment stripping, so commented-out code cannot trip them.
-BANNED = [
-    ("libc rand()", re.compile(r"(?<![\w:])s?rand\s*\(")),
-    ("std::random_device", re.compile(r"\brandom_device\b")),
-    ("wall-clock time()", re.compile(r"(?<![\w:_.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)")),
-    ("gettimeofday()", re.compile(r"\bgettimeofday\s*\(")),
-    ("chrono wall clock", re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b")),
-    ("pointer-keyed std::map/set", re.compile(r"\bstd::(?:multi)?(?:map|set)\s*<[^,>]*\*")),
-    # The host's core count must never leak into a simulated result:
-    # shard counts, sweep partitioning, and every simulation parameter
-    # come from explicit flags/params.  Using it to size a pool of
-    # *independent* host threads (whose outputs land in per-index slots)
-    # is fine — waive those with a justification.
-    ("hardware_concurrency (must not shape simulated results)",
-     re.compile(r"\bhardware_concurrency\b")),
-]
-
-UNORDERED_DECL = re.compile(
-    r"\bstd::unordered_(?:multi)?(?:map|set)\s*<[^;]*>\s+(\w+)\s*[;{=]")
-RANGE_FOR = re.compile(r"\bfor\s*\([^():]*:\s*(?:this->)?(\w+)\s*\)")
-
-# Directories whose per-message tables must be the deterministic pooled
-# containers (common/dense.hpp) rather than raw unordered maps; any
-# std::unordered_{map,set} declared here is flagged even if never
-# iterated (the next edit might iterate it).
-CONTROL_PATH_DIRS = {"nic", "net"}
-UNORDERED_ANY = re.compile(r"\bstd::unordered_(?:multi)?(?:map|set)\b")
-
-
-def strip_comments(line: str) -> str:
-    """Remove // and /* */ comment text from one line (approximate: the
-    sources do not use multi-line /* */ blocks mid-statement)."""
-    line = re.sub(r"/\*.*?\*/", "", line)
-    return line.split("//", 1)[0]
-
-
-def collect_unordered_members(files: list[pathlib.Path]) -> set[str]:
-    """Names of members/locals declared as unordered containers anywhere
-    in the linted tree (declaration and iteration often live in
-    different files: member in the .hpp, loop in the .cpp)."""
-    names: set[str] = set()
-    for path in files:
-        for line in path.read_text(encoding="utf-8").splitlines():
-            m = UNORDERED_DECL.search(strip_comments(line))
-            if m:
-                names.add(m.group(1))
-    return names
-
-
-def waived(lines: list[str], lineno: int) -> bool:
-    """True if the flagged line, or the comment block immediately above
-    it, carries a `determinism: ok` waiver."""
-    if WAIVER in lines[lineno - 1]:
-        return True
-    i = lineno - 2
-    while i >= 0 and lines[i].lstrip().startswith("//"):
-        if WAIVER in lines[i]:
-            return True
-        i -= 1
-    return False
-
-
-def lint_file(path: pathlib.Path, unordered: set[str]) -> list[str]:
-    findings = []
-    control_path = bool(CONTROL_PATH_DIRS & set(path.parts))
-    lines = path.read_text(encoding="utf-8").splitlines()
-    for lineno, raw in enumerate(lines, start=1):
-        if waived(lines, lineno):
-            continue
-        code = strip_comments(raw)
-        for label, pattern in BANNED:
-            if pattern.search(code):
-                findings.append(
-                    f"{path}:{lineno}: {label}: {raw.strip()}")
-        if control_path and UNORDERED_ANY.search(code):
-            findings.append(
-                f"{path}:{lineno}: raw unordered container on the NIC/net "
-                f"control path (use common/dense.hpp DenseNodeTable/FlatMap):"
-                f" {raw.strip()}")
-        m = RANGE_FOR.search(code)
-        if m and m.group(1) in unordered:
-            findings.append(
-                f"{path}:{lineno}: iteration over unordered container "
-                f"'{m.group(1)}' (hash order is not deterministic): "
-                f"{raw.strip()}")
-    return findings
-
-
-def main(argv: list[str]) -> int:
-    roots = [pathlib.Path(a) for a in argv[1:]] or [pathlib.Path("src")]
-    files: list[pathlib.Path] = []
-    for root in roots:
-        if root.is_file():
-            files.append(root)
-        elif root.is_dir():
-            files.extend(
-                p for p in sorted(root.rglob("*"))
-                if p.suffix in SOURCE_SUFFIXES)
-        else:
-            print(f"determinism_lint: no such path: {root}", file=sys.stderr)
-            return 2
-
-    unordered = collect_unordered_members(files)
-    findings: list[str] = []
-    for path in files:
-        findings.extend(lint_file(path, unordered))
-
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"determinism_lint: {len(findings)} finding(s) in "
-              f"{len(files)} files", file=sys.stderr)
-        return 1
-    print(f"determinism_lint: clean ({len(files)} files)", file=sys.stderr)
-    return 0
-
+from tools.lint.lint import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main(sys.argv))

@@ -1,0 +1,418 @@
+#include "check/audit.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+#include "common/check.hpp"
+#include "common/dense.hpp"
+
+namespace alpu::check {
+
+namespace {
+
+/// splitmix64 finalizer (same construction as common/dense.hpp): a
+/// platform-independent mix so traces compare across machines.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Partition-stable contribution of one executed event to the window
+/// digest.  `when` identifies the event in time; `origin_when` (the
+/// simulated time of the event that scheduled it) separates same-time
+/// events with different causes.  Summed (wrapping) so the digest is a
+/// multiset hash: independent of shard assignment and of the order the
+/// window's events interleaved across threads.
+constexpr std::uint64_t event_digest(TimePs when, TimePs origin_when) {
+  return mix64(when ^ mix64(origin_when));
+}
+
+void append_line(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_line(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+  out += '\n';
+}
+
+std::string format_stamp(const EventStamp& s) {
+  char buf[256];
+  if (s.cross) {
+    std::snprintf(buf, sizeof(buf),
+                  "cross gen=%" PRIu64 " key=(when=%" PRIu64
+                  " sent_at=%" PRIu64 " src_node=%u src_seq=%" PRIu64
+                  ") from shard %u lamport %" PRIu64 " at t=%" PRIu64,
+                  s.window_gen, s.key.when, s.key.sent_at, s.key.src_node,
+                  s.key.src_seq, s.origin_shard, s.origin_lamport,
+                  s.origin_when);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "local from shard %u lamport %" PRIu64 " at t=%" PRIu64,
+                  s.origin_shard, s.origin_lamport, s.origin_when);
+  }
+  return buf;
+}
+
+}  // namespace
+
+bool canonical_less(const CrossStamp& a, const CrossStamp& b) {
+  if (a.when != b.when) return a.when < b.when;
+  if (a.sent_at != b.sent_at) return a.sent_at < b.sent_at;
+  if (a.src_node != b.src_node) return a.src_node < b.src_node;
+  return a.src_seq < b.src_seq;
+}
+
+// ----------------------------------------------------------------------
+// ShardAudit
+
+const ExecRecord* ShardAudit::find(std::uint64_t lamport) const {
+  if (lamport == 0 || history_.empty()) return nullptr;
+  const ExecRecord& r = history_[lamport % kHistory];
+  return r.lamport == lamport ? &r : nullptr;
+}
+
+void ShardAudit::on_execute(TimePs when, const EventStamp& stamp) {
+  // 1. Shard time is monotone (equal timestamps are legal: the engine
+  //    breaks ties with its schedule sequence number).
+  if (when < last_when_) {
+    group_->report("shard time ran backwards", index_, when, stamp);
+  }
+  last_when_ = when;
+
+  // 2. Window containment (safe horizon): inside a windowed run every
+  //    event must land in [window_start, window_end).  An event before
+  //    the start means a merge landed in simulated past; an event at or
+  //    past the end means the engine overran its conservative horizon.
+  if (windowed_ && (when < window_start_ || when >= window_end_)) {
+    group_->report("event fired outside its lookahead window", index_, when,
+                   stamp);
+  }
+
+  // 3. Happens-before: an event never fires before the event that
+  //    scheduled it (re-derived from the stamp, independent of the
+  //    engine's own schedule_at contract).
+  if (when < stamp.origin_when) {
+    group_->report("event fired before its scheduling event", index_, when,
+                   stamp);
+  }
+
+  if (stamp.cross) {
+    // 4. Conservative lookahead contract: a cross-shard delivery is
+    //    never consumed earlier than one lookahead after the send.
+    //    Generation 0 = merged at the first barrier from a setup-time
+    //    post, which predates every executed event and is exempt.
+    const TimePs lookahead = group_->lookahead_;
+    if (stamp.window_gen > 0 && when < stamp.key.sent_at + lookahead) {
+      group_->report(
+          "cross-shard delivery consumed inside the lookahead bound", index_,
+          when, stamp);
+    }
+    if (stamp.key.when != when) {
+      group_->report("cross-shard delivery fired off its canonical key time",
+                     index_, when, stamp);
+    }
+    // 5. Canonical merge order: among same-time cross deliveries the
+    //    firing order must be (merge generation, canonical key) — the
+    //    order merge_and_plan scheduled them in.  Earlier-time events
+    //    trivially precede later ones (checked by monotonicity).
+    if (have_cross_ && last_cross_.when == when) {
+      const bool ordered =
+          last_cross_gen_ < stamp.window_gen ||
+          (last_cross_gen_ == stamp.window_gen &&
+           canonical_less(last_cross_, stamp.key));
+      if (!ordered) {
+        group_->report("cross-shard deliveries consumed out of canonical order",
+                       index_, when, stamp);
+      }
+    }
+    have_cross_ = true;
+    last_cross_gen_ = stamp.window_gen;
+    last_cross_ = stamp.key;
+  }
+
+  // Advance the Lamport clock and remember the event.
+  ++lamport_;
+  history_[lamport_ % kHistory] = ExecRecord{lamport_, when, stamp};
+
+  window_events_ += 1;
+  window_hash_ += event_digest(when, stamp.origin_when);
+
+  // begin_window pre-increments gen_, so during window k (1-based)
+  // gen_ == k == capture_gen_ when this is the window under capture.
+  if (windowed_ && group_->capture_gen_ != 0 &&
+      group_->capture_gen_ == group_->gen_) {
+    captured_.push_back(CapturedEvent{index_, lamport_, when, stamp});
+  }
+}
+
+// ----------------------------------------------------------------------
+// Auditor
+
+void Auditor::bind(unsigned shards) {
+  shards_.clear();
+  for (unsigned i = 0; i < shards; ++i) {
+    auto s = std::make_unique<ShardAudit>();
+    s->group_ = this;
+    s->index_ = i;
+    s->history_.resize(ShardAudit::kHistory);
+    shards_.push_back(std::move(s));
+  }
+}
+
+void Auditor::begin_run(TimePs lookahead) {
+  lookahead_ = lookahead;
+  gen_ = 0;
+  completed_window_end_ = 0;
+  window_open_ = false;
+  trace_.clear();
+}
+
+void Auditor::on_barrier() {
+  if (!window_open_) return;  // first barrier: no window ran yet
+  // Fold the window that just completed.  gen_ was advanced when the
+  // window opened, so the record carries its 1-based id.
+  completed_window_end_ = open_window_end_;
+  if (trace_enabled_) {
+    WindowRecord rec;
+    rec.window = gen_;
+    rec.start = open_window_start_;
+    rec.end = open_window_end_;
+    for (const auto& s : shards_) {
+      rec.events += s->window_events_;
+      rec.hash += s->window_hash_;
+    }
+    trace_.push_back(rec);
+  }
+  for (const auto& s : shards_) {
+    s->window_events_ = 0;
+    s->window_hash_ = 0;
+  }
+  window_open_ = false;
+}
+
+void Auditor::check_post(const CrossStamp& key, const EventStamp& provenance) {
+  // The conservative contract, checked at the barrier where the event
+  // surfaces (before it is scheduled, so a violation is reported even
+  // when the destination engine would still accept the timestamp):
+  // an event posted during window [T, W) must land at >= W, and never
+  // earlier than one lookahead after its send time.  Events merged at
+  // the FIRST barrier (gen 0) were posted during setup, before any
+  // window ran — no event has executed yet, so no causality can be
+  // violated and the lookahead bound does not constrain them.
+  if (gen_ == 0) return;
+  if (key.when < completed_window_end_ ||
+      key.when < key.sent_at + lookahead_) {
+    EventStamp full = provenance;
+    full.cross = true;
+    full.window_gen = gen_;
+    full.key = key;
+    report("cross-shard event posted inside the forbidden window",
+           provenance.origin_shard, key.when, full);
+  }
+}
+
+void Auditor::begin_window(TimePs start, TimePs end) {
+  ++gen_;
+  open_window_start_ = start;
+  open_window_end_ = end;
+  window_open_ = true;
+  for (const auto& s : shards_) {
+    s->windowed_ = true;
+    s->window_start_ = start;
+    s->window_end_ = end;
+  }
+}
+
+void Auditor::end_windows() {
+  on_barrier();
+  for (const auto& s : shards_) {
+    s->windowed_ = false;
+    s->window_start_ = 0;
+    s->window_end_ = common::kTimeNever;
+  }
+}
+
+std::vector<CapturedEvent> Auditor::captured() const {
+  std::vector<CapturedEvent> all;
+  for (const auto& s : shards_) {
+    all.insert(all.end(), s->captured_.begin(), s->captured_.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const CapturedEvent& a, const CapturedEvent& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.stamp.origin_when != b.stamp.origin_when) {
+                return a.stamp.origin_when < b.stamp.origin_when;
+              }
+              // Stable-ish tail for rendering only; the comparison key
+              // between runs is (when, origin_when).
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.lamport < b.lamport;
+            });
+  return all;
+}
+
+std::string Auditor::provenance_chain(const EventStamp& stamp,
+                                      int max_depth) const {
+  std::string out;
+  EventStamp cur = stamp;
+  for (int depth = 0; depth < max_depth; ++depth) {
+    if (cur.origin_lamport == 0) {
+      append_line(out, "    [%d] scheduled during setup (before any event)",
+                  depth);
+      return out;
+    }
+    if (cur.origin_shard >= shards()) {
+      append_line(out, "    [%d] (origin shard %u out of range)", depth,
+                  cur.origin_shard);
+      return out;
+    }
+    const ExecRecord* rec = shard(cur.origin_shard).find(cur.origin_lamport);
+    if (rec == nullptr) {
+      append_line(out,
+                  "    [%d] shard %u lamport %" PRIu64
+                  " (evicted from history ring)",
+                  depth, cur.origin_shard, cur.origin_lamport);
+      return out;
+    }
+    append_line(out, "    [%d] shard %u lamport %" PRIu64 " when=%" PRIu64
+                     " (%s)",
+                depth, cur.origin_shard, rec->lamport, rec->when,
+                format_stamp(rec->stamp).c_str());
+    cur = rec->stamp;
+  }
+  append_line(out, "    ... (chain truncated at depth %d)", max_depth);
+  return out;
+}
+
+void Auditor::report(const std::string& what, std::uint32_t shard, TimePs when,
+                     const EventStamp& stamp) {
+  std::string msg;
+  append_line(msg, "determinism audit violation: %s", what.c_str());
+  append_line(msg,
+              "  event: shard %u when=%" PRIu64 " window=[%" PRIu64
+              ", %" PRIu64 ") gen=%" PRIu64 " lookahead=%" PRIu64,
+              shard, when, open_window_start_, open_window_end_, gen_,
+              lookahead_);
+  append_line(msg, "  stamp: %s", format_stamp(stamp).c_str());
+  msg += "  provenance:\n";
+  msg += provenance_chain(stamp);
+  if (record_) {
+    violations_.push_back(msg);
+    return;
+  }
+  // Route through the contract layer: prints, then aborts unless a test
+  // handler intercepts.  The message lives on this stack frame and the
+  // handler runs synchronously, so the pointer stays valid.
+  common::check_failed(__FILE__, __LINE__, "determinism audit", msg.c_str(),
+                       common::CheckSeverity::kContract);
+}
+
+// ----------------------------------------------------------------------
+// Frame generation registry
+//
+// Process-wide (frames are allocated on the spawning thread but resumed
+// and released on their shard's worker thread, and the pool's per-thread
+// free lists let the memory migrate), so the registry takes a mutex on
+// every operation.  Audit builds only — the cost is accepted there.
+
+namespace {
+
+struct FrameRegistry {
+  std::mutex mu;
+  /// addr -> (generation << 1) | live
+  common::FlatMap<std::uint64_t, std::uint64_t> tags;
+};
+
+FrameRegistry& frame_registry() {
+  static FrameRegistry* reg = new FrameRegistry;  // lint: ok(raw-new-delete) — intentionally leaked singleton: frames can retire during static destruction
+  return *reg;
+}
+
+}  // namespace
+
+std::uint64_t frame_register(void* frame) {
+  FrameRegistry& reg = frame_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::uint64_t& e = reg.tags[reinterpret_cast<std::uint64_t>(frame)];
+  ALPU_ASSERT((e & 1) == 0,
+              "frame pool handed out an address that is still live");
+  e = (((e >> 1) + 1) << 1) | 1;
+  return e >> 1;
+}
+
+void frame_retire(void* frame) {
+  FrameRegistry& reg = frame_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::uint64_t* e = reg.tags.find(reinterpret_cast<std::uint64_t>(frame));
+  ALPU_ASSERT(e != nullptr && (*e & 1) != 0,
+              "releasing an untracked or already-released coroutine frame");
+  *e &= ~std::uint64_t{1};
+}
+
+std::uint64_t frame_current_tag(const void* frame) {
+  FrameRegistry& reg = frame_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const std::uint64_t* e =
+      reg.tags.find(reinterpret_cast<std::uint64_t>(frame));
+  ALPU_ASSERT(e != nullptr && (*e & 1) != 0,
+              "capturing a coroutine handle whose frame is not live");
+  return *e >> 1;
+}
+
+bool frame_live(const void* frame, std::uint64_t tag) {
+  FrameRegistry& reg = frame_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const std::uint64_t* e =
+      reg.tags.find(reinterpret_cast<std::uint64_t>(frame));
+  return e != nullptr && (*e & 1) != 0 && (*e >> 1) == tag;
+}
+
+// ----------------------------------------------------------------------
+// Divergence triage helpers
+
+std::ptrdiff_t first_divergent_window(const AuditTrace& a,
+                                      const AuditTrace& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].window != b[i].window || a[i].start != b[i].start ||
+        a[i].end != b[i].end || a[i].events != b[i].events ||
+        a[i].hash != b[i].hash) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  if (a.size() != b.size()) return static_cast<std::ptrdiff_t>(n);
+  return -1;
+}
+
+std::ptrdiff_t first_divergent_event(const std::vector<CapturedEvent>& a,
+                                     const std::vector<CapturedEvent>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].when != b[i].when ||
+        a[i].stamp.origin_when != b[i].stamp.origin_when) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  if (a.size() != b.size()) return static_cast<std::ptrdiff_t>(n);
+  return -1;
+}
+
+std::string format_event(const CapturedEvent& e) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "when=%" PRIu64 " shard=%u lamport=%" PRIu64 " (%s)", e.when,
+                e.shard, e.lamport, format_stamp(e.stamp).c_str());
+  return buf;
+}
+
+}  // namespace alpu::check

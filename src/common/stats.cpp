@@ -1,7 +1,8 @@
 #include "common/stats.hpp"
 
-#include <cassert>
 #include <sstream>
+
+#include "common/check.hpp"
 
 namespace alpu::common {
 
@@ -28,7 +29,7 @@ void SampleSet::ensure_sorted() const {
 }
 
 double SampleSet::mean() const {
-  assert(!samples_.empty());
+  ALPU_ASSERT(!samples_.empty(), "statistic of an empty sample set");
   double s = 0.0;
   for (double x : samples_) s += x;
   return s / static_cast<double>(samples_.size());
@@ -36,20 +37,20 @@ double SampleSet::mean() const {
 
 double SampleSet::min() const {
   ensure_sorted();
-  assert(!samples_.empty());
+  ALPU_ASSERT(!samples_.empty(), "statistic of an empty sample set");
   return samples_.front();
 }
 
 double SampleSet::max() const {
   ensure_sorted();
-  assert(!samples_.empty());
+  ALPU_ASSERT(!samples_.empty(), "statistic of an empty sample set");
   return samples_.back();
 }
 
 double SampleSet::percentile(double p) const {
   ensure_sorted();
-  assert(!samples_.empty());
-  assert(p >= 0.0 && p <= 100.0);
+  ALPU_ASSERT(!samples_.empty(), "statistic of an empty sample set");
+  ALPU_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of [0, 100]");
   if (samples_.size() == 1) return samples_[0];
   // Nearest-rank with linear interpolation between adjacent order stats.
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
@@ -61,7 +62,7 @@ double SampleSet::percentile(double p) const {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
-  assert(hi > lo && bins > 0);
+  ALPU_ASSERT(hi > lo && bins > 0, "degenerate histogram range");
 }
 
 void Histogram::add(double x) {

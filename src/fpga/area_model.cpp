@@ -2,15 +2,16 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.hpp"
 
 namespace alpu::fpga {
 
 namespace {
 
 unsigned log2u(std::size_t x) {
-  assert(x > 0 && (x & (x - 1)) == 0);
+  ALPU_ASSERT(x > 0 && (x & (x - 1)) == 0, "log2 of a non-power-of-two");
   return static_cast<unsigned>(std::countr_zero(x));
 }
 
@@ -27,7 +28,8 @@ std::uint64_t cell_flip_flops(const PrototypeParams& p) {
 }
 
 SynthesisEstimate estimate(const PrototypeParams& p) {
-  assert(p.total_cells % p.block_size == 0);
+  ALPU_ASSERT(p.total_cells % p.block_size == 0,
+              "total_cells must be a whole number of blocks");
   const std::size_t num_blocks = p.total_cells / p.block_size;
   const unsigned lb = log2u(p.block_size);
   const unsigned ln = log2u(p.total_cells);

@@ -1,6 +1,6 @@
 #include "host/host.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace alpu::host {
 
@@ -43,7 +43,7 @@ PendingHandle Host::submit(nic::HostRequest request) {
 }
 
 sim::Process Host::wait(PendingHandle handle) {
-  assert(handle != nullptr);
+  ALPU_ASSERT(handle != nullptr, "waiting on a null pending handle");
   while (!handle->done) {
     co_await handle->on_done.wait(engine());
   }
@@ -59,7 +59,7 @@ sim::Process Host::wait(PendingHandle handle) {
 void Host::on_completion(const nic::Completion& completion) {
   ++completions_seen_;
   PendingHandle* found = pending_.find(completion.req_id);
-  assert(found != nullptr && "completion for unknown request");
+  ALPU_ASSERT(found != nullptr, "completion for unknown request");
   PendingHandle handle = *found;
   pending_.erase(completion.req_id);
   handle->completion = completion;

@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace alpu::mem {
 
 Cache::Cache(const CacheConfig& config)
     : config_(config), sets_(config.num_sets()) {
-  assert(config.size_bytes % config.line_bytes == 0);
-  assert(config.num_lines() % config.ways == 0);
-  assert(sets_ > 0);
+  ALPU_ASSERT(config.size_bytes % config.line_bytes == 0,
+              "cache size must be a whole number of lines");
+  ALPU_ASSERT(config.num_lines() % config.ways == 0,
+              "cache lines must fill its ways evenly");
+  ALPU_ASSERT(sets_ > 0, "cache has zero sets");
   mask_words_ = (config_.ways + 63) / 64;
   pow2_geometry_ = std::has_single_bit(config_.line_bytes) &&
                    std::has_single_bit(sets_);

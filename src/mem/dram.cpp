@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace alpu::mem {
 
 Dram::Dram(const DramConfig& config) : config_(config) {
-  assert(config.banks > 0);
+  ALPU_ASSERT(config.banks > 0, "DRAM needs at least one bank");
   banks_.resize(config.banks);
   // Practical channel geometries are powers of two; fold the per-access
   // row/bank index math into shifts (divisions stay for odd test shapes).

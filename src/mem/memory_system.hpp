@@ -8,10 +8,10 @@
 // (the host's case: 85–90 cycles).
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <optional>
 
+#include "common/check.hpp"
 #include "common/time.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
@@ -133,7 +133,7 @@ class SimHeap {
 
   /// Allocate `bytes` aligned to `align` (power of two).
   Addr alloc(std::uint64_t bytes, std::uint64_t align = 64) {
-    assert((align & (align - 1)) == 0);
+    ALPU_ASSERT((align & (align - 1)) == 0, "alignment must be a power of two");
     next_ = (next_ + align - 1) & ~(align - 1);
     const Addr out = next_;
     next_ += bytes;

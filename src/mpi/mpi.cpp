@@ -1,6 +1,6 @@
 #include "mpi/mpi.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace alpu::mpi {
 
@@ -9,8 +9,8 @@ namespace {
 std::optional<std::uint32_t> to_field(int value, std::uint32_t max,
                                       int wildcard) {
   if (value == wildcard) return std::nullopt;
-  assert(value >= 0 && static_cast<std::uint32_t>(value) <= max &&
-         "match field out of range for the 42-bit packing");
+  ALPU_ASSERT(value >= 0 && static_cast<std::uint32_t>(value) <= max,
+              "match field out of range for the 42-bit packing");
   return static_cast<std::uint32_t>(value);
 }
 
@@ -34,14 +34,14 @@ Machine::Machine(sim::ShardGroup& shards, const SystemConfig& config)
 }
 
 void Machine::build(sim::ShardGroup* shards) {
-  assert(config_.nprocs >= 1);
+  ALPU_ASSERT(config_.nprocs >= 1, "a machine needs at least one rank");
   // The Network (a passive router: all its work happens inside the
   // sending node's events) registers as a component of the shard-0 /
   // legacy engine.
   network_ = std::make_unique<net::Network>(engine_, config_.network);
   if (config_.faults.any()) {
-    assert(config_.nic.reliability.enabled &&
-           "fault injection without the reliability sublayer loses packets");
+    ALPU_ASSERT(config_.nic.reliability.enabled,
+                "fault injection without the reliability sublayer loses packets");
     network_->install_faults(config_.faults);
   }
   const unsigned nshards = shards != nullptr ? shards->size() : 1;
@@ -74,15 +74,15 @@ Machine::~Machine() = default;
 
 std::shared_ptr<const CommGroup> Machine::create_comm(
     std::vector<int> members) {
-  assert(!members.empty());
+  ALPU_ASSERT(!members.empty(), "a communicator needs at least one member");
   for (int m : members) {
-    assert(m >= 0 && m < size() && "member is not a valid world rank");
+    ALPU_ASSERT(m >= 0 && m < size(), "member is not a valid world rank");
   }
   auto group = std::make_shared<CommGroup>();
   group->p2p_context = next_context_++;
   group->collective_context = next_context_++;
-  assert(group->collective_context <= match::kMaxContext &&
-         "context id space exhausted (13 bits)");
+  ALPU_ASSERT(group->collective_context <= match::kMaxContext,
+              "context id space exhausted (13 bits)");
   group->members = std::move(members);
   return group;
 }
@@ -100,11 +100,11 @@ Comm::Comm(Machine& machine, std::shared_ptr<const CommGroup> group,
       break;
     }
   }
-  assert(my_comm_rank_ >= 0 && "this rank is not a member of the group");
+  ALPU_ASSERT(my_comm_rank_ >= 0, "this rank is not a member of the group");
 }
 
 Rank& Comm::world_rank_obj(int comm_rank) const {
-  assert(comm_rank >= 0 && comm_rank < size());
+  ALPU_ASSERT(comm_rank >= 0 && comm_rank < size(), "comm rank out of range");
   return machine_.rank(group_->members[static_cast<std::size_t>(comm_rank)]);
 }
 
@@ -169,7 +169,7 @@ int Comm::comm_source(const Request& request) const {
   for (std::size_t i = 0; i < group_->members.size(); ++i) {
     if (group_->members[i] == world) return static_cast<int>(i);
   }
-  assert(false && "matched source is not a member of this communicator");
+  ALPU_CHECK_FAIL("matched source is not a member of this communicator");
   return -1;
 }
 
@@ -186,8 +186,8 @@ sim::Engine& Rank::engine() { return machine_.engine(rank_); }
 
 Request Rank::isend(int dest, int tag, std::uint32_t bytes,
                     std::uint32_t context) {
-  assert(dest >= 0 && dest < size() && "invalid destination rank");
-  assert(tag >= 0 && "send tags must be explicit");
+  ALPU_ASSERT(dest >= 0 && dest < size(), "invalid destination rank");
+  ALPU_ASSERT(tag >= 0, "send tags must be explicit");
   nic::HostRequest req;
   req.kind = nic::RequestKind::kSend;
   req.dst = static_cast<net::NodeId>(dest);
@@ -211,7 +211,7 @@ Request Rank::irecv(int source, int tag, std::uint32_t max_bytes,
 }
 
 sim::Process Rank::wait(Request request) {
-  assert(request.valid() && "waiting on a null request");
+  ALPU_ASSERT(request.valid(), "waiting on a null request");
   co_await host_.wait(request.handle());
 }
 

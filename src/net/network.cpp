@@ -1,9 +1,14 @@
 #include "net/network.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 #include "net/faults.hpp"
+
+namespace alpu::hw::testing {
+std::atomic<bool> inject_lookahead_violation{false};
+}  // namespace alpu::hw::testing
 
 namespace alpu::net {
 
@@ -14,8 +19,8 @@ Network::~Network() = default;
 
 Network::PerNode& Network::node_state(NodeId node) {
   if (nodes_.size() <= node) {
-    assert(shards_ == nullptr &&
-           "all nodes must attach before enable_sharding");
+    ALPU_ASSERT(shards_ == nullptr,
+                "all nodes must attach before enable_sharding");
     nodes_.resize(node + 1);
   }
   return nodes_[node];
@@ -24,22 +29,22 @@ Network::PerNode& Network::node_state(NodeId node) {
 void Network::attach(NodeId node, sim::Engine& node_engine,
                      DeliveryHandler handler) {
   PerNode& state = node_state(node);
-  assert(!state.handler && "node already attached");
+  ALPU_ASSERT(!state.handler, "node already attached");
   state.engine = &node_engine;
   state.handler = std::move(handler);
 }
 
 void Network::install_faults(const FaultConfig& config) {
-  assert(!faults_ && "fault injector already installed");
+  ALPU_ASSERT(!faults_, "fault injector already installed");
   faults_ = std::make_unique<FaultInjector>(config);
 }
 
 void Network::enable_sharding(sim::ShardGroup& group,
                               std::vector<unsigned> shard_of) {
-  assert(shards_ == nullptr && "sharding already enabled");
-  assert(group.parallel() && "a 1-shard group runs the legacy direct path");
-  assert(shard_of.size() >= nodes_.size() &&
-         "every attached node needs a shard assignment");
+  ALPU_ASSERT(shards_ == nullptr, "sharding already enabled");
+  ALPU_ASSERT(group.parallel(), "a 1-shard group runs the legacy direct path");
+  ALPU_ASSERT(shard_of.size() >= nodes_.size(),
+              "every attached node needs a shard assignment");
   shards_ = &group;
   shard_of_ = std::move(shard_of);
   // Pre-size the per-sender partition: no vector growth can happen once
@@ -112,13 +117,25 @@ void Network::schedule_delivery(const Packet& packet, TimePs when,
   key.sent_at = sent_at;
   key.src_node = packet.src;
   key.src_seq = src.departure_seq++;
+  // Seeded causality bug (audit must-fail CI step): deliver one true
+  // cross-shard packet at its send time — zero wire latency — violating
+  // the conservative lookahead contract the window protocol depends on.
+  // The auditor catches it at the merge barrier before the destination
+  // engine ever sees it.
+  if (shard_of_[packet.src] != shard_of_[packet.dst] &&
+      hw::testing::inject_lookahead_violation.load(
+          std::memory_order_relaxed) &&
+      hw::testing::inject_lookahead_violation.exchange(
+          false, std::memory_order_relaxed)) {
+    key.when = key.sent_at;
+  }
   shards_->post(shard_of_[packet.src], shard_of_[packet.dst], key,
                 [this, packet] { nodes_[packet.dst].handler(packet); });
 }
 
 void Network::send(Packet packet) {
-  assert(packet.dst < nodes_.size() && nodes_[packet.dst].handler &&
-         "destination not attached");
+  ALPU_ASSERT(packet.dst < nodes_.size() && nodes_[packet.dst].handler,
+              "destination not attached");
   PerNode& src = node_state(packet.src);
   // Sends happen inside the sending node's events, so in sharded mode
   // this is the sender's shard clock; in the single-engine machine it is

@@ -7,6 +7,7 @@
 // destination) pair, the property MPI's ordering semantics build on.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -18,6 +19,16 @@
 #include "match/match.hpp"
 #include "sim/engine.hpp"
 #include "sim/parallel.hpp"
+
+namespace alpu::hw::testing {
+/// Fault-seeding hook for the determinism auditor's must-fail CI step:
+/// when set, the next cross-shard delivery is posted one lookahead too
+/// early — exactly the causality bug the conservative window protocol
+/// exists to prevent.  The auditor must catch it at the merge barrier
+/// with a provenance-chain report.  Same pattern as
+/// `inject_compaction_off_by_one` (alpu/array.hpp).  Self-clearing.
+extern std::atomic<bool> inject_lookahead_violation;
+}  // namespace alpu::hw::testing
 
 namespace alpu::net {
 
@@ -98,6 +109,8 @@ class FaultInjector;
 /// the window protocol safe — see `min_lookahead()`.
 class Network : public sim::Component {
  public:
+  // lint: ok(std-function-hot-path) — set once per node at attach();
+  // only invocation (no construction) happens per packet.
   using DeliveryHandler = std::function<void(const Packet&)>;
 
   Network(sim::Engine& engine, const NetworkConfig& config);

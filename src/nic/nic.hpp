@@ -99,6 +99,7 @@ class Nic : public sim::Component {
 
   /// Register the completion sink.  Invoked `completion_ps` after the
   /// firmware writes the record (models host-visibility latency).
+  // lint: ok(std-function-hot-path) — installed once at wiring time.
   void set_completion_handler(std::function<void(const Completion&)> h);
 
   /// Pre-size every per-peer control table for nodes [0, n) (the
@@ -249,6 +250,7 @@ class Nic : public sim::Component {
   void wake_firmware() { work_.fire(); }
 
   /// Queue an "advance active request" job for the firmware loop.
+  // lint: ok(std-function-hot-path) — {this, token} captures fit the SBO.
   void enqueue_advance(std::function<void()> job);
 
   /// Emit a completion record toward the host.
@@ -327,6 +329,7 @@ class Nic : public sim::Component {
 
   std::deque<RxItem> rx_fifo_;
   std::deque<HostRequest> host_fifo_;
+  // lint: ok(std-function-hot-path) — see enqueue_advance.
   std::deque<std::function<void()>> advance_fifo_;
 
   std::optional<AlpuCtx> posted_ctx_;
@@ -341,6 +344,7 @@ class Nic : public sim::Component {
   /// Only used for stats attribution (alpu_fallback_searches).
   bool posted_degraded_ = false;
 
+  // lint: ok(std-function-hot-path) — installed once at wiring time.
   std::function<void(const Completion&)> on_completion_;
   sim::Trigger work_;
   sim::ProcessPool pool_;

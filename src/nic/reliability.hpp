@@ -138,6 +138,8 @@ class ReliabilityLayer {
  public:
   /// `deliver_up` receives exactly the packets the old lossless network
   /// would have delivered: in per-link order, exactly once, CRC-clean.
+  // lint: ok(std-function-hot-path) — bound once per layer; invocation only
+  // on the per-packet path.
   using DeliverUp = std::function<void(const net::Packet&)>;
 
   ReliabilityLayer(sim::Engine& engine, std::string name,

@@ -1,7 +1,8 @@
 #include "portals/portals.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace alpu::portals {
 
@@ -18,7 +19,7 @@ bool alpu_eligible(const MatchEntrySpec& spec) {
 }  // namespace
 
 PortalTable::PortalTable(std::size_t indices) : lists_(indices) {
-  assert(indices > 0);
+  ALPU_ASSERT(indices > 0, "a portal table needs at least one index");
 }
 
 EqHandle PortalTable::eq_alloc(std::size_t capacity) {
@@ -27,13 +28,13 @@ EqHandle PortalTable::eq_alloc(std::size_t capacity) {
 }
 
 EventQueue& PortalTable::eq(EqHandle handle) {
-  assert(handle < eqs_.size());
+  ALPU_ASSERT(handle < eqs_.size(), "invalid event queue handle");
   return *eqs_[handle];
 }
 
 bool PortalTable::attach_alpu(std::size_t pti, std::size_t cells,
                               std::size_t block_size) {
-  assert(pti < lists_.size());
+  ALPU_ASSERT(pti < lists_.size(), "portal index out of range");
   List& list = lists_[pti];
   if (!list.entries.empty() || list.alpu != nullptr) return false;
   // Full-width comparators: every bit of the 64-bit Portals match word
@@ -45,8 +46,8 @@ bool PortalTable::attach_alpu(std::size_t pti, std::size_t cells,
 
 MeHandle PortalTable::me_attach(std::size_t pti, const MatchEntrySpec& spec,
                                 EqHandle eq) {
-  assert(pti < lists_.size());
-  assert(eq < eqs_.size());
+  ALPU_ASSERT(pti < lists_.size(), "portal index out of range");
+  ALPU_ASSERT(eq < eqs_.size(), "invalid event queue handle");
   List& list = lists_[pti];
   Entry entry;
   entry.handle = next_handle_++;
@@ -73,7 +74,7 @@ void PortalTable::sync_alpu(List& list) {
     const bool ok = list.alpu->insert(
         e.spec.match_bits, e.spec.ignore_bits,
         static_cast<match::Cookie>(e.handle & 0xffff'ffff));
-    assert(ok);
+    ALPU_ASSERT(ok, "non-full ALPU refused an insert");
     (void)ok;
     ++list.synced;
   }
@@ -138,7 +139,7 @@ void PortalTable::unlink_at(List& list, std::size_t index) {
 DeliverResult PortalTable::deliver(std::size_t pti, ProcessId initiator,
                                    PtlMatchBits match_bits,
                                    std::uint32_t bytes, bool is_put) {
-  assert(pti < lists_.size());
+  ALPU_ASSERT(pti < lists_.size(), "portal index out of range");
   List& list = lists_[pti];
   DeliverResult r;
 
@@ -158,8 +159,8 @@ DeliverResult PortalTable::deliver(std::size_t pti, ProcessId initiator,
           break;
         }
       }
-      assert(hit_index.has_value() &&
-             "ALPU cookie does not name a synced entry");
+      ALPU_ASSERT(hit_index.has_value(),
+                  "ALPU cookie does not name a synced entry");
     } else {
       start = list.synced;  // overflow portion only
     }
@@ -210,7 +211,7 @@ DeliverResult PortalTable::deliver(std::size_t pti, ProcessId initiator,
   if (is_put) e.local_offset += mlength;  // locally managed offset
 
   if (e.remaining != kInfiniteThreshold) {
-    assert(e.remaining > 0);
+    ALPU_ASSERT(e.remaining > 0, "consuming an exhausted match entry");
     --e.remaining;
     if (e.remaining == 0 && e.spec.unlink == UnlinkPolicy::kUnlink) {
       // On an ALPU hit the hardware already deleted its cell, and
@@ -224,12 +225,12 @@ DeliverResult PortalTable::deliver(std::size_t pti, ProcessId initiator,
 }
 
 std::size_t PortalTable::list_length(std::size_t pti) const {
-  assert(pti < lists_.size());
+  ALPU_ASSERT(pti < lists_.size(), "portal index out of range");
   return lists_[pti].entries.size();
 }
 
 bool PortalTable::accelerated(std::size_t pti) const {
-  assert(pti < lists_.size());
+  ALPU_ASSERT(pti < lists_.size(), "portal index out of range");
   return lists_[pti].alpu != nullptr && !lists_[pti].degraded;
 }
 

@@ -17,6 +17,8 @@ class Clock {
  public:
   /// The per-cycle handler.  Returns true to keep ticking on the next
   /// edge, false to go idle until wake() is called.
+  // lint: ok(std-function-hot-path) — one per Clock, bound at construction;
+  // ticks invoke it without rebuilding.
   using Handler = std::function<bool()>;
 
   Clock(Engine& engine, common::ClockPeriod period, Handler handler)

@@ -82,6 +82,9 @@ EventId Engine::schedule_at(TimePs when, EventCallback fn) {
   const std::uint32_t index = acquire_slot();
   Slot& s = slot(index);
   s.fn = std::move(fn);
+#if ALPU_AUDIT
+  s.stamp = audit_ != nullptr ? audit_->make_stamp(now_) : check::EventStamp{};
+#endif
   const EventId id = (next_seq_++ << kSlotBits) | index;
   s.key = id;
   heap_push(QueueItem{when, id});
@@ -101,6 +104,15 @@ void Engine::cancel(EventId id) {
   release_slot(index);
   --live_events_;
 }
+
+#if ALPU_AUDIT
+void Engine::set_event_stamp(EventId id, const check::EventStamp& stamp) {
+  const std::uint32_t index = static_cast<std::uint32_t>(id & kSlotMask);
+  ALPU_ASSERT(index < slot_count_ && slot(index).key == id,
+              "stamping an event that is not pending");
+  slot(index).stamp = stamp;
+}
+#endif
 
 void Engine::init_components() {
   if (components_initialized_) return;
@@ -139,11 +151,17 @@ TimePs Engine::run_window(TimePs end) {
     // land before `end`, not at it).
     if (top.when >= end) break;
     heap_pop();
+#if ALPU_AUDIT
+    const check::EventStamp stamp = s.stamp;  // copy out before slot reuse
+#endif
     EventCallback fn = std::move(s.fn);
     release_slot(index);
     --live_events_;
     now_ = top.when;
     ++events_executed_;
+#if ALPU_AUDIT
+    if (audit_ != nullptr) audit_->on_execute(top.when, stamp);
+#endif
     fn();
   }
   return now_;
@@ -162,6 +180,9 @@ TimePs Engine::run_until(TimePs deadline) {
     }
     if (top.when > deadline) break;
     heap_pop();
+#if ALPU_AUDIT
+    const check::EventStamp stamp = s.stamp;  // copy out before slot reuse
+#endif
     // Move the callback out and release the slot before invoking: the
     // callback may schedule new events (growing or reusing the pool) or
     // cancel its own id, both of which must see a consistent pool.
@@ -170,6 +191,9 @@ TimePs Engine::run_until(TimePs deadline) {
     --live_events_;
     now_ = top.when;
     ++events_executed_;
+#if ALPU_AUDIT
+    if (audit_ != nullptr) audit_->on_execute(top.when, stamp);
+#endif
     fn();
   }
   if (heap_.empty() && deadline == common::kTimeNever) {

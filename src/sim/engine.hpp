@@ -36,6 +36,10 @@
 #include "common/check.hpp"
 #include "common/time.hpp"
 
+#if ALPU_AUDIT
+#include "check/audit.hpp"
+#endif
+
 namespace alpu::sim {
 
 using common::TimePs;
@@ -124,6 +128,9 @@ class EventCallback {
     static void relocate(void* dst, void* src) {
       ::new (dst) (F*)(get(src));  // the pointer moves; the object stays put
     }
+    // lint: ok(raw-new-delete) — this IS the EventCallback heap spill
+    // path for oversized captures; everything under kInlineBytes stays
+    // in the SBO and never reaches it.
     static void destroy(void* s) { delete get(s); }
     static constexpr Ops ops{&invoke, &relocate, &destroy};
   };
@@ -135,6 +142,7 @@ class EventCallback {
       ::new (static_cast<void*>(&storage_)) F(std::forward<F0>(f));
       ops_ = &InlineOps<F>::ops;
     } else {
+      // lint: ok(raw-new-delete) — the spill path; see HeapOps.
       ::new (static_cast<void*>(&storage_)) (F*)(new F(std::forward<F0>(f)));
       ops_ = &HeapOps<F>::ops;
     }
@@ -237,6 +245,19 @@ class Engine {
   /// Scheduled events that are still live (not fired, not cancelled).
   std::uint64_t pending_events() const { return live_events_; }
 
+#if ALPU_AUDIT
+  /// Install the determinism auditor's per-shard state.  Every scheduled
+  /// event is then stamped with provenance and every executed event
+  /// checked against the happens-before contracts (check/audit.hpp).
+  void set_audit(check::ShardAudit* audit) { audit_ = audit; }
+  check::ShardAudit* audit() const { return audit_; }
+
+  /// Overwrite the provenance stamp of a still-pending event: the
+  /// ShardGroup merge step annotates cross-shard deliveries with their
+  /// canonical key and merge generation after scheduling them.
+  void set_event_stamp(EventId id, const check::EventStamp& stamp);
+#endif
+
   /// True if no live events are pending.  Cancelled events never count
   /// (regression: the lazy-cancel scheme compared queue size against a
   /// tombstone set, which drifted once an already-fired id was cancelled).
@@ -271,6 +292,9 @@ class Engine {
     EventCallback fn;
     EventId key = 0;  // id of the pending occupant; 0 = free (seq >= 1)
     std::uint32_t next_free = kNoFreeSlot;
+#if ALPU_AUDIT
+    check::EventStamp stamp;  // provenance of the pending occupant
+#endif
   };
 
   /// 16-byte trivially-copyable heap element: sift operations are plain
@@ -324,6 +348,9 @@ class Engine {
   bool components_initialized_ = false;
   bool stop_requested_ = false;
   std::uint64_t events_executed_ = 0;
+#if ALPU_AUDIT
+  check::ShardAudit* audit_ = nullptr;
+#endif
 };
 
 }  // namespace alpu::sim

@@ -21,6 +21,19 @@ bool canonical_less(const CrossKey& a, const CrossKey& b) {
   return a.src_seq < b.src_seq;
 }
 
+#if ALPU_AUDIT
+/// CrossKey -> audit CrossStamp (field-for-field; the audit layer keeps
+/// its own mirror type to stay below the sim kernel in the link order).
+check::CrossStamp to_stamp_key(const CrossKey& k) {
+  check::CrossStamp s;
+  s.when = k.when;
+  s.sent_at = k.sent_at;
+  s.src_node = k.src_node;
+  s.src_seq = k.src_seq;
+  return s;
+}
+#endif
+
 }  // namespace
 
 ShardGroup::ShardGroup(unsigned shards) {
@@ -30,9 +43,27 @@ ShardGroup::ShardGroup(unsigned shards) {
     engines_.push_back(std::make_unique<Engine>());
   }
   outbox_.resize(shards);
+#if ALPU_AUDIT
+  // Audit builds audit every group by default — the stock CI workloads
+  // (fig5/fig6 sweeps, chaos soak) get checked without call-site changes.
+  owned_auditor_ = std::make_unique<check::Auditor>();
+  set_audit(owned_auditor_.get());
+#endif
 }
 
 ShardGroup::~ShardGroup() = default;
+
+#if ALPU_AUDIT
+void ShardGroup::set_audit(check::Auditor* auditor) {
+  ALPU_ASSERT(auditor != nullptr, "a ShardGroup cannot run unaudited "
+              "in an audit build; pass the auditor to replace");
+  auditor_ = auditor;
+  auditor_->bind(size());
+  for (unsigned i = 0; i < size(); ++i) {
+    engines_[i]->set_audit(&auditor_->shard(i));
+  }
+}
+#endif
 
 void ShardGroup::post(unsigned src_shard, unsigned dst_shard,
                       const CrossKey& key, EventCallback fn,
@@ -40,11 +71,22 @@ void ShardGroup::post(unsigned src_shard, unsigned dst_shard,
   ALPU_ASSERT(parallel(), "post() is only meaningful with >1 shard");
   ALPU_DEBUG_ASSERT(src_shard < size() && dst_shard < size(),
                     "shard index out of range");
-  outbox_[src_shard].push_back(
-      CrossEvent{key, dst_shard, std::move(fn), id_out});
+  CrossEvent e{key, dst_shard, std::move(fn), id_out};
+#if ALPU_AUDIT
+  // Capture the sender's provenance now, on the sender's thread — at
+  // merge time the stamp identifies which event posted the delivery.
+  e.provenance =
+      auditor_->shard(src_shard).make_stamp(engines_[src_shard]->now());
+#endif
+  outbox_[src_shard].push_back(std::move(e));
 }
 
 void ShardGroup::merge_and_plan() {
+#if ALPU_AUDIT
+  // Fold the window that just completed (trace hash, forbidden-window
+  // bound for check_post) before touching the outboxes.
+  auditor_->on_barrier();
+#endif
   // Gather and sort this window's cross-shard events canonically, then
   // schedule them onto their destination engines in that order — the
   // destination's monotone sequence numbers turn sort order into firing
@@ -63,9 +105,25 @@ void ShardGroup::merge_and_plan() {
                 return canonical_less(a.key, b.key);
               });
     for (CrossEvent& e : merge_scratch_) {
+#if ALPU_AUDIT
+      // Check the conservative contract before scheduling: a violation
+      // must be reported with the sender's provenance even when the
+      // destination engine would reject (or worse, accept) the time.
+      auditor_->check_post(to_stamp_key(e.key), e.provenance);
+#endif
       const EventId id =
           engines_[e.dst_shard]->schedule_at(e.key.when, std::move(e.fn));
       if (e.id_out != nullptr) *e.id_out = id;
+#if ALPU_AUDIT
+      // Rewrite the event's stamp as a cross delivery: sender provenance
+      // plus merge generation and canonical key, which on_execute uses
+      // for the lookahead and merge-order checks.
+      check::EventStamp stamp = e.provenance;
+      stamp.cross = true;
+      stamp.window_gen = auditor_->generation();
+      stamp.key = to_stamp_key(e.key);
+      engines_[e.dst_shard]->set_event_stamp(id, stamp);
+#endif
     }
     merge_scratch_.clear();
   }
@@ -76,10 +134,16 @@ void ShardGroup::merge_and_plan() {
   for (auto& e : engines_) t_min = std::min(t_min, e->next_event_time());
   if (t_min == common::kTimeNever) {
     done_ = true;
+#if ALPU_AUDIT
+    auditor_->end_windows();
+#endif
     return;
   }
   ++windows_run_;
   window_end_ = t_min + lookahead_;
+#if ALPU_AUDIT
+  auditor_->begin_window(t_min, window_end_);
+#endif
 }
 
 void ShardGroup::run_windows(TimePs lookahead) {
@@ -113,12 +177,28 @@ void ShardGroup::run_windows(TimePs lookahead) {
 
 TimePs ShardGroup::run_all(TimePs lookahead) {
   if (!parallel()) {
+#if ALPU_AUDIT
+    // Triage mode needs window-aligned traces: run even a single shard
+    // through the same lookahead windows a parallel group would use, so
+    // its per-window hashes compare against a multi-shard run.  The
+    // window plan depends only on (event times, lookahead), not on the
+    // partition, so the boundaries match across shard counts.
+    if (auditor_->trace_enabled() && lookahead > 0) {
+      auditor_->begin_run(lookahead);
+      run_windows(lookahead);
+      return engines_[0]->run();  // finish hooks on the drained heap
+    }
+    auditor_->begin_run(lookahead);
+#endif
     // Exactly the pre-parallel simulator: same engine, same run loop,
     // same event order, finish hooks fired by run() itself.
     return engines_[0]->run();
   }
   ALPU_ASSERT(lookahead > 0,
               "parallel windows need a positive conservative lookahead");
+#if ALPU_AUDIT
+  auditor_->begin_run(lookahead);
+#endif
   run_windows(lookahead);
   // Drained: fire finish hooks per shard (run() on an empty heap).
   TimePs end = 0;

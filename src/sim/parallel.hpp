@@ -51,6 +51,10 @@
 #include "common/time.hpp"
 #include "sim/engine.hpp"
 
+#if ALPU_AUDIT
+#include "check/audit.hpp"
+#endif
+
 namespace alpu::sim {
 
 /// Canonical merge key of one cross-shard event (see file comment).
@@ -103,12 +107,26 @@ class ShardGroup {
   /// reported by bench_engine as coordination-overhead context).
   std::uint64_t windows_run() const { return windows_run_; }
 
+#if ALPU_AUDIT
+  /// Replace the group's own auditor with an externally owned one (the
+  /// triage CLI keeps the auditor across the run to read its trace).
+  /// Rebinds the auditor to this group's shard count and rewires every
+  /// engine's audit hook.
+  void set_audit(check::Auditor* auditor);
+  check::Auditor& auditor() { return *auditor_; }
+#endif
+
  private:
   struct CrossEvent {
     CrossKey key;
     unsigned dst_shard = 0;
     EventCallback fn;
     EventId* id_out = nullptr;
+#if ALPU_AUDIT
+    /// Stamp captured when the sender posted the event (provenance of
+    /// the scheduling action, before the merge rewrites it as cross).
+    check::EventStamp provenance{};
+#endif
   };
 
   /// Barrier-completion step: merge + schedule all outboxes, then size
@@ -127,6 +145,13 @@ class ShardGroup {
   TimePs window_end_ = 0;
   bool done_ = false;
   std::uint64_t windows_run_ = 0;
+#if ALPU_AUDIT
+  /// In audit builds every group carries an auditor by default, so the
+  /// existing CI workloads (fig5/fig6 sweeps, chaos) are audited with no
+  /// call-site changes; set_audit() swaps in an external one for triage.
+  std::unique_ptr<check::Auditor> owned_auditor_;
+  check::Auditor* auditor_ = nullptr;
+#endif
 };
 
 }  // namespace alpu::sim

@@ -15,7 +15,17 @@ std::size_t ProcessPool::spawn_on(Engine& engine, Process p) {
   flags_.push_back(std::move(flag));
   // Kick off at the current time, through the queue so that spawning
   // inside an event callback does not reenter model code immediately.
+#if ALPU_AUDIT
+  const std::uint64_t tag = check::frame_current_tag(handle.address());
+  engine.schedule_in(0, [handle, tag] {
+    ALPU_ASSERT(check::frame_live(handle.address(), tag),
+                "spawned process destroyed before its kick-off event "
+                "(stale capture)");
+    handle.resume();
+  });
+#else
   engine.schedule_in(0, [handle] { handle.resume(); });
+#endif
   return owned_.size() - 1;
 }
 
@@ -32,7 +42,17 @@ void Trigger::fire() {
   std::vector<WaitEntry> current;
   current.swap(waiters_);
   for (const WaitEntry& w : current) {
+#if ALPU_AUDIT
+    const std::uint64_t tag = check::frame_current_tag(w.handle.address());
+    w.engine->schedule_in(0, [h = w.handle, tag] {
+      ALPU_ASSERT(check::frame_live(h.address(), tag),
+                  "trigger resumed a waiter whose frame was destroyed "
+                  "or recycled (stale capture)");
+      h.resume();
+    });
+#else
     w.engine->schedule_in(0, [h = w.handle] { h.resume(); });
+#endif
   }
 }
 

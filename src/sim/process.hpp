@@ -21,6 +21,11 @@
 
 #include "sim/engine.hpp"
 
+#if ALPU_AUDIT
+#include "check/audit.hpp"
+#include "common/check.hpp"
+#endif
+
 namespace alpu::sim {
 
 namespace detail {
@@ -48,6 +53,24 @@ namespace detail {
 class FramePool {
  public:
   static void* allocate(std::size_t n) {
+#if ALPU_AUDIT
+    void* out = allocate_impl(n);
+    check::frame_register(out);  // stale-capture generation tag
+    return out;
+#else
+    return allocate_impl(n);
+#endif
+  }
+
+  static void release(void* p, std::size_t n) noexcept {
+#if ALPU_AUDIT
+    check::frame_retire(p);
+#endif
+    release_impl(p, n);
+  }
+
+ private:
+  static void* allocate_impl(std::size_t n) {
 #if ALPU_POOL_COROUTINE_FRAMES
     const std::size_t bucket = (n + 63) >> 6;
     if (bucket < kBuckets) {
@@ -63,7 +86,7 @@ class FramePool {
     return ::operator new(n);
   }
 
-  static void release(void* p, std::size_t n) noexcept {
+  static void release_impl(void* p, std::size_t n) noexcept {
 #if ALPU_POOL_COROUTINE_FRAMES
     const std::size_t bucket = (n + 63) >> 6;
     if (bucket < kBuckets) {
@@ -77,6 +100,10 @@ class FramePool {
 
  private:
   static constexpr std::size_t kBuckets = 17;  ///< frames up to 1 KiB pooled
+  // lint: ok(mutable-static) — thread-confined by construction: each
+  // shard thread recycles only frames it allocated (coroutines never
+  // migrate shards), so the free lists are private per thread and
+  // cannot order cross-shard behaviour.
   static thread_local inline void* lists_[kBuckets];
 };
 
@@ -204,7 +231,20 @@ struct DelayAwaiter {
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) const {
+#if ALPU_AUDIT
+    // Tag the frame's generation at capture time; if the frame is
+    // destroyed (or recycled by a new coroutine) before the delay
+    // fires, the resume would be a use-after-free — catch it instead.
+    const std::uint64_t tag = check::frame_current_tag(h.address());
+    engine.schedule_in(d, [h, tag] {
+      ALPU_ASSERT(check::frame_live(h.address(), tag),
+                  "delay resumed a coroutine whose frame was destroyed "
+                  "or recycled (stale capture)");
+      h.resume();
+    });
+#else
     engine.schedule_in(d, [h] { h.resume(); });
+#endif
   }
   void await_resume() const noexcept {}
 };

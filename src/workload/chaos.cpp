@@ -134,6 +134,9 @@ ChaosResult run_chaos(const ChaosParams& params) {
   const unsigned nshards = static_cast<unsigned>(
       std::clamp(params.shards, 1, std::max(params.ranks, 1)));
   sim::ShardGroup shards(nshards);
+#if ALPU_AUDIT
+  if (params.auditor != nullptr) shards.set_audit(params.auditor);
+#endif
   mpi::Machine machine(shards, make_chaos_system_config(params));
   sim::ProcessPool pool(machine.engine());
   std::vector<RankOutcome> outcomes(

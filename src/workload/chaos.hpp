@@ -30,6 +30,10 @@
 #include "nic/reliability.hpp"
 #include "workload/scenarios.hpp"
 
+namespace alpu::check {
+class Auditor;
+}  // namespace alpu::check
+
 namespace alpu::workload {
 
 struct ChaosParams {
@@ -47,6 +51,11 @@ struct ChaosParams {
   /// every counter are byte-identical at any shard count — including
   /// under fault injection.
   int shards = 1;
+  /// Optional external determinism auditor (ALPU_AUDIT builds only;
+  /// ignored otherwise).  The triage CLI installs one with tracing
+  /// enabled and reads its per-window trace after the run.  The pointer
+  /// keeps ChaosParams layout-identical in both build flavors.
+  check::Auditor* auditor = nullptr;
 };
 
 struct ChaosResult {

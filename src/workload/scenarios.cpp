@@ -1,10 +1,10 @@
 #include "workload/scenarios.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <vector>
 
+#include "common/check.hpp"
 #include "sim/parallel.hpp"
 
 namespace alpu::workload {
@@ -45,7 +45,8 @@ sim::Process preposted_receiver(mpi::Rank& rank,
     const auto front = static_cast<std::size_t>(
         std::llround(params.fraction_traversed *
                      static_cast<double>(params.queue_length)));
-    assert(front <= params.queue_length);
+    ALPU_ASSERT(front <= params.queue_length,
+                "fraction_traversed places the match past the queue");
 
     // Build the queue: `front` non-matching entries the message must
     // walk, the matching entry, then the rest of the queue behind it.
@@ -68,8 +69,8 @@ sim::Process preposted_receiver(mpi::Rank& rank,
   // Iterated (steady-state cache) variant: the matching receive is
   // re-posted at the queue tail each round, so the message always walks
   // the full queue.
-  assert(params.fraction_traversed == 1.0 &&
-         "iterated mode always traverses the whole queue");
+  ALPU_ASSERT(params.fraction_traversed == 1.0,
+              "iterated mode always traverses the whole queue");
   for (std::size_t i = 0; i < params.queue_length; ++i) {
     (void)rank.irecv(1, kNoMatchTag, 0);
   }
@@ -228,12 +229,14 @@ LatencyResult run_preposted(const PrepostedParams& params) {
   pool.spawn_on(machine.engine(1),
                 preposted_sender(machine.rank(1), params, times));
   const TimePs end = shards.run_all(machine.network().min_lookahead());
-  assert(pool.all_done() && "benchmark deadlocked");
-  assert(times.send_times.size() == times.done_times.size() &&
-         !times.send_times.empty());
+  ALPU_ASSERT(pool.all_done(), "benchmark deadlocked");
+  ALPU_ASSERT(times.send_times.size() == times.done_times.size() &&
+                  !times.send_times.empty(),
+              "receiver/sender timestamp streams out of step");
   TimePs total = 0;
   for (std::size_t k = 0; k < times.send_times.size(); ++k) {
-    assert(times.done_times[k] >= times.send_times[k]);
+    ALPU_ASSERT(times.done_times[k] >= times.send_times[k],
+                "completion precedes its send");
     total += times.done_times[k] - times.send_times[k];
   }
   LatencyResult out = collect(machine, total / times.send_times.size());
@@ -255,8 +258,9 @@ LatencyResult run_unexpected(const UnexpectedParams& params) {
   pool.spawn_on(machine.engine(1),
                 unexpected_sender(machine.rank(1), params, times));
   const TimePs end = shards.run_all(machine.network().min_lookahead());
-  assert(pool.all_done() && "benchmark deadlocked");
-  assert(times.recv_done >= times.post_started);
+  ALPU_ASSERT(pool.all_done(), "benchmark deadlocked");
+  ALPU_ASSERT(times.recv_done >= times.post_started,
+              "receive completed before it was posted");
   // Figure 6 latency includes the receive-posting time.
   LatencyResult out = collect(machine, times.recv_done - times.post_started);
   out.total_sim_time = end;
@@ -298,7 +302,7 @@ sim::Process message_rate_sender(mpi::Rank& rank,
 }  // namespace
 
 TimePs run_message_rate(const MessageRateParams& params) {
-  assert(params.burst > 0);
+  ALPU_ASSERT(params.burst > 0, "message-rate burst must be positive");
   const mpi::SystemConfig cfg =
       params.system.has_value() ? *params.system
                                 : make_system_config(params.mode);
@@ -311,7 +315,7 @@ TimePs run_message_rate(const MessageRateParams& params) {
   pool.spawn_on(machine.engine(1),
                 message_rate_sender(machine.rank(1), params, times));
   shards.run_all(machine.network().min_lookahead());
-  assert(pool.all_done() && "message-rate benchmark deadlocked");
+  ALPU_ASSERT(pool.all_done(), "message-rate benchmark deadlocked");
   return (times.recv_done - times.send_issued) /
          static_cast<std::uint64_t>(params.burst);
 }
@@ -330,7 +334,7 @@ mpi::SystemConfig make_elan4_like_config() {
 
 TimePs run_pingpong(NicMode mode, std::uint32_t message_bytes,
                     int iterations) {
-  assert(iterations > 0);
+  ALPU_ASSERT(iterations > 0, "ping-pong needs at least one iteration");
   sim::Engine engine;
   mpi::Machine machine(engine, make_system_config(mode));
   Timestamps times;
@@ -339,7 +343,7 @@ TimePs run_pingpong(NicMode mode, std::uint32_t message_bytes,
                             times));
   pool.spawn(pingpong_rank1(machine.rank(1), message_bytes, iterations));
   engine.run();
-  assert(pool.all_done() && "ping-pong deadlocked");
+  ALPU_ASSERT(pool.all_done(), "ping-pong deadlocked");
   // Half round trip, averaged.
   return (times.recv_done - times.send_issued) /
          (2 * static_cast<std::uint64_t>(iterations));

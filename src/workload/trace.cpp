@@ -1,11 +1,12 @@
 #include "workload/trace.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace alpu::workload {
 
 std::vector<TraceOp> generate_trace(const TraceConfig& config) {
-  assert(config.contexts >= 1 && config.sources >= 1 && config.tags >= 1);
+  ALPU_ASSERT(config.contexts >= 1 && config.sources >= 1 && config.tags >= 1,
+              "trace generator needs non-empty field spaces");
   common::Xoshiro256 rng(config.seed);
   std::vector<TraceOp> trace;
   trace.reserve(config.operations);

@@ -21,6 +21,9 @@
 
 #include "alpu/array.hpp"
 #include "check/checker.hpp"
+#if ALPU_AUDIT
+#include "check/audit.hpp"
+#endif
 #include "common/flags.hpp"
 #include "common/log.hpp"
 #include "fpga/area_model.hpp"
@@ -37,7 +40,7 @@ using workload::NicMode;
 int usage() {
   std::fprintf(stderr,
                "usage: alpusim <preposted|unexpected|pingpong|msgrate|fpga"
-               "|sweep|check|chaos>\n"
+               "|sweep|check|chaos|audit>\n"
                "               [--mode baseline|alpu128|alpu256] [--length N]\n"
                "               [--fraction F] [--bytes N] [--iterations N]"
                " [--burst N] [--threshold N]\n"
@@ -57,8 +60,13 @@ int usage() {
                "   (check mode)\n"
                "               [--drop R] [--dup R] [--reorder R]"
                " [--corrupt R] [--ranks N]\n"
-               "               [--per-pair N] [--seeds N] [--fault-seed S]"
-               "   (chaos mode)\n");
+               "               [--per-pair N] [--seeds N] [--fault-seed S]\n"
+               "               [--inject-lookahead-violation]"
+               "   (chaos mode)\n"
+               "               [--shards A,B]"
+               "   (audit mode: divergence triage between two\n"
+               "                               shard counts;"
+               " needs -DALPU_AUDIT=ON)\n");
   return 2;
 }
 
@@ -293,6 +301,14 @@ int run_chaos(const common::Flags& flags) {
     }
   }
 
+  // Must-fail hook for the audit CI job: back-date one cross-shard
+  // delivery past the conservative lookahead bound.  The determinism
+  // auditor (ALPU_AUDIT builds) must abort with a provenance chain.
+  if (flags.get_bool("inject-lookahead-violation")) {
+    hw::testing::inject_lookahead_violation.store(true,
+                                                  std::memory_order_relaxed);
+  }
+
   const std::vector<workload::ChaosResult> results = workload::sweep_map(
       points,
       [&](const Point& pt) {
@@ -349,6 +365,136 @@ int run_chaos(const common::Flags& flags) {
   return all_ok ? 0 : 1;
 }
 
+/// `alpusim audit`: divergence triage.  Runs the same chaos workload at
+/// two shard counts with the determinism auditor tracing per-window
+/// multiset hashes, locates the first window where the traces disagree,
+/// re-runs both sides with full event capture on that window, and prints
+/// the minimal divergent event pair with both provenance chains.
+/// Exit 0 = traces identical; 1 = divergence found (and localized);
+/// 2 = usage / not an ALPU_AUDIT build.
+#if ALPU_AUDIT
+int run_audit(const common::Flags& flags) {
+  unsigned shards_a = 0, shards_b = 0;
+  const std::string spec = flags.get("shards", "1,2");
+  if (std::sscanf(spec.c_str(), "%u,%u", &shards_a, &shards_b) != 2 ||
+      shards_a == 0 || shards_b == 0) {
+    std::fprintf(stderr, "audit: --shards wants two counts, e.g. 1,2\n");
+    return 2;
+  }
+
+  bool mode_ok = true;
+  workload::ChaosParams base;
+  base.mode = mode_of(flags.get("mode", "alpu256"), &mode_ok);
+  if (!mode_ok) {
+    std::fprintf(stderr, "unknown --mode\n");
+    return 2;
+  }
+  base.ranks = static_cast<int>(flags.get_int("ranks", 4));
+  base.per_pair = static_cast<int>(flags.get_int("per-pair", 8));
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double rate = flags.get_double("drop", 0.0);
+  base.faults.drop_rate = rate;
+  base.faults.dup_rate = flags.get_double("dup", rate / 2.0);
+  base.faults.reorder_rate = flags.get_double("reorder", rate / 2.0);
+  base.faults.corrupt_rate = flags.get_double("corrupt", rate / 2.0);
+  base.faults.seed =
+      static_cast<std::uint64_t>(flags.get_int("fault-seed", 0x5eed));
+
+  const auto run_traced = [&base](unsigned nshards, check::Auditor& auditor,
+                                  std::uint64_t capture_window) {
+    auditor.enable_trace();
+    if (capture_window != 0) auditor.capture_window(capture_window);
+    workload::ChaosParams p = base;
+    p.shards = static_cast<int>(nshards);
+    p.auditor = &auditor;
+    return workload::run_chaos(p);
+  };
+
+  check::Auditor audit_a, audit_b;
+  run_traced(shards_a, audit_a, 0);
+  run_traced(shards_b, audit_b, 0);
+  const check::AuditTrace& trace_a = audit_a.trace();
+  const check::AuditTrace& trace_b = audit_b.trace();
+  std::fprintf(stderr, "audit: shards=%u ran %zu windows, shards=%u ran %zu\n",
+               shards_a, trace_a.size(), shards_b, trace_b.size());
+
+  const std::ptrdiff_t win = check::first_divergent_window(trace_a, trace_b);
+  if (win < 0) {
+    std::printf("audit: PASS — %zu windows, traces identical at shards=%u "
+                "and shards=%u\n",
+                trace_a.size(), shards_a, shards_b);
+    return 0;
+  }
+
+  // Window ids are 1-based and dense (one trace record per window), so
+  // record index i is window i+1.
+  const auto window_id = static_cast<std::uint64_t>(win) + 1;
+  std::printf("audit: DIVERGENCE at window %llu\n",
+              static_cast<unsigned long long>(window_id));
+  const auto show_window = [](const char* tag, const check::AuditTrace& t,
+                              std::ptrdiff_t i) {
+    if (i < static_cast<std::ptrdiff_t>(t.size())) {
+      const check::WindowRecord& w = t[static_cast<std::size_t>(i)];
+      std::printf("  %s: window %llu [%llu, %llu) events=%llu "
+                  "hash=%016llx\n",
+                  tag, static_cast<unsigned long long>(w.window),
+                  static_cast<unsigned long long>(w.start),
+                  static_cast<unsigned long long>(w.end),
+                  static_cast<unsigned long long>(w.events),
+                  static_cast<unsigned long long>(w.hash));
+    } else {
+      std::printf("  %s: (run already drained — no such window)\n", tag);
+    }
+  };
+  show_window("run A", trace_a, win);
+  show_window("run B", trace_b, win);
+
+  // Re-run both sides capturing every event in the divergent window,
+  // then diff the canonically sorted captures for the first event pair
+  // that disagrees on the partition-stable key (when, origin_when).
+  check::Auditor cap_a, cap_b;
+  run_traced(shards_a, cap_a, window_id);
+  run_traced(shards_b, cap_b, window_id);
+  const std::vector<check::CapturedEvent> events_a = cap_a.captured();
+  const std::vector<check::CapturedEvent> events_b = cap_b.captured();
+  const std::ptrdiff_t ev = check::first_divergent_event(events_a, events_b);
+  if (ev < 0) {
+    // Hash caught a multiset difference the capture diff cannot see
+    // (e.g. same (when, origin_when) keys, different event counts per
+    // key at the tail) — the window summary above is the answer.
+    std::printf("  captures match on (when, origin_when); counts: A=%zu "
+                "B=%zu\n",
+                events_a.size(), events_b.size());
+    return 1;
+  }
+  const auto show_event = [](const char* tag, check::Auditor& auditor,
+                             const std::vector<check::CapturedEvent>& v,
+                             std::ptrdiff_t i) {
+    if (i < static_cast<std::ptrdiff_t>(v.size())) {
+      const check::CapturedEvent& e = v[static_cast<std::size_t>(i)];
+      std::printf("  %s event[%td]: %s\n", tag, i,
+                  check::format_event(e).c_str());
+      std::printf("%s", auditor.provenance_chain(e.stamp).c_str());
+    } else {
+      std::printf("  %s event[%td]: (absent — run executed fewer events "
+                  "in this window)\n",
+                  tag, i);
+    }
+  };
+  std::printf("first divergent event pair (sorted by when, origin_when):\n");
+  show_event("run A", cap_a, events_a, ev);
+  show_event("run B", cap_b, events_b, ev);
+  return 1;
+}
+#else   // !ALPU_AUDIT
+int run_audit(const common::Flags&) {
+  std::fprintf(stderr,
+               "alpusim audit needs the determinism audit layer; rebuild "
+               "with cmake -DALPU_AUDIT=ON\n");
+  return 2;
+}
+#endif  // ALPU_AUDIT
+
 void print_result(const workload::LatencyResult& r) {
   std::printf("latency_ns=%.1f\n", common::to_ns(r.latency));
   std::printf("sw_entries_walked=%llu\n",
@@ -379,6 +525,9 @@ int main(int argc, char** argv) {
   }
   if (scenario == "chaos") {
     return run_chaos(flags);
+  }
+  if (scenario == "audit") {
+    return run_audit(flags);
   }
 
   bool mode_ok = true;

@@ -1,0 +1,5 @@
+"""Rule modules register themselves on import."""
+
+from . import determinism  # noqa: F401
+from . import hotpath  # noqa: F401
+from . import project  # noqa: F401
