@@ -1,0 +1,275 @@
+#include "check/flow.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace alpu::check {
+
+namespace {
+
+const char* op_name(const FlowOp& op) {
+  switch (op.kind) {
+    case FlowOpKind::kSendEager: return "send_eager";
+    case FlowOpKind::kSendRts: return "send_rts";
+    case FlowOpKind::kMatch: return "match";
+    case FlowOpKind::kDrain: return "drain";
+    case FlowOpKind::kRetry: return "retry";
+  }
+  return "?";
+}
+
+void append_op(std::string& out, const FlowOp& op) {
+  if (!out.empty()) out += " -> ";
+  out += op_name(op);
+  if (op.kind == FlowOpKind::kSendEager) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "(%" PRIu32 ")", op.bytes);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+bool FlowSpec::fits(std::uint32_t bytes) const {
+  if (config_.slots > 0 && staged_.size() >= config_.slots) return false;
+  if (config_.pool_bytes > 0 && pool_used_ + bytes > config_.pool_bytes) {
+    return false;
+  }
+  return true;
+}
+
+FlowEffect FlowSpec::admit_or_refuse(std::uint32_t bytes) {
+  FlowEffect effect;
+  if (fits(bytes)) {
+    staged_.push_back(Msg{next_id_++, bytes});
+    pool_used_ += bytes;
+    peak_pool_ = std::max(peak_pool_, pool_used_);
+    // The admitted packet's ACK is forward progress: the sender's
+    // refusal streak, held state, and any owed credit clear.
+    held_ = false;
+    held_bytes_ = 0;
+    credit_owed_ = false;
+    streak_ = 0;
+    effect.admitted = true;
+    return effect;
+  }
+  // RNR NACK: the offer stays held at the sender under backoff, the
+  // receiver owes it a credit push, and the streak advances exactly as
+  // ReliabilityLayer::on_rnr_nack does — fail past max_streak, demote
+  // at demote_after.
+  effect.nacked = true;
+  held_ = true;
+  held_bytes_ = bytes;
+  credit_owed_ = true;
+  ++streak_;
+  if (streak_ > config_.max_streak) {
+    failed_ = true;
+    effect.link_failed = true;
+    return effect;
+  }
+  if (!demoted_ && streak_ >= config_.demote_after) {
+    demoted_ = true;
+    effect.demoted_now = true;
+  }
+  return effect;
+}
+
+void FlowSpec::credit_released(FlowEffect& effect) {
+  if (!credit_owed_ || failed_) return;
+  // Fair-FIFO explicit push: one credit ACK per release, advertising
+  // the post-release free resources; it resets the sender's streak.
+  // The owed flag survives a push that cannot admit the held offer —
+  // the implementation's unconditional wake bounces off the still-full
+  // receiver and re-queues the peer, so the next release pushes again.
+  // It clears only when the held offer is finally admitted
+  // (admit_or_refuse's success branch).
+  effect.credit_push = true;
+  streak_ = 0;
+  const std::uint64_t free_bytes =
+      config_.pool_bytes == 0
+          ? ~std::uint64_t{0}
+          : config_.pool_bytes - pool_used_;
+  const std::uint64_t free_slots =
+      config_.slots == 0 ? ~std::uint64_t{0}
+                         : config_.slots - staged_.size();
+  if (demoted_ && free_slots >= 1 && free_bytes >= config_.promote_bytes) {
+    demoted_ = false;
+    effect.promoted_now = true;
+  }
+  // The sender's credit fast-path: when the advertised credits cover
+  // the held packet it retransmits immediately (no backoff wait).
+  if (held_ && fits(held_bytes_)) {
+    const FlowEffect woken = admit_or_refuse(held_bytes_);
+    ALPU_ASSERT(woken.admitted, "credit wake must admit");
+    effect.admitted = true;
+  }
+}
+
+bool FlowSpec::legal(const FlowOp& op) const {
+  switch (op.kind) {
+    case FlowOpKind::kSendEager:
+    case FlowOpKind::kSendRts:
+      // One-outstanding sender: a held (refused) offer blocks new ones,
+      // and a failed link blocks everything sender-side.
+      return !held_ && !failed_;
+    case FlowOpKind::kMatch:
+      return !staged_.empty();
+    case FlowOpKind::kDrain:
+      return !draining_.empty();
+    case FlowOpKind::kRetry:
+      return held_ && !failed_;
+  }
+  return false;
+}
+
+FlowEffect FlowSpec::apply(const FlowOp& op) {
+  ALPU_ASSERT(legal(op), "illegal flow op");
+  FlowEffect effect;
+  switch (op.kind) {
+    case FlowOpKind::kSendEager:
+      if (demoted_) {
+        // Demoted senders route small messages through rendezvous: the
+        // offer on the wire is an RTS (envelope slot only, no payload
+        // bytes pinned).
+        effect = admit_or_refuse(0);
+        effect.demoted_route = true;
+        return effect;
+      }
+      return admit_or_refuse(op.bytes);
+    case FlowOpKind::kSendRts:
+      return admit_or_refuse(0);
+    case FlowOpKind::kRetry:
+      // Go-back-N retransmits the held packet unchanged (demotion only
+      // reroutes *new* sends).
+      return admit_or_refuse(held_bytes_);
+    case FlowOpKind::kMatch: {
+      const Msg msg = staged_.front();
+      staged_.pop_front();
+      draining_.push_back(msg);
+      credit_released(effect);  // the envelope slot freed
+      return effect;
+    }
+    case FlowOpKind::kDrain: {
+      const Msg msg = draining_.front();
+      draining_.pop_front();
+      ALPU_ASSERT(pool_used_ >= msg.bytes, "pool underflow");
+      pool_used_ -= msg.bytes;
+      ALPU_ASSERT(msg.id == next_delivered_, "out-of-order delivery");
+      ++next_delivered_;
+      credit_released(effect);  // the payload bytes freed
+      return effect;
+    }
+  }
+  return effect;
+}
+
+std::string FlowSpec::invariant_violation() const {
+  char buf[160];
+  // Occupancy must respect the budget at every instant, peaks included.
+  if (config_.pool_bytes > 0 && pool_used_ > config_.pool_bytes) {
+    std::snprintf(buf, sizeof(buf),
+                  "pool occupancy %" PRIu64 " over budget %" PRIu32,
+                  pool_used_, config_.pool_bytes);
+    return buf;
+  }
+  if (config_.pool_bytes > 0 && peak_pool_ > config_.pool_bytes) {
+    return "peak pool occupancy over budget";
+  }
+  if (config_.slots > 0 && staged_.size() > config_.slots) {
+    std::snprintf(buf, sizeof(buf),
+                  "%zu slots used over budget %" PRIu32, staged_.size(),
+                  config_.slots);
+    return buf;
+  }
+  // The accounting must agree with the queues it tracks.
+  std::uint64_t pinned = 0;
+  for (const Msg& m : staged_) pinned += m.bytes;
+  for (const Msg& m : draining_) pinned += m.bytes;
+  if (pinned != pool_used_) return "pool accounting disagrees with queues";
+  // Exactly-once, in-order: the undelivered ids must be exactly the
+  // contiguous range [next_delivered_, next_id_) in queue order.
+  std::uint64_t expect = next_delivered_;
+  for (const Msg& m : draining_) {
+    if (m.id != expect++) return "draining queue out of order";
+  }
+  for (const Msg& m : staged_) {
+    if (m.id != expect++) return "staged queue out of order";
+  }
+  if (expect != next_id_) return "message lost or duplicated";
+  // An unlimited budget must never refuse anything (the no-op guarantee
+  // the byte-identity acceptance test rests on).
+  if (config_.pool_bytes == 0 && config_.slots == 0 &&
+      (held_ || streak_ != 0 || failed_)) {
+    return "refusal despite unlimited budget";
+  }
+  // The streak past max_streak is a failed link, never a live one.
+  if (!failed_ && streak_ > config_.max_streak) {
+    return "live link past max refusal streak";
+  }
+  // A credit can only be owed to a sender that is actually waiting.
+  if (credit_owed_ && !held_) return "credit owed with no held offer";
+  return {};
+}
+
+FlowCheckResult check_flow(const FlowCheckOptions& options) {
+  FlowCheckResult result;
+  result.ok = true;
+
+  // The enumeration alphabet.
+  std::vector<FlowOp> alphabet;
+  for (std::uint32_t bytes : options.sizes) {
+    alphabet.push_back(FlowOp{FlowOpKind::kSendEager, bytes});
+  }
+  alphabet.push_back(FlowOp{FlowOpKind::kSendRts, 0});
+  alphabet.push_back(FlowOp{FlowOpKind::kMatch, 0});
+  alphabet.push_back(FlowOp{FlowOpKind::kDrain, 0});
+  alphabet.push_back(FlowOp{FlowOpKind::kRetry, 0});
+
+  // Explicit DFS over every legal sequence up to the depth bound,
+  // checking the invariants after each transition.
+  struct Frame {
+    FlowSpec spec;
+    std::size_t next_op = 0;
+  };
+  std::vector<Frame> stack;
+  std::vector<FlowOp> trail;
+  stack.push_back(Frame{FlowSpec(options.config), 0});
+
+  while (!stack.empty() && result.ok) {
+    Frame& frame = stack.back();
+    if (stack.size() > options.depth || frame.next_op >= alphabet.size()) {
+      bool any_legal = false;
+      if (stack.size() <= options.depth) {
+        for (const FlowOp& op : alphabet) {
+          if (frame.spec.legal(op)) { any_legal = true; break; }
+        }
+      }
+      if (!any_legal || stack.size() > options.depth) ++result.sequences;
+      stack.pop_back();
+      if (!trail.empty()) trail.pop_back();
+      continue;
+    }
+    const FlowOp op = alphabet[frame.next_op++];
+    if (!frame.spec.legal(op)) continue;
+    Frame child{frame.spec, 0};
+    child.spec.apply(op);
+    ++result.ops;
+    trail.push_back(op);
+    const std::string violation = child.spec.invariant_violation();
+    if (!violation.empty()) {
+      result.ok = false;
+      std::string seq;
+      for (const FlowOp& o : trail) append_op(seq, o);
+      result.counterexample = violation + " after: " + seq;
+      return result;
+    }
+    stack.push_back(std::move(child));
+  }
+  return result;
+}
+
+}  // namespace alpu::check

@@ -1,0 +1,156 @@
+// Executable specification of the eager flow-control protocol.
+//
+// PR "bounded eager resources" layers a receiver-not-ready protocol on
+// the go-back-N reliability sublayer: finite budgets (pool bytes +
+// envelope slots), RNR NACKs with retry hints, credits returned as
+// buffers drain, and eager→rendezvous demotion after repeated
+// refusals.  This module states that protocol as code, the way
+// spec.hpp states the ALPU list protocol:
+//
+//   * FlowSpec    one sender→receiver link in the abstract: a timeless
+//                 state machine over {pool occupancy, staged/draining
+//                 queues, one held (refused) offer, refusal streak,
+//                 demotion}.  Every transition returns the observable
+//                 effects (admitted / nacked / credit push / demoted
+//                 routing / link failure) so an implementation can be
+//                 run in lockstep against it.
+//
+//   * check_flow  a bounded-exhaustive checker: every legal operation
+//                 sequence up to a depth, with the spec's internal
+//                 invariants verified after every step — occupancy
+//                 never exceeds the budget, refusal exactly iff the
+//                 budget would be exceeded, credits pushed exactly iff
+//                 a refused sender waits, delivery exactly-once and in
+//                 order, demotion after exactly `demote_after`
+//                 consecutive refusals, failure after `max_streak`.
+//
+// tests/test_check.cpp additionally drives the real ReliabilityLayer
+// pair against FlowSpec transition-by-transition (the differential
+// lockstep test), so the spec here is pinned to the implementation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace alpu::check {
+
+struct FlowConfig {
+  std::uint32_t pool_bytes = 4096;  ///< 0 = unlimited
+  std::uint32_t slots = 2;          ///< 0 = unlimited
+  /// Consecutive refusals (no credit in between) that demote the sender.
+  unsigned demote_after = 2;
+  /// Refusal streak that fails the link (reliability max_retries).
+  unsigned max_streak = 12;
+  /// Credit threshold that re-promotes a demoted sender (the NIC uses
+  /// its eager_threshold here).
+  std::uint32_t promote_bytes = 2048;
+};
+
+enum class FlowOpKind : std::uint8_t {
+  /// Sender offers its next message eagerly (`bytes` of payload to pin).
+  kSendEager,
+  /// Sender offers a rendezvous RTS (pins an envelope slot only).
+  kSendRts,
+  /// Receiver matches the oldest staged message to a posted receive:
+  /// the envelope slot frees (a credit may be pushed); payload bytes
+  /// stay pinned until kDrain.
+  kMatch,
+  /// The oldest matched delivery's DMA completes: payload bytes free
+  /// (a credit may be pushed) and the message is delivered.
+  kDrain,
+  /// The refused sender's RNR backoff expires: re-offer the held
+  /// message.
+  kRetry,
+};
+
+struct FlowOp {
+  FlowOpKind kind = FlowOpKind::kSendEager;
+  std::uint32_t bytes = 0;  ///< payload size (kSendEager only)
+};
+
+/// Observable effects of one transition (what the wire would show).
+struct FlowEffect {
+  bool admitted = false;      ///< offer accepted, resources reserved
+  bool nacked = false;        ///< offer refused with an RNR NACK
+  bool credit_push = false;   ///< explicit credit ACK to the waiting sender
+  bool demoted_route = false; ///< offer rerouted via rendezvous (demoted)
+  bool demoted_now = false;   ///< this refusal crossed demote_after
+  bool promoted_now = false;  ///< this credit re-promoted the sender
+  bool link_failed = false;   ///< refusal streak exhausted max_streak
+};
+
+class FlowSpec {
+ public:
+  explicit FlowSpec(const FlowConfig& config) : config_(config) {}
+
+  /// Apply one operation.  Illegal operations (see legal()) assert.
+  FlowEffect apply(const FlowOp& op);
+
+  /// Whether `op` is applicable in the current state (drives the
+  /// bounded enumeration: kMatch needs a staged message, kDrain a
+  /// matched one, kRetry a held offer; the sender is one-outstanding).
+  bool legal(const FlowOp& op) const;
+
+  // Observers (the lockstep test compares these against the NIC).
+  std::uint64_t pool_used() const { return pool_used_; }
+  std::uint32_t slots_used() const {
+    return static_cast<std::uint32_t>(staged_.size());
+  }
+  std::uint64_t peak_pool() const { return peak_pool_; }
+  bool held() const { return held_; }
+  bool demoted() const { return demoted_; }
+  unsigned streak() const { return streak_; }
+  bool failed() const { return failed_; }
+  std::uint64_t delivered() const { return next_delivered_; }
+
+  /// Internal invariants; empty when consistent, else a description.
+  std::string invariant_violation() const;
+
+ private:
+  struct Msg {
+    std::uint64_t id = 0;
+    std::uint32_t bytes = 0;  ///< pinned pool bytes (0 for RTS/demoted)
+  };
+
+  bool fits(std::uint32_t bytes) const;
+  FlowEffect admit_or_refuse(std::uint32_t bytes);
+  void credit_released(FlowEffect& effect);
+
+  FlowConfig config_;
+  std::uint64_t pool_used_ = 0;
+  std::uint64_t peak_pool_ = 0;
+  std::deque<Msg> staged_;    ///< admitted, unmatched (pins a slot)
+  std::deque<Msg> draining_;  ///< matched, bytes pinned until drain
+  bool held_ = false;         ///< a refused offer waits at the sender
+  std::uint32_t held_bytes_ = 0;
+  bool credit_owed_ = false;  ///< receiver owes the held sender a push
+  unsigned streak_ = 0;
+  bool demoted_ = false;
+  bool failed_ = false;
+  std::uint64_t next_id_ = 0;         ///< sender-side message ids
+  std::uint64_t next_delivered_ = 0;  ///< exactly-once in-order horizon
+};
+
+struct FlowCheckOptions {
+  FlowConfig config;
+  /// Maximum operation-sequence length enumerated.
+  std::size_t depth = 7;
+  /// Eager payload sizes in the enumeration alphabet.
+  std::vector<std::uint32_t> sizes = {1024, 4096};
+};
+
+struct FlowCheckResult {
+  bool ok = false;
+  std::uint64_t sequences = 0;  ///< maximal sequences explored
+  std::uint64_t ops = 0;        ///< transitions applied (states visited)
+  /// First failing operation sequence, empty when ok.
+  std::string counterexample;
+};
+
+/// Bounded-exhaustive check of FlowSpec's invariants over every legal
+/// operation sequence up to `depth`.
+FlowCheckResult check_flow(const FlowCheckOptions& options);
+
+}  // namespace alpu::check

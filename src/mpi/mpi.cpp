@@ -44,6 +44,11 @@ void Machine::build(sim::ShardGroup* shards) {
                 "fault injection without the reliability sublayer loses packets");
     network_->install_faults(config_.faults);
   }
+  if (config_.nic.eager_pool_bytes > 0 || config_.nic.unexpected_slots > 0) {
+    ALPU_ASSERT(config_.nic.reliability.enabled,
+                "a finite eager budget needs the reliability sublayer: "
+                "RNR NACKs, backoff and credits live there");
+  }
   const unsigned nshards = shards != nullptr ? shards->size() : 1;
   std::vector<unsigned> shard_map(static_cast<std::size_t>(config_.nprocs));
   nodes_.resize(static_cast<std::size_t>(config_.nprocs));
@@ -68,9 +73,31 @@ void Machine::build(sim::ShardGroup* shards) {
   if (shards != nullptr && shards->parallel()) {
     network_->enable_sharding(*shards, std::move(shard_map));
   }
+  // Stall watchdog: one undrained-work check per NIC, polled once at
+  // quiescence.  Sharded machines register on the group coordinator
+  // (which covers the 1-shard delegation too); plain machines hook the
+  // engine directly.  Pure observation — no events, no state changes —
+  // so determinism is untouched.
+  for (int r = 0; r < config_.nprocs; ++r) {
+    nic::Nic* n = nodes_[static_cast<std::size_t>(r)].nic.get();
+    watchdog_.add_check(sim::StallWatchdog::Check{
+        n->name(), [n] { return n->undrained_work(); },
+        [n] { return n->stall_snapshot(); }});
+  }
+  shards_ = shards;
+  if (shards_ != nullptr) {
+    shards_->set_watchdog(&watchdog_);
+  } else {
+    engine_.set_watchdog(&watchdog_);
+  }
 }
 
-Machine::~Machine() = default;
+Machine::~Machine() {
+  // The engine/group outlive the machine in some test setups: detach the
+  // watchdog (it borrows this Machine's NICs) before they run again.
+  if (shards_ != nullptr) shards_->set_watchdog(nullptr);
+  engine_.set_watchdog(nullptr);
+}
 
 std::shared_ptr<const CommGroup> Machine::create_comm(
     std::vector<int> members) {

@@ -28,6 +28,7 @@
 #include "net/network.hpp"
 #include "nic/nic.hpp"
 #include "sim/process.hpp"
+#include "sim/watchdog.hpp"
 
 namespace alpu::mpi {
 
@@ -196,6 +197,13 @@ class Machine {
   }
   const SystemConfig& config() const { return config_; }
 
+  /// The machine's stall watchdog: one undrained-work check per NIC,
+  /// polled automatically at quiescence by the engine (single-shard) or
+  /// the ShardGroup coordinator (parallel).  A run that drains cleanly
+  /// reports stalls_detected() == 0.
+  const sim::StallWatchdog& watchdog() const { return watchdog_; }
+  sim::StallWatchdog& watchdog() { return watchdog_; }
+
   /// Contiguous block partition of ranks onto shards (deterministic;
   /// the same map at any shard count covering the same ranks).
   static unsigned shard_of(int rank, int nprocs, unsigned shards) {
@@ -228,6 +236,8 @@ class Machine {
   SystemConfig config_;
   std::unique_ptr<net::Network> network_;
   std::vector<Node> nodes_;
+  sim::StallWatchdog watchdog_;
+  sim::ShardGroup* shards_ = nullptr;  ///< non-null for sharded machines
   std::uint32_t next_context_ = 2;  ///< 0/1 are world p2p/collective
 };
 

@@ -55,6 +55,8 @@ void Network::enable_sharding(sim::ShardGroup& group,
 }
 
 void Network::set_wire_latency(NodeId src, NodeId dst, TimePs latency) {
+  // lint: ok(unbounded-peer-growth) — setup-time topology API driven by
+  // the local configuration, not by packet arrivals.
   wire_latency_override_[{src, dst}] = latency;
   // Write through to a link that already resolved its latency, so late
   // (post-first-send) overrides behave exactly as before the fold.
@@ -96,7 +98,7 @@ const NetworkStats& Network::stats() const {
 
 void Network::schedule_delivery(const Packet& packet, TimePs when,
                                 TimePs sent_at) {
-  // Capture {this, packet} (56 bytes: inline in EventCallback) rather
+  // Capture {this, packet} (64 bytes: inline in EventCallback) rather
   // than a PerNode reference — nodes_ may still grow in single-engine
   // unit-test setups.
   if (shards_ == nullptr) {

@@ -44,14 +44,19 @@ enum class PacketKind : std::uint8_t {
   kCtsRendezvous,  ///< clear-to-send reply carrying the sender's token
   kRendezvousData, ///< the bulk payload after a CTS
   kAck,       ///< reliability-sublayer cumulative acknowledgement
+  /// Receiver-not-ready NACK: the receiver's eager-resource budget is
+  /// exhausted, the packet at `ack_seq` was refused, and the sender
+  /// should back off for ~`rnr_hint_us` before retrying (the InfiniBand
+  /// RNR-NAK discipline).  Carries a credit advertisement like kAck.
+  kRnrNack,
 };
 
 /// One packet on the wire.  The header models the fixed-size envelope a
 /// real NIC would parse; `payload_bytes` drives serialisation time only
 /// (contents are not simulated).
 ///
-/// Field order packs the struct into 48 bytes so the network delivery
-/// capture (`this` + one Packet) stays within EventCallback's 56-byte
+/// Field order packs the struct into 56 bytes so the network delivery
+/// capture (`this` + one Packet, 64 bytes) stays within EventCallback's
 /// inline buffer — no per-event heap allocation on the hot path.
 struct Packet {
   NodeId src = 0;
@@ -68,8 +73,18 @@ struct Packet {
   /// wrap only after 4G packets on one link — beyond any workload here.
   std::uint32_t seq = 0;
   /// Cumulative acknowledgement: next sequence number the receiver
-  /// expects from this packet's sender (kAck packets only).
+  /// expects from this packet's sender (kAck/kRnrNack packets only).
   std::uint32_t ack_seq = 0;
+  /// Credit advertisement (kAck/kRnrNack from a budget-limited
+  /// receiver): free eager-pool bytes, saturated to 32 bits.  Zero on
+  /// every packet when the receiver's budget is unlimited, so enabling
+  /// the fields alone changes no bytes on the wire.
+  std::uint32_t credit_bytes = 0;
+  /// Free unexpected-queue slots, saturated to 16 bits.
+  std::uint16_t credit_slots = 0;
+  /// RNR retry hint in microseconds (kRnrNack only): the receiver's
+  /// suggested base backoff before the refused window is re-offered.
+  std::uint16_t rnr_hint_us = 0;
   std::uint64_t token = 0;   ///< protocol token (pairs RTS/CTS/DATA legs)
   TimePs injected_at = 0;    ///< stamped by the network at send time
 };

@@ -100,6 +100,16 @@ struct NicConfig {
   /// Messages up to this size travel eagerly; larger ones rendezvous.
   std::uint32_t eager_threshold = 16 * 1024;
 
+  /// Receiver-side eager-resource budget.  Zero means unlimited (the
+  /// paper's idealised NIC, and byte-identical to the pre-budget
+  /// simulator); nonzero bounds what an incast can pin on the receiver
+  /// and turns exhaustion into an RNR-NACK protocol event handled by the
+  /// reliability sublayer — so nonzero budgets require
+  /// `reliability.enabled` (asserted at machine build).  Occupancy and
+  /// peaks are tracked in NicStats even when unlimited.
+  std::uint64_t eager_pool_bytes = 0;  ///< bytes of staged eager payload
+  std::uint32_t unexpected_slots = 0;  ///< staged eager/RTS envelope slots
+
   /// Tx and Rx DMA engines share one parameterisation.
   DmaConfig dma;
 

@@ -1,6 +1,7 @@
 #include "nic/nic.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
@@ -94,11 +95,27 @@ Nic::Nic(sim::Engine& engine, std::string name, net::NodeId node,
   rdvz_send_.set_alloc_sink(sink);
   rdvz_recv_.set_alloc_sink(sink);
   tx_order_.set_alloc_sink(sink);
+  peer_flow_.set_alloc_sink(sink);
   reliability_.set_alloc_sink(sink);
+  // Finite eager budgets turn exhaustion into RNR-NACK protocol events
+  // handled inside the reliability sublayer; with unlimited budgets no
+  // admission hook is installed and the wire schedule is byte-identical
+  // to the pre-flow-control simulator.
+  if (budget_limited()) reliability_.set_admission(this);
+  ReliabilityLayer::FlowHooks hooks;
+  hooks.on_rnr = [this](net::NodeId peer, unsigned streak) {
+    on_peer_rnr(peer, streak);
+  };
+  hooks.on_credit = [this](net::NodeId peer, std::uint64_t bytes,
+                           std::uint32_t slots) {
+    on_peer_credit(peer, bytes, slots);
+  };
+  reliability_.set_flow_hooks(std::move(hooks));
 }
 
 void Nic::reserve_nodes(std::size_t n) {
   tx_order_.reserve(n);
+  peer_flow_.reserve(n);
   reliability_.reserve_nodes(n);
 }
 
@@ -125,9 +142,19 @@ void Nic::on_network_delivery(const net::Packet& packet) {
   // packets, so fault configs that corrupt require it enabled (the
   // Machine enforces this at construction).
   ALPU_ASSERT(packet.crc_ok, "corrupted packet above the reliability layer");
-  ALPU_ASSERT(packet.kind != net::PacketKind::kAck,
-              "reliability ACK leaked above the sublayer");
+  ALPU_ASSERT(packet.kind != net::PacketKind::kAck &&
+                  packet.kind != net::PacketKind::kRnrNack,
+              "reliability control packet leaked above the sublayer");
   ++stats_.packets_rx;
+  // Eager-resource accounting.  With a finite budget the reliability
+  // sublayer's admission check (try_admit) already reserved for this
+  // packet; otherwise track occupancy stats-only here, so sweeps report
+  // what an incast pins even on an unlimited NIC.
+  if (!(budget_limited() && reliability_.enabled()) &&
+      (packet.kind == net::PacketKind::kEager ||
+       packet.kind == net::PacketKind::kRtsRendezvous)) {
+    reserve_eager(packet, /*enforce=*/false);
+  }
   RxItem item{packet, std::nullopt};
   // Figure 1: headers of matching packets are replicated into the
   // posted-receive ALPU by hardware, before the firmware ever runs —
@@ -254,6 +281,9 @@ void Nic::erase_unexpected(std::size_t index) {
                            unexpected_info_.at(cookie).state_line});
   unexpected_info_.erase(cookie);
   unexpected_.erase(index);
+  // The entry's envelope slot frees here; eager payload bytes stay
+  // pinned until the delivery DMA drains them to the host buffer.
+  release_eager_slot();
 }
 
 common::MatchCounters Nic::match_counters() const {
@@ -562,6 +592,16 @@ sim::Process Nic::handle_packet(RxItem item) {
       }
       ++stats_.posted_searches;
 
+      // Resolve the admission-time pledge, if any (posted-match bypass;
+      // see try_admit).  Cookie 0 is never allocated, so it is a safe
+      // "no pledge" sentinel for the promise-aware searches below.
+      MatchPromise promise{};
+      bool has_promise = false;
+      if (const MatchPromise* pr = match_promises_.find(promise_key(p))) {
+        promise = *pr;
+        has_promise = true;
+      }
+
       bool matched = false;
       match::Cookie cookie = 0;
 
@@ -584,8 +624,8 @@ sim::Process Nic::handle_packet(RxItem item) {
         } else {
           ++stats_.alpu_posted_misses;
           // Search the portion not yet loaded into the ALPU.
-          const auto res =
-              posted_.search_from(posted_ctx_->synced, p.match_bits);
+          const auto res = posted_search_from(posted_ctx_->synced,
+                                              p.match_bits, promise.cookie);
           t += walk_cost_posted(posted_ctx_->synced, res.visited);
           if (res.found) {
             matched = true;
@@ -608,7 +648,7 @@ sim::Process Nic::handle_packet(RxItem item) {
         }
         if (posted_degraded_) ++stats_.alpu_fallback_searches;
         // Baseline (or degraded): walk the full posted queue.
-        const auto res = posted_.search(p.match_bits);
+        const auto res = posted_search_from(0, p.match_bits, promise.cookie);
         t += walk_cost_posted(0, res.visited);
         if (res.found) {
           matched = true;
@@ -618,12 +658,31 @@ sim::Process Nic::handle_packet(RxItem item) {
         }
       }
 
+      // Retire the pledge now that matching has resolved.  If the
+      // firmware matched a different entry than the pledged one (the
+      // pledged entry was consumed through a path the pledge tables do
+      // not cover), releasing the stale pledge makes that entry
+      // matchable again — the scheme self-heals.
+      if (has_promise) {
+        match_promises_.erase(promise_key(p));
+        if (promise.cookie != 0) promised_posted_.erase(promise.cookie);
+        if (!matched && !promise.reserved) {
+          // Safety valve: a bypass-admitted packet whose pledged entry
+          // vanished lands in the unexpected queue, which must hold a
+          // reservation.  Forced (non-enforcing) reserve keeps the
+          // occupancy accounting honest even if it transiently
+          // overshoots the budget.
+          reserve_eager(p, /*enforce=*/false);
+        }
+      }
+      const bool budget_reserved = !has_promise || promise.reserved;
+
       ALPU_LOGF(LogLevel::kDebug, engine().now(), name(),
                    "rx {} from {}: {}", match::to_string(
                        match::unpack(p.match_bits)),
                    p.src, matched ? "matched" : "unexpected");
       if (matched) {
-        co_await deliver_to_posted(cookie, p, t);
+        co_await deliver_to_posted(cookie, p, t, budget_reserved);
       } else {
         // Append to the unexpected queue.
         const EntryAddrs addrs = alloc_entry();
@@ -634,6 +693,8 @@ sim::Process Nic::handle_packet(RxItem item) {
                                               p.token, p.src,
                                               addrs.state_line};
         ++stats_.unexpected_appends;
+        stats_.unexpected_depth_peak = std::max<std::uint64_t>(
+            stats_.unexpected_depth_peak, unexpected_.size());
         t += append_cost(addrs);
         stats_.firmware_busy += t;
         co_await sim::delay(eng, t);
@@ -686,18 +747,25 @@ sim::Process Nic::handle_packet(RxItem item) {
     }
 
     case net::PacketKind::kAck:
-      ALPU_CHECK_FAIL("reliability ACK reached the firmware");
+    case net::PacketKind::kRnrNack:
+      ALPU_CHECK_FAIL("reliability control packet reached the firmware");
   }
 }
 
 sim::Process Nic::deliver_to_posted(match::Cookie cookie,
                                     const net::Packet& packet,
-                                    TimePs accrued) {
+                                    TimePs accrued, bool budget_reserved) {
   auto& eng = engine();
   const PostedInfo* found = posted_info_.find(cookie);
   ALPU_ASSERT(found != nullptr, "posted cookie missing from the info map");
   const PostedInfo info = *found;
   posted_info_.erase(cookie);
+
+  // Matched straight to a posted receive: the envelope slot frees now;
+  // eager payload bytes stay pinned until the delivery DMA completes.
+  // Bypass-admitted packets (posted-match bypass, try_admit) never
+  // reserved, so there is nothing to release.
+  if (budget_reserved) release_eager_slot();
 
   TimePs t = accrued + instr(config_.costs.delivery_setup_cycles);
 
@@ -706,7 +774,9 @@ sim::Process Nic::deliver_to_posted(match::Cookie cookie,
         std::min(packet.payload_bytes, info.max_bytes);
     stats_.firmware_busy += t;
     co_await sim::delay(eng, t);
-    rx_dma_.request(bytes, [this, info, bytes, bits = packet.match_bits] {
+    rx_dma_.request(bytes, [this, info, bytes, bits = packet.match_bits,
+                            pinned = packet.payload_bytes, budget_reserved] {
+      if (budget_reserved) release_eager_bytes(pinned);
       enqueue_advance([this, info, bytes, bits] {
         complete(Completion{info.req_id, bytes, bits});
       });
@@ -784,7 +854,14 @@ sim::Process Nic::handle_request(HostRequest request) {
     // both eager and rendezvous legs draw their wire-order ticket while
     // the firmware still holds the request (inject_matchable).
     const std::uint64_t ticket = tx_order_[request.dst].next++;
-    if (request.send_bytes <= config_.eager_threshold) {
+    const bool demoted = peer_demoted(request.dst);
+    if (demoted && request.send_bytes <= config_.eager_threshold) {
+      // Repeat RNR refusals from this peer: route even small sends
+      // through rendezvous, whose DATA leg lands in a posted host
+      // buffer and is never admission-refused — guaranteed progress.
+      ++stats_.demoted_sends;
+    }
+    if (request.send_bytes <= config_.eager_threshold && !demoted) {
       stats_.firmware_busy += t;
       co_await sim::delay(eng, t);
       // Pull the payload from host memory.  The Tx path is cut-through
@@ -920,6 +997,28 @@ sim::Process Nic::handle_request(HostRequest request) {
   posted_.append(match::PostedEntry{request.pattern, ck, addrs.match_line});
   posted_info_[ck] = PostedInfo{request.recv_buffer, request.recv_max_bytes,
                                 request.req_id, addrs.state_line};
+  // Posted-match bypass bookkeeping (try_admit): packets admitted before
+  // this receive was posted but not yet matched sit in rx_fifo_, and the
+  // firmware will match them before any later arrival.  Pledge the new
+  // entry to the first of them that matches so a newer packet's
+  // admission probe cannot claim it out of order.
+  if (budget_limited() && reliability_.enabled()) {
+    for (const RxItem& pending : rx_fifo_) {
+      const net::Packet& q = pending.packet;
+      if (q.kind != net::PacketKind::kEager &&
+          q.kind != net::PacketKind::kRtsRendezvous) {
+        continue;
+      }
+      if (!request.pattern.matches(q.match_bits)) continue;
+      MatchPromise* mp = match_promises_.find(promise_key(q));
+      ALPU_DEBUG_ASSERT(mp != nullptr,
+                        "admitted packet missing its pledge record");
+      if (mp == nullptr || mp->cookie != 0) continue;
+      mp->cookie = ck;
+      promised_posted_[ck] = 1;
+      break;
+    }
+  }
   ++stats_.posted_appends;
   t += append_cost(addrs);
   stats_.firmware_busy += t;
@@ -946,7 +1045,9 @@ sim::Process Nic::deliver_from_unexpected(match::Cookie cookie,
     const std::uint32_t bytes = std::min(info.bytes, request.recv_max_bytes);
     stats_.firmware_busy += t;
     co_await sim::delay(eng, t);
-    rx_dma_.request(bytes, [this, request, bytes, bits] {
+    rx_dma_.request(bytes, [this, request, bytes, bits,
+                            pinned = info.bytes] {
+      release_eager_bytes(pinned);
       enqueue_advance([this, request, bytes, bits] {
         complete(Completion{request.req_id, bytes, bits});
       });
@@ -970,6 +1071,187 @@ sim::Process Nic::deliver_from_unexpected(match::Cookie cookie,
   cts.token = info.token;
   reliability_.send(cts);
   ++stats_.packets_tx;
+}
+
+// ---------------------------------------------------------------------------
+// Eager-resource budget (receiver admission + sender flow state)
+// ---------------------------------------------------------------------------
+
+bool Nic::reserve_eager(const net::Packet& packet, bool enforce) {
+  const std::uint64_t bytes = packet.kind == net::PacketKind::kEager
+                                  ? packet.payload_bytes
+                                  : 0;  // RTS pins an envelope slot only
+  if (enforce) {
+    if (config_.unexpected_slots > 0 &&
+        eager_slots_used_ + 1 > config_.unexpected_slots) {
+      return false;
+    }
+    if (config_.eager_pool_bytes > 0 &&
+        eager_pool_used_ + bytes > config_.eager_pool_bytes) {
+      return false;
+    }
+  }
+  eager_pool_used_ += bytes;
+  ++eager_slots_used_;
+  stats_.eager_pool_peak_bytes =
+      std::max(stats_.eager_pool_peak_bytes, eager_pool_used_);
+  stats_.unexpected_slots_peak = std::max<std::uint64_t>(
+      stats_.unexpected_slots_peak, eager_slots_used_);
+  return true;
+}
+
+bool Nic::try_admit(const net::Packet& packet) {
+  const bool reserved = reserve_eager(packet, /*enforce=*/true);
+  // Posted-match bypass: pledge the first posted entry this packet
+  // matches (skipping entries pledged to earlier in-flight packets).
+  // This models the ALPU's line-rate posted-queue probe — the paper's
+  // premise is exactly that this verdict is available at wire speed,
+  // before any firmware runs.  Every admitted packet gets a pledge
+  // record (cookie 0 when nothing matches yet) so the assignment stays
+  // a faithful dry-run of firmware matching order: a later bypass
+  // admission can never be promised an entry an earlier unprocessed
+  // packet is about to consume, and a receive posted while packets sit
+  // in rx_fifo_ is pledged to the first of them that matches it
+  // (handle_request), never stolen by a newer arrival.
+  match::Cookie pledged = 0;
+  std::size_t from = 0;
+  for (;;) {
+    const match::SearchResult res = posted_.search_from(from,
+                                                        packet.match_bits);
+    if (!res.found) break;
+    if (!promised_posted_.contains(res.cookie)) {
+      pledged = res.cookie;
+      break;
+    }
+    from = res.index + 1;
+  }
+  if (!reserved && pledged == 0) return false;
+  if (pledged != 0) promised_posted_[pledged] = 1;
+  match_promises_[promise_key(packet)] = MatchPromise{pledged, reserved};
+  return true;
+}
+
+match::SearchResult Nic::posted_search_from(std::size_t first,
+                                            match::MatchWord word,
+                                            match::Cookie own_promise) const {
+  std::size_t from = first;
+  std::size_t visited = 0;
+  for (;;) {
+    match::SearchResult res = posted_.search_from(from, word);
+    visited += res.visited;
+    if (!res.found || res.cookie == own_promise ||
+        !promised_posted_.contains(res.cookie)) {
+      res.visited = visited;
+      return res;
+    }
+    from = res.index + 1;
+  }
+}
+
+std::uint64_t Nic::credit_bytes() const {
+  if (config_.eager_pool_bytes == 0) return ~std::uint64_t{0};
+  return config_.eager_pool_bytes - eager_pool_used_;
+}
+
+std::uint32_t Nic::credit_slots() const {
+  if (config_.unexpected_slots == 0) return ~std::uint32_t{0};
+  return config_.unexpected_slots - eager_slots_used_;
+}
+
+void Nic::release_eager_slot() {
+  ALPU_DEBUG_ASSERT(eager_slots_used_ > 0, "eager slot double-release");
+  --eager_slots_used_;
+  if (budget_limited()) reliability_.notify_credit_released();
+}
+
+void Nic::release_eager_bytes(std::uint32_t bytes) {
+  ALPU_DEBUG_ASSERT(eager_pool_used_ >= bytes, "eager pool double-release");
+  eager_pool_used_ -= bytes;
+  if (budget_limited()) reliability_.notify_credit_released();
+}
+
+bool Nic::peer_demoted(net::NodeId peer) const {
+  const PeerFlow* flow = peer_flow_.find(peer);
+  return flow != nullptr && flow->demoted;
+}
+
+void Nic::on_peer_rnr(net::NodeId peer, unsigned streak) {
+  if (streak < config_.reliability.rnr_demote_after) return;
+  PeerFlow& flow = peer_flow_[peer];
+  if (flow.demoted) return;
+  flow.demoted = true;
+  ++stats_.rnr_demotions;
+  ALPU_LOGF(LogLevel::kDebug, engine().now(), name(),
+            "peer {} demoted to rendezvous after {} RNR refusals", peer,
+            streak);
+}
+
+void Nic::on_peer_credit(net::NodeId peer, std::uint64_t bytes,
+                         std::uint32_t slots) {
+  PeerFlow* flow = peer_flow_.find(peer);
+  if (flow == nullptr || !flow->demoted) return;
+  // Re-promote once the peer advertises room for a full eager message:
+  // anything less and the next small send would likely bounce again.
+  if (slots >= 1 && bytes >= config_.eager_threshold) {
+    flow->demoted = false;
+    ++stats_.rnr_promotions;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stall-watchdog introspection
+// ---------------------------------------------------------------------------
+
+bool Nic::undrained_work() const {
+  // Quiescence (an empty event heap) with any of this pending means the
+  // protocol wedged: no future event exists that could drain it.  Posted
+  // and unexpected queue DEPTH is deliberately not in this list — idle
+  // pre-posted receives or unconsumed unexpected messages at the end of
+  // a run are legitimate workload outcomes, not stalls.
+  std::size_t parked = 0;
+  for (const TxOrder& ord : tx_order_) parked += ord.parked.size();
+  return !rdvz_send_.empty() || !rdvz_recv_.empty() || parked > 0 ||
+         !rx_fifo_.empty() || !host_fifo_.empty() ||
+         !advance_fifo_.empty() || reliability_.undrained();
+}
+
+std::string Nic::stall_snapshot() const {
+  std::size_t parked = 0;
+  for (const TxOrder& ord : tx_order_) parked += ord.parked.size();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s: postedQ=%zu unexpectedQ=%zu pool=%llu/%llu slots=%u/%u "
+      "rdvz{send=%zu recv=%zu} parked=%zu fifo{rx=%zu host=%zu adv=%zu} "
+      "rel{window=%zu rnr_paused=%zu credit_owed=%zu failed_links=%llu}",
+      name().c_str(), posted_.size(), unexpected_.size(),
+      static_cast<unsigned long long>(eager_pool_used_),
+      static_cast<unsigned long long>(config_.eager_pool_bytes),
+      eager_slots_used_, config_.unexpected_slots, rdvz_send_.size(),
+      rdvz_recv_.size(), parked, rx_fifo_.size(), host_fifo_.size(),
+      advance_fifo_.size(), reliability_.total_window_packets(),
+      reliability_.rnr_paused_windows(), reliability_.credit_owed_peers(),
+      static_cast<unsigned long long>(
+          reliability_.stats().link_failures));
+  std::string out(buf);
+  // Queue heads (src:tag), capped: enough to see who a wedged receiver
+  // is holding state for without flooding the dump.
+  constexpr std::size_t kMaxListed = 8;
+  for (std::size_t i = 0; i < unexpected_.size() && i < kMaxListed; ++i) {
+    const match::Envelope env = match::unpack(unexpected_.at(i).word);
+    std::snprintf(buf, sizeof(buf), "%s ux[%zu]=%u:%u",
+                  i == 0 ? "\n    " : "", i, env.source, env.tag);
+    out += buf;
+  }
+  for (std::size_t i = 0; i < posted_.size() && i < kMaxListed; ++i) {
+    const match::Pattern& pat = posted_.at(i).pattern;
+    const match::Envelope env = match::unpack(pat.bits);
+    std::snprintf(buf, sizeof(buf), "%s post[%zu]=%u:%s",
+                  i == 0 ? "\n    " : "", i, env.source,
+                  pat.is_exact() ? std::to_string(env.tag).c_str() : "*");
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace alpu::nic

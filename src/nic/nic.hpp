@@ -71,6 +71,16 @@ struct NicStats {
   std::uint64_t alpu_fallback_resets = 0;   ///< ALPU reset to enter fallback
   std::uint64_t alpu_fallback_searches = 0;  ///< software walks while degraded
 
+  // Eager-resource occupancy (tracked even with unlimited budgets, so
+  // sweeps can report what an incast would have pinned).
+  std::uint64_t unexpected_depth_peak = 0;  ///< max unexpectedQ length
+  std::uint64_t eager_pool_peak_bytes = 0;  ///< max staged eager payload
+  std::uint64_t unexpected_slots_peak = 0;  ///< max staged envelope slots
+  // Receiver-not-ready flow control (nonzero only with finite budgets).
+  std::uint64_t rnr_demotions = 0;     ///< peers demoted eager→rendezvous
+  std::uint64_t rnr_promotions = 0;    ///< demoted peers re-promoted
+  std::uint64_t demoted_sends = 0;     ///< small sends routed rendezvous
+
   std::uint64_t completions = 0;
   common::TimePs firmware_busy = 0;  ///< summed charged time
 
@@ -85,7 +95,7 @@ struct NicStats {
   std::uint64_t control_bytes = 0;  ///< bytes of backing capacity grown
 };
 
-class Nic : public sim::Component {
+class Nic : public sim::Component, private EagerAdmission {
  public:
   Nic(sim::Engine& engine, std::string name, net::NodeId node,
       const NicConfig& config, net::Network& network);
@@ -121,6 +131,20 @@ class Nic : public sim::Component {
   mem::MemorySystem& memory() { return memory_; }
   std::size_t posted_queue_length() const { return posted_.size(); }
   std::size_t unexpected_queue_length() const { return unexpected_.size(); }
+
+  // ---- eager-resource budget (flow control) ----
+
+  /// Staged eager payload bytes / envelope slots currently pinned.
+  std::uint64_t eager_pool_used() const { return eager_pool_used_; }
+  std::uint32_t eager_slots_used() const { return eager_slots_used_; }
+  /// True while `peer`'s repeated RNR refusals have demoted our eager
+  /// traffic toward it to rendezvous.
+  bool peer_demoted(net::NodeId peer) const;
+
+  /// Stall-watchdog hooks: quiescence with undrained protocol work is a
+  /// stall; the snapshot is the per-NIC triage dump.
+  bool undrained_work() const;
+  std::string stall_snapshot() const;
 
   /// The attached units through the model-independent interface
   /// (nullptr when not attached).
@@ -274,12 +298,48 @@ class Nic : public sim::Component {
   /// (see the tx_ticket_* members).  Releases parked successors.
   void inject_matchable(const net::Packet& packet, std::uint64_t ticket);
 
+  /// `budget_reserved` is false for packets admitted through the
+  /// posted-match bypass: no eager resources were reserved for them, so
+  /// none must be released here.
   sim::Process deliver_to_posted(match::Cookie cookie,
                                  const net::Packet& packet,
-                                 common::TimePs accrued);
+                                 common::TimePs accrued,
+                                 bool budget_reserved);
   sim::Process deliver_from_unexpected(match::Cookie cookie,
                                        const HostRequest& request,
                                        common::TimePs accrued);
+
+  // ---- eager-resource accounting (EagerAdmission) ----
+
+  /// True when this NIC enforces a finite budget (admission installed).
+  bool budget_limited() const {
+    return config_.eager_pool_bytes > 0 || config_.unexpected_slots > 0;
+  }
+  bool try_admit(const net::Packet& packet) override;
+  std::uint64_t credit_bytes() const override;
+  std::uint32_t credit_slots() const override;
+  /// Reserve the resources `packet` pins (one envelope slot, plus the
+  /// payload bytes for eager kinds).  `enforce` refuses over-budget
+  /// reservations; without it the occupancy is tracked stats-only.
+  bool reserve_eager(const net::Packet& packet, bool enforce);
+  void release_eager_slot();
+  void release_eager_bytes(std::uint32_t bytes);
+  /// Key for the posted-match promise table: one in-flight admitted
+  /// packet per (source, sequence).
+  static std::uint64_t promise_key(const net::Packet& packet) {
+    return (static_cast<std::uint64_t>(packet.src) << 32) | packet.seq;
+  }
+  /// Posted-list search that skips entries promised to other in-flight
+  /// packets (identical to posted_.search_from when no budget is set:
+  /// the promise tables stay empty).  `visited` accumulates across the
+  /// skipped probes for the walk-cost model.
+  match::SearchResult posted_search_from(std::size_t first,
+                                         match::MatchWord word,
+                                         match::Cookie own_promise) const;
+  /// Flow hooks from the reliability sublayer (sender side).
+  void on_peer_rnr(net::NodeId peer, unsigned streak);
+  void on_peer_credit(net::NodeId peer, std::uint64_t bytes,
+                      std::uint32_t slots);
 
   // ---- members ----
 
@@ -326,6 +386,32 @@ class Nic : public sim::Component {
   common::DenseNodeTable<TxOrder> tx_order_;
   match::Cookie next_cookie_ = 1;
   std::uint64_t next_token_ = 1;
+
+  /// Per-peer sender-side flow state: demoted peers route small sends
+  /// through rendezvous until a credit grant re-promotes them.
+  struct PeerFlow {
+    bool demoted = false;
+  };
+  common::DenseNodeTable<PeerFlow> peer_flow_;
+  /// Receiver-side eager occupancy (bytes staged / envelope slots).
+  std::uint64_t eager_pool_used_ = 0;
+  std::uint32_t eager_slots_used_ = 0;
+  /// Posted-match admission bypass (budget-limited mode only).  The
+  /// admission probe (try_admit) pledges each admitted eager/RTS packet
+  /// the first posted entry it matches, in admission order, skipping
+  /// entries already pledged to earlier in-flight packets.  A packet
+  /// that finds no budget but does find an unpledged posted match is
+  /// admitted WITHOUT a reservation (`reserved == false`): its payload
+  /// lands in the application buffer, not the eager pool, so refusing
+  /// it would be a priority inversion (RNR means "receiver not ready",
+  /// and this receiver is ready).  Firmware matching skips entries
+  /// pledged to other packets so the probe's verdict holds.
+  struct MatchPromise {
+    match::Cookie cookie = 0;
+    bool reserved = false;  ///< eager budget was reserved at admission
+  };
+  common::FlatMap<match::Cookie, std::uint8_t> promised_posted_;
+  common::FlatMap<std::uint64_t, MatchPromise> match_promises_;
 
   std::deque<RxItem> rx_fifo_;
   std::deque<HostRequest> host_fifo_;

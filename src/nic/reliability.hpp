@@ -22,7 +22,21 @@
 //   * cumulative ACKs: each in-order delivery (or detected duplicate)
 //     sends one standalone kAck carrying the next expected sequence
 //     number.  ACKs themselves are unsequenced and may be lost — the
-//     sender's timeout covers them.
+//     sender's timeout covers them;
+//   * receiver-not-ready flow control (optional, installed by the Nic
+//     when its eager budget is finite): before an in-sequence eager/RTS
+//     packet is delivered up, an EagerAdmission hook may refuse it.
+//     The refusal sends a kRnrNack (cumulative ack + retry hint +
+//     credit advertisement) instead of an ACK and does NOT advance the
+//     expected sequence number, so go-back-N retransmission naturally
+//     re-offers the refused packet.  The sender pauses the window and
+//     retries after a deterministic exponential backoff seeded by the
+//     hint; credits returned as buffers drain (piggybacked on ACKs,
+//     plus one explicit credit-bearing ACK pushed to the longest-waiting
+//     paused peer per release) cut the wait short.  Consecutive
+//     refusals without a credit grant feed the same bounded-retry →
+//     link-failure discipline as timeouts, so a wedged receiver cannot
+//     stall the simulation silently.
 //
 // Disabled (the default), the layer is a transparent pass-through: no
 // sequence numbers are stamped, no ACKs are generated, no timers are
@@ -33,6 +47,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -92,6 +107,14 @@ struct ReliabilityConfig {
   unsigned max_retries = 12;
   /// Receiver-side out-of-order buffer capacity per peer.
   std::size_t reorder_window = 64;
+  /// Retry hint advertised in RNR NACKs (microseconds).  The refused
+  /// sender's first backoff; doubles per consecutive refusal up to
+  /// `max_timeout_ps`.
+  std::uint32_t rnr_hint_us = 20;
+  /// Consecutive RNR refusals (without a credit grant) after which the
+  /// sender-side flow hook demotes the peer's eager traffic to
+  /// rendezvous for guaranteed forward progress.
+  unsigned rnr_demote_after = 2;
 };
 
 struct ReliabilityStats {
@@ -107,6 +130,12 @@ struct ReliabilityStats {
   std::uint64_t ooo_dropped = 0;    ///< out-of-order past the buffer bound
   std::uint64_t link_failures = 0;  ///< peers given up on
   std::uint64_t sends_after_failure = 0;  ///< sends discarded on dead links
+  // Receiver-not-ready flow control (all zero when no admission hook
+  // is installed, i.e. unlimited budgets).
+  std::uint64_t rnr_nacks_tx = 0;   ///< admission refusals NACKed
+  std::uint64_t rnr_nacks_rx = 0;   ///< NACKs received (sender side)
+  std::uint64_t rnr_retries = 0;    ///< paused windows re-offered
+  std::uint64_t credit_acks_tx = 0; ///< explicit credit pushes on drain
   /// Backing-array growths of the pooled tx-window / rx-held buffers.
   /// Each is one heap allocation; at steady state (windows warmed up)
   /// this counter must stop moving — the zero-allocation property the
@@ -127,9 +156,28 @@ struct ReliabilityStats {
     ooo_dropped += o.ooo_dropped;
     link_failures += o.link_failures;
     sends_after_failure += o.sends_after_failure;
+    rnr_nacks_tx += o.rnr_nacks_tx;
+    rnr_nacks_rx += o.rnr_nacks_rx;
+    rnr_retries += o.rnr_retries;
+    credit_acks_tx += o.credit_acks_tx;
     buffer_allocs += o.buffer_allocs;
     return *this;
   }
+};
+
+/// Receiver-side admission control for eager resources, implemented by
+/// the Nic when its budget is finite.  `try_admit` is consulted once per
+/// in-sequence eager/RTS packet, immediately before delivery up the
+/// stack: returning false refuses the packet (no resources reserved)
+/// and triggers an RNR NACK; returning true reserves the resources the
+/// packet needs.  The credit accessors report the currently free budget
+/// for advertisement on outgoing ACKs/NACKs.
+class EagerAdmission {
+ public:
+  virtual ~EagerAdmission() = default;
+  virtual bool try_admit(const net::Packet& packet) = 0;
+  virtual std::uint64_t credit_bytes() const = 0;
+  virtual std::uint32_t credit_slots() const = 0;
 };
 
 /// One NIC's reliability endpoint.  Owned by the Nic, interposed between
@@ -166,6 +214,50 @@ class ReliabilityLayer {
   /// Unacknowledged packets currently in flight toward `peer`.
   std::size_t window_size(net::NodeId peer) const;
 
+  /// Install receiver-side admission control (nullptr = unlimited; the
+  /// default).  With no hook the layer never refuses, never NACKs, and
+  /// advertises no credits — byte-identical to the pre-flow-control
+  /// wire schedule.
+  void set_admission(EagerAdmission* admission) { admission_ = admission; }
+
+  /// Sender-side flow notifications, bound once by the owning Nic.
+  struct FlowHooks {
+    /// `streak` consecutive RNR refusals from `peer` without a credit
+    /// grant — the Nic demotes eager traffic past a threshold.
+    // lint: ok(std-function-hot-path) — bound once at wiring; invoked
+    // only on the (rare) refusal path.
+    std::function<void(net::NodeId peer, unsigned streak)> on_rnr;
+    /// Credit advertisement received from `peer` (on any ACK/NACK with
+    /// nonzero credit) — the Nic re-promotes demoted peers.
+    // lint: ok(std-function-hot-path) — bound once at wiring.
+    std::function<void(net::NodeId peer, std::uint64_t credit_bytes,
+                       std::uint32_t credit_slots)>
+        on_credit;
+  };
+  void set_flow_hooks(FlowHooks hooks) { flow_ = std::move(hooks); }
+
+  /// Called by the admission owner whenever previously-reserved budget
+  /// is released.  Pushes one explicit credit-bearing ACK to the
+  /// longest-waiting refused peer (deterministic FIFO), waking its
+  /// paused window without waiting out the backoff.
+  void notify_credit_released();
+
+  // Stall-watchdog introspection: quiescence with any of these nonzero
+  // is undrained protocol work.
+  std::size_t total_window_packets() const;  ///< unACKed, summed over peers
+  std::size_t rnr_paused_windows() const;    ///< senders holding a backoff
+  std::size_t credit_owed_peers() const {    ///< refused peers awaiting credit
+    return credit_queue_.size();
+  }
+  bool undrained() const {
+    // credit_queue_ is deliberately NOT part of this predicate: a peer
+    // stays queued after its held packet is re-admitted (e.g. through
+    // the posted-match bypass), so a stale token at quiescence is
+    // benign.  A real wedge always shows up on the sender side as an
+    // unACKed window or a paused backoff.
+    return total_window_packets() > 0 || rnr_paused_windows() > 0;
+  }
+
   /// Point backing-array growth of the per-peer tables at the owner's
   /// counters (the Nic wires NicStats.control_allocs/control_bytes).
   void set_alloc_sink(common::AllocSink sink) {
@@ -188,9 +280,18 @@ class ReliabilityLayer {
     bool timer_armed = false;
     unsigned attempts = 0;  ///< consecutive timeouts without progress
     bool failed = false;
+    /// Consecutive RNR refusals without ack progress or a credit grant
+    /// (feeds the same max_retries → link-failure bound as timeouts).
+    unsigned rnr_streak = 0;
+    /// Window held under RNR backoff: the timer slot carries the
+    /// rnr-retry event instead of the retransmit timeout, and fresh
+    /// sends are windowed but not transmitted until the retry.
+    bool rnr_paused = false;
   };
   struct RxState {
     std::uint32_t expected = 0;
+    /// This peer was refused and is queued for an explicit credit push.
+    bool rnr_pending = false;
     /// Out-of-order packets held for in-sequence release, sorted by
     /// sequence number.  Capacity is reserved to `reorder_window` on
     /// first use, so steady-state holds/releases never allocate (a map
@@ -203,6 +304,16 @@ class ReliabilityLayer {
   void on_timeout(net::NodeId peer);
   void on_ack(const net::Packet& packet);
   void send_ack(net::NodeId peer, std::uint32_t ack_seq);
+  /// Stamp the free-budget advertisement onto an outgoing ACK/NACK
+  /// (no-op fields stay zero when no admission hook is installed).
+  void fill_credits(net::Packet& packet) const;
+  void send_rnr_nack(net::NodeId peer, RxState& rx);
+  void on_rnr_nack(const net::Packet& packet);
+  void on_rnr_retry(net::NodeId peer);
+  /// Retransmit the whole window now (go-back-N re-offer) and re-arm
+  /// the retransmit timeout.
+  void retransmit_window(net::NodeId peer, TxState& tx);
+  void fail_link(net::NodeId peer, TxState& tx, const char* why);
 
   sim::Engine& engine_;
   std::string name_;
@@ -214,6 +325,12 @@ class ReliabilityLayer {
   /// machine's nodes).  Formerly std::map — a tree probe per packet.
   common::DenseNodeTable<TxState> tx_;
   common::DenseNodeTable<RxState> rx_;
+  EagerAdmission* admission_ = nullptr;
+  FlowHooks flow_;
+  /// Refused peers awaiting an explicit credit push, oldest first.
+  /// Bounded by the node count (a peer is enqueued at most once —
+  /// RxState.rnr_pending is the membership flag).
+  std::deque<net::NodeId> credit_queue_;
   ReliabilityStats stats_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "sim/watchdog.hpp"
 
 namespace alpu::sim {
 
@@ -197,6 +198,10 @@ TimePs Engine::run_until(TimePs deadline) {
     fn();
   }
   if (heap_.empty() && deadline == common::kTimeNever) {
+    // Quiescent with no deadline: the run is over.  Let an installed
+    // watchdog inspect for undrained protocol work before the finish
+    // hooks flush stats (the components are still fully intact here).
+    if (watchdog_ != nullptr) watchdog_->on_quiescent(now_);
     finish_components();
   }
   return now_;

@@ -161,6 +161,7 @@ class EventCallback {
 };
 
 class Engine;
+class StallWatchdog;
 
 /// Base class for simulation components (NIC, ALPU, network, ...).
 ///
@@ -238,6 +239,11 @@ class Engine {
 
   /// Request that run() return after the current event completes.
   void stop() { stop_requested_ = true; }
+
+  /// Install a stall watchdog (sim/watchdog.hpp), polled once when
+  /// run() reaches quiescence (empty heap, no deadline) just before the
+  /// finish hooks.  nullptr (the default) detaches it.  Not owned.
+  void set_watchdog(StallWatchdog* watchdog) { watchdog_ = watchdog; }
 
   /// Number of events executed so far (for kernel benchmarks).
   std::uint64_t events_executed() const { return events_executed_; }
@@ -347,6 +353,7 @@ class Engine {
   std::vector<Component*> components_;
   bool components_initialized_ = false;
   bool stop_requested_ = false;
+  StallWatchdog* watchdog_ = nullptr;
   std::uint64_t events_executed_ = 0;
 #if ALPU_AUDIT
   check::ShardAudit* audit_ = nullptr;

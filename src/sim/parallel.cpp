@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "sim/watchdog.hpp"
 
 namespace alpu::sim {
 
@@ -177,6 +178,9 @@ void ShardGroup::run_windows(TimePs lookahead) {
 
 TimePs ShardGroup::run_all(TimePs lookahead) {
   if (!parallel()) {
+    // Single shard: Engine::run() reaches quiescence itself, so the
+    // engine-level hook is the natural (and only) poll point.
+    if (watchdog_ != nullptr) engines_[0]->set_watchdog(watchdog_);
 #if ALPU_AUDIT
     // Triage mode needs window-aligned traces: run even a single shard
     // through the same lookahead windows a parallel group would use, so
@@ -203,6 +207,9 @@ TimePs ShardGroup::run_all(TimePs lookahead) {
   // Drained: fire finish hooks per shard (run() on an empty heap).
   TimePs end = 0;
   for (auto& e : engines_) end = std::max(end, e->run());
+  // Group quiescence: every shard drained and no cross-shard event is
+  // in any outbox — poll the watchdog once over the whole machine.
+  if (watchdog_ != nullptr) watchdog_->on_quiescent(end);
   return end;
 }
 

@@ -107,6 +107,13 @@ class ShardGroup {
   /// reported by bench_engine as coordination-overhead context).
   std::uint64_t windows_run() const { return windows_run_; }
 
+  /// Install a stall watchdog polled once per run_all() at group
+  /// quiescence: delegated to shard 0's engine in single-shard mode
+  /// (where run_all IS Engine::run), invoked by the coordinator after
+  /// the final drain in parallel mode — exactly one poll either way.
+  /// nullptr detaches.  Not owned.
+  void set_watchdog(StallWatchdog* watchdog) { watchdog_ = watchdog; }
+
 #if ALPU_AUDIT
   /// Replace the group's own auditor with an externally owned one (the
   /// triage CLI keeps the auditor across the run to read its trace).
@@ -145,6 +152,7 @@ class ShardGroup {
   TimePs window_end_ = 0;
   bool done_ = false;
   std::uint64_t windows_run_ = 0;
+  StallWatchdog* watchdog_ = nullptr;
 #if ALPU_AUDIT
   /// In audit builds every group carries an auditor by default, so the
   /// existing CI workloads (fig5/fig6 sweeps, chaos) are audited with no

@@ -1,0 +1,36 @@
+#include "sim/watchdog.hpp"
+
+#include <cstdio>
+
+namespace alpu::sim {
+
+std::size_t StallWatchdog::on_quiescent(common::TimePs now) {
+  std::size_t undrained = 0;
+  for (const Check& check : checks_) {
+    if (check.undrained && check.undrained()) ++undrained;
+  }
+  if (undrained == 0) return 0;
+  ++stalls_detected_;
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "STALL: simulation quiescent at %llu ps with undrained "
+                "protocol work on %zu of %zu checks",
+                static_cast<unsigned long long>(now), undrained,
+                checks_.size());
+  const auto emit = [this](const std::string& line) {
+    if (sink_) {
+      sink_(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  };
+  emit(head);
+  // Dump EVERY snapshot, not only the undrained ones: a wedged receiver
+  // is diagnosed by what its peers hold against it.
+  for (const Check& check : checks_) {
+    if (check.snapshot) emit("  " + check.snapshot());
+  }
+  return undrained;
+}
+
+}  // namespace alpu::sim

@@ -1,0 +1,69 @@
+// Simulated-time stall watchdog.
+//
+// A discrete-event simulation never hangs — it drains.  The failure
+// mode of a wedged protocol is therefore silent: the event heap
+// empties while rendezvous handshakes, retransmit windows, RNR-held
+// NACK windows or unreturned flow-control credits are still pending,
+// and the run "completes" with work undone.  The watchdog turns that
+// into a diagnosed event: Engine::run() (and ShardGroup::run_all())
+// invoke on_quiescent() when the heap drains with no deadline, and the
+// watchdog polls its registered checks — one per NIC, typically — for
+// undrained protocol work.  Any hit dumps every registered snapshot
+// (queue depths, pool occupancy, reliability windows, credit balances)
+// to the sink for triage.
+//
+// The watchdog never mutates simulation state and fires no events, so
+// registering one cannot perturb determinism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace alpu::sim {
+
+class StallWatchdog {
+ public:
+  /// One quiescence check (typically one NIC's view).  `undrained`
+  /// answers "does protocol-level work remain that no pending event can
+  /// complete?"; `snapshot` renders the diagnostic line for the dump.
+  struct Check {
+    std::string name;
+    // lint: ok(std-function-hot-path) — cold path: polled once per run,
+    // at quiescence, never per event.
+    std::function<bool()> undrained;
+    // lint: ok(std-function-hot-path) — cold path, see above.
+    std::function<std::string()> snapshot;
+  };
+
+  void add_check(Check check) { checks_.push_back(std::move(check)); }
+  void clear() { checks_.clear(); }
+  std::size_t check_count() const { return checks_.size(); }
+
+  /// Called at quiescence (`now` = final simulated time).  Returns the
+  /// number of checks reporting undrained work; nonzero dumps every
+  /// snapshot to the sink and counts one stall.
+  std::size_t on_quiescent(common::TimePs now);
+
+  /// Stalls detected over the watchdog's lifetime (a run that drains
+  /// cleanly contributes zero).
+  std::uint64_t stalls_detected() const { return stalls_detected_; }
+
+  /// Redirect the diagnostic dump (tests); default writes to stderr.
+  // lint: ok(std-function-hot-path) — configuration, not per-event.
+  void set_sink(std::function<void(const std::string&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+ private:
+  std::vector<Check> checks_;
+  // lint: ok(std-function-hot-path) — invoked only on a detected stall.
+  std::function<void(const std::string&)> sink_;
+  std::uint64_t stalls_detected_ = 0;
+};
+
+}  // namespace alpu::sim

@@ -17,7 +17,8 @@ struct Plan {
   int nranks = 0;
 };
 
-Plan make_plan(int nranks, int per_pair, std::uint64_t seed) {
+Plan make_plan(int nranks, int per_pair, std::uint64_t seed,
+               bool overload) {
   common::Xoshiro256 rng(seed);
   Plan plan;
   plan.nranks = nranks;
@@ -27,7 +28,16 @@ Plan make_plan(int nranks, int per_pair, std::uint64_t seed) {
         static_cast<std::size_t>(nranks));
     for (int s = 0; s < nranks; ++s) {
       if (s == d) continue;
+      // Incast: every sender floods rank 0 and nobody else, with
+      // all-eager sizes — receiver resources are the only bottleneck.
+      if (overload && d != 0) continue;
       for (int m = 0; m < per_pair; ++m) {
+        if (overload) {
+          plan.messages[static_cast<std::size_t>(d)]
+                       [static_cast<std::size_t>(s)]
+              .push_back(static_cast<std::uint32_t>(64 + rng.below(1'984)));
+          continue;
+        }
         // Mostly eager, occasionally rendezvous-sized — the loss of any
         // RTS/CTS/DATA leg must be survivable too.
         const std::uint32_t bytes =
@@ -59,7 +69,8 @@ struct PendingRecv {
 };
 
 sim::Process chaos_rank(mpi::Machine& machine, const Plan& plan, int rank,
-                        std::uint64_t seed, std::vector<RankOutcome>& out) {
+                        std::uint64_t seed, bool overload,
+                        std::vector<RankOutcome>& out) {
   common::Xoshiro256 rng(seed ^ (0xC0FFEEULL + 977 * static_cast<std::uint64_t>(rank)));
   mpi::Rank& self = machine.rank(rank);
 
@@ -99,6 +110,13 @@ sim::Process chaos_rank(mpi::Machine& machine, const Plan& plan, int rank,
         co_await sim::delay(self.engine(), rng.below(3'000) * 1'000);
       }
     }
+    if (overload && rank == 0 && work_left) {
+      // The overloaded receiver drains slowly: one receive per peer per
+      // round, then a fixed stall.  The senders' eager floods pile up
+      // against the NIC's budget in the meantime — that pressure is the
+      // point of the scenario.
+      co_await sim::delay(self.engine(), 50'000'000);  // 50 us
+    }
   }
 
   co_await self.waitall(std::move(sends));
@@ -125,11 +143,19 @@ mpi::SystemConfig make_chaos_system_config(const ChaosParams& params) {
   cfg.faults = params.faults;
   cfg.nic.reliability = params.reliability;
   if (cfg.faults.any()) cfg.nic.reliability.enabled = true;
+  cfg.nic.eager_pool_bytes = params.eager_pool_bytes;
+  cfg.nic.unexpected_slots = params.unexpected_slots;
+  // Finite budgets make exhaustion an RNR-NACK protocol event, which
+  // lives in the reliability sublayer.
+  if (cfg.nic.eager_pool_bytes > 0 || cfg.nic.unexpected_slots > 0) {
+    cfg.nic.reliability.enabled = true;
+  }
   return cfg;
 }
 
 ChaosResult run_chaos(const ChaosParams& params) {
-  const Plan plan = make_plan(params.ranks, params.per_pair, params.seed);
+  const Plan plan =
+      make_plan(params.ranks, params.per_pair, params.seed, params.overload);
 
   const unsigned nshards = static_cast<unsigned>(
       std::clamp(params.shards, 1, std::max(params.ranks, 1)));
@@ -143,7 +169,8 @@ ChaosResult run_chaos(const ChaosParams& params) {
       static_cast<std::size_t>(params.ranks));
   for (int r = 0; r < params.ranks; ++r) {
     pool.spawn_on(machine.engine(r),
-                  chaos_rank(machine, plan, r, params.seed, outcomes));
+                  chaos_rank(machine, plan, r, params.seed, params.overload,
+                             outcomes));
   }
   const common::TimePs end =
       shards.run_all(machine.network().min_lookahead());
@@ -184,7 +211,18 @@ ChaosResult run_chaos(const ChaosParams& params) {
     res.probe_rejections += n.stats().alpu_probe_rejections;
     res.fallback_resets += n.stats().alpu_fallback_resets;
     res.fallback_searches += n.stats().alpu_fallback_searches;
+    res.peak_pool_bytes =
+        std::max(res.peak_pool_bytes, n.stats().eager_pool_peak_bytes);
+    res.peak_unexpected_slots =
+        std::max(res.peak_unexpected_slots, n.stats().unexpected_slots_peak);
+    res.peak_unexpected_depth =
+        std::max(res.peak_unexpected_depth, n.stats().unexpected_depth_peak);
+    res.demotions += n.stats().rnr_demotions;
+    res.demoted_sends += n.stats().demoted_sends;
   }
+  res.pool_budget = params.eager_pool_bytes;
+  res.slot_budget = params.unexpected_slots;
+  res.stalls = machine.watchdog().stalls_detected();
   return res;
 }
 

@@ -46,6 +46,17 @@ struct ChaosParams {
   std::uint64_t seed = 1;
   net::FaultConfig faults;
   nic::ReliabilityConfig reliability;
+  /// Incast overload: every rank > 0 sends its whole plan to rank 0
+  /// (small eager sizes), and rank 0 throttles its receive posting, so
+  /// offered load far exceeds the receiver's drain rate.  Meant to run
+  /// with a finite eager budget ≪ the offered load: the run then
+  /// exercises the full RNR-NACK / backoff / credit / demotion path and
+  /// still must deliver exactly once and drain.
+  bool overload = false;
+  /// Per-NIC eager budget for the run (0 = unlimited).  Nonzero budgets
+  /// force-enable the reliability sublayer (the NACK path lives there).
+  std::uint64_t eager_pool_bytes = 0;
+  std::uint32_t unexpected_slots = 0;
   /// Engine shards for the conservative-parallel run (clamped to
   /// `ranks`; 1 = the byte-exact single-threaded path).  The verdict and
   /// every counter are byte-identical at any shard count — including
@@ -74,10 +85,25 @@ struct ChaosResult {
   std::uint64_t fallback_resets = 0;
   std::uint64_t fallback_searches = 0;
 
-  /// The pass/fail verdict `alpusim chaos` and CI assert on.
+  // Flow-control outcome (budgets echoed from the params; peaks are the
+  // max over NICs, sums over NICs otherwise).
+  std::uint64_t pool_budget = 0;
+  std::uint64_t slot_budget = 0;
+  std::uint64_t peak_pool_bytes = 0;
+  std::uint64_t peak_unexpected_slots = 0;
+  std::uint64_t peak_unexpected_depth = 0;
+  std::uint64_t demotions = 0;       ///< peers demoted eager→rendezvous
+  std::uint64_t demoted_sends = 0;
+  std::uint64_t stalls = 0;          ///< watchdog: quiescent yet undrained
+
+  /// The pass/fail verdict `alpusim chaos` and CI assert on.  With a
+  /// finite budget it additionally requires the peak occupancy to have
+  /// respected the budget and the stall watchdog to have stayed silent.
   bool ok() const {
     return completed && conserved && ordered && drained &&
-           reliability.link_failures == 0;
+           reliability.link_failures == 0 && stalls == 0 &&
+           (pool_budget == 0 || peak_pool_bytes <= pool_budget) &&
+           (slot_budget == 0 || peak_unexpected_slots <= slot_budget);
   }
 };
 

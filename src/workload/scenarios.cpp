@@ -175,6 +175,12 @@ LatencyResult collect(mpi::Machine& m, TimePs latency) {
     out.link_failures += m.nic(r).reliability().stats().link_failures;
     out.alpu_probe_rejections += m.nic(r).stats().alpu_probe_rejections;
     out.alpu_fallback_resets += m.nic(r).stats().alpu_fallback_resets;
+    out.peak_unexpected_depth = std::max(out.peak_unexpected_depth,
+                                         m.nic(r).stats().unexpected_depth_peak);
+    out.peak_eager_pool_bytes = std::max(
+        out.peak_eager_pool_bytes, m.nic(r).stats().eager_pool_peak_bytes);
+    out.peak_unexpected_slots = std::max(
+        out.peak_unexpected_slots, m.nic(r).stats().unexpected_slots_peak);
   }
   return out;
 }

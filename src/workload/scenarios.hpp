@@ -99,6 +99,12 @@ struct LatencyResult {
   std::uint64_t alpu_probe_rejections = 0;
   std::uint64_t alpu_fallback_resets = 0;
   std::uint64_t link_failures = 0;
+
+  // Eager-resource occupancy peaks, max over NICs (tracked stats-only
+  // on unlimited-budget runs; `alpusim sweep --verbose` prints them).
+  std::uint64_t peak_unexpected_depth = 0;
+  std::uint64_t peak_eager_pool_bytes = 0;
+  std::uint64_t peak_unexpected_slots = 0;
 };
 
 /// Run one pre-posted-queue measurement (Figure 5 data point).

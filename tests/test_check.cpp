@@ -4,13 +4,18 @@
 // minimal counterexample.
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <string>
 #include <vector>
 
 #include "alpu/alpu.hpp"
 #include "alpu/array.hpp"
 #include "check/checker.hpp"
+#include "check/flow.hpp"
 #include "check/spec.hpp"
 #include "match/match.hpp"
+#include "net/network.hpp"
+#include "nic/reliability.hpp"
 #include "sim/engine.hpp"
 
 namespace alpu::check {
@@ -322,6 +327,259 @@ TEST_F(InjectedBug, ReferenceOracleIsUnaffected) {
   const CheckResult result =
       check_impl(ImplKind::kReference, AlpuFlavor::kPostedReceive, opt);
   EXPECT_TRUE(result.ok) << format_counterexample(result);
+}
+
+// ---- FlowSpec: the eager flow-control protocol ----------------------------
+
+TEST(FlowSpec, AdmitsUntilBudgetThenNacksAndWakesOnCredit) {
+  FlowConfig cfg;
+  cfg.pool_bytes = 4096;
+  cfg.slots = 2;
+  FlowSpec spec(cfg);
+
+  EXPECT_TRUE(spec.apply({FlowOpKind::kSendEager, 1024}).admitted);
+  EXPECT_TRUE(spec.apply({FlowOpKind::kSendEager, 1024}).admitted);
+  // Both slots pinned: the third offer bounces regardless of bytes.
+  const FlowEffect refused = spec.apply({FlowOpKind::kSendEager, 512});
+  EXPECT_TRUE(refused.nacked);
+  EXPECT_TRUE(spec.held());
+  EXPECT_EQ(spec.streak(), 1u);
+
+  // Matching the oldest staged message frees its slot; the credit push
+  // wakes the held offer, which now fits and is admitted.
+  const FlowEffect match = spec.apply({FlowOpKind::kMatch, 0});
+  EXPECT_TRUE(match.credit_push);
+  EXPECT_TRUE(match.admitted);
+  EXPECT_FALSE(spec.held());
+  EXPECT_EQ(spec.streak(), 0u);
+  EXPECT_EQ(spec.invariant_violation(), "");
+}
+
+TEST(FlowSpec, PoolBudgetRefusesOversizedAndPeakTracksHighWater) {
+  FlowConfig cfg;
+  cfg.pool_bytes = 4096;
+  cfg.slots = 0;  // unlimited slots: bytes are the binding constraint
+  FlowSpec spec(cfg);
+  EXPECT_TRUE(spec.apply({FlowOpKind::kSendEager, 4096}).admitted);
+  EXPECT_TRUE(spec.apply({FlowOpKind::kSendEager, 1}).nacked);
+  EXPECT_EQ(spec.peak_pool(), 4096u);
+  // Match alone frees no bytes (they stay pinned until the drain DMA) —
+  // and with unlimited slots the held 1-byte offer still cannot fit.
+  EXPECT_FALSE(spec.apply({FlowOpKind::kMatch, 0}).admitted);
+  EXPECT_TRUE(spec.apply({FlowOpKind::kDrain, 0}).admitted);
+  EXPECT_EQ(spec.pool_used(), 1u);
+  EXPECT_EQ(spec.invariant_violation(), "");
+}
+
+TEST(FlowSpec, RepeatedRefusalsDemoteThenFailTheLink) {
+  FlowConfig cfg;
+  cfg.slots = 1;
+  cfg.demote_after = 2;
+  cfg.max_streak = 4;
+  FlowSpec spec(cfg);
+  EXPECT_TRUE(spec.apply({FlowOpKind::kSendEager, 64}).admitted);
+  EXPECT_TRUE(spec.apply({FlowOpKind::kSendEager, 64}).nacked);
+  const FlowEffect second = spec.apply({FlowOpKind::kRetry, 0});
+  EXPECT_TRUE(second.nacked);
+  EXPECT_TRUE(second.demoted_now);  // streak hit demote_after
+  EXPECT_TRUE(spec.demoted());
+  // Backoff retries without a credit exhaust the bounded streak.
+  EXPECT_FALSE(spec.apply({FlowOpKind::kRetry, 0}).link_failed);
+  EXPECT_FALSE(spec.apply({FlowOpKind::kRetry, 0}).link_failed);
+  EXPECT_TRUE(spec.apply({FlowOpKind::kRetry, 0}).link_failed);
+  EXPECT_TRUE(spec.failed());
+  EXPECT_EQ(spec.invariant_violation(), "");
+}
+
+TEST(FlowCheck, BoundedExhaustiveEnumerationHoldsEveryInvariant) {
+  FlowCheckOptions options;  // depth 7, 1 KB / 4 KB eager sizes
+  const FlowCheckResult result = check_flow(options);
+  EXPECT_TRUE(result.ok) << result.counterexample;
+  EXPECT_GT(result.sequences, 1000u);
+  EXPECT_GT(result.ops, result.sequences);
+}
+
+TEST(FlowCheck, UnlimitedBudgetNeverRefuses) {
+  FlowCheckOptions options;
+  options.config.pool_bytes = 0;
+  options.config.slots = 0;
+  const FlowCheckResult result = check_flow(options);
+  // The "refusal despite unlimited budget" invariant arms on this
+  // config: any NACK on an unlimited receiver would be caught here.
+  EXPECT_TRUE(result.ok) << result.counterexample;
+}
+
+// ---- FlowSpec vs the real ReliabilityLayer pair (differential) ------------
+
+/// Slot-only admission mirroring the spec's `slots` budget (pool
+/// unlimited): the binding resource is envelope slots, so a freed slot
+/// always fits the held offer — the one regime where the spec's
+/// conditional credit wake and the implementation's unconditional one
+/// provably coincide (see the kMatch-while-held note below).
+struct LockstepAdmission final : nic::EagerAdmission {
+  std::uint32_t slots;
+  std::uint32_t used = 0;
+  explicit LockstepAdmission(std::uint32_t s) : slots(s) {}
+  bool try_admit(const net::Packet&) override {
+    if (used >= slots) return false;
+    ++used;
+    return true;
+  }
+  std::uint64_t credit_bytes() const override { return ~std::uint64_t{0}; }
+  std::uint32_t credit_slots() const override { return slots - used; }
+};
+
+/// One sender→receiver reliability pair driven transition-by-transition
+/// against FlowSpec.  Simulated time advances in 2 us windows — long
+/// enough for a send/NACK/credit round trip, far below the 20 us RNR
+/// backoff, so the only retries are credit wakes, exactly the
+/// transitions the spec models without a kRetry op.
+struct FlowLockstep {
+  static constexpr std::uint32_t kBytes = 1024;
+
+  check::FlowConfig cfg;
+  check::FlowSpec spec;
+  sim::Engine engine;
+  net::Network net;
+  std::vector<std::uint64_t> delivered;
+  nic::ReliabilityLayer tx;
+  nic::ReliabilityLayer rx;
+  LockstepAdmission admission;
+  std::uint64_t next_token = 1;
+  std::uint64_t expected_delivered = 0;
+  std::uint64_t expected_nacks = 0;
+
+  static check::FlowConfig make_cfg(std::uint32_t slots) {
+    check::FlowConfig c;
+    c.pool_bytes = 0;  // slots are the binding constraint
+    c.slots = slots;
+    c.demote_after = 99;  // demotion needs backoff retries; out of scope
+    return c;
+  }
+  static nic::ReliabilityConfig make_rel() {
+    nic::ReliabilityConfig rel;
+    rel.enabled = true;
+    rel.base_timeout_ps = 2'000'000'000;  // never fires in these windows
+    rel.rnr_demote_after = 99;
+    return rel;
+  }
+
+  explicit FlowLockstep(std::uint32_t slots)
+      : cfg(make_cfg(slots)),
+        spec(cfg),
+        net(engine, net::NetworkConfig{.wire_latency = 200'000,
+                                       .ps_per_byte = 500,
+                                       .header_bytes = 32}),
+        tx(engine, "n0.rel", make_rel(), net, 0, [](const net::Packet&) {}),
+        rx(engine, "n1.rel", make_rel(), net, 1,
+           [this](const net::Packet& p) { delivered.push_back(p.token); }),
+        admission(slots) {
+    net.attach(0, [this](const net::Packet& p) { tx.on_network_delivery(p); });
+    net.attach(1, [this](const net::Packet& p) { rx.on_network_delivery(p); });
+    rx.set_admission(&admission);
+  }
+
+  void window() { engine.run_window(engine.now() + 2'000'000); }
+
+  void step(const FlowOp& op) {
+    const FlowEffect effect = spec.apply(op);
+    switch (op.kind) {
+      case FlowOpKind::kSendEager: {
+        net::Packet p;
+        p.src = 0;
+        p.dst = 1;
+        p.kind = net::PacketKind::kEager;
+        p.payload_bytes = kBytes;
+        p.token = next_token++;
+        engine.schedule_at(engine.now(), [this, p] { tx.send(p); });
+        break;
+      }
+      case FlowOpKind::kMatch:
+        engine.schedule_at(engine.now(), [this] {
+          --admission.used;
+          rx.notify_credit_released();
+        });
+        break;
+      case FlowOpKind::kDrain:
+        // Pool bytes are unlimited here; the drain's credit release
+        // still happens (a stale push at most — the credit queue is
+        // empty unless an offer is held).
+        engine.schedule_at(engine.now(),
+                           [this] { rx.notify_credit_released(); });
+        break;
+      default:
+        FAIL() << "op not modelled in lockstep";
+    }
+    if (effect.admitted) ++expected_delivered;
+    if (effect.nacked) ++expected_nacks;
+    window();
+    compare();
+  }
+
+  void compare() {
+    ASSERT_EQ(spec.invariant_violation(), "");
+    EXPECT_EQ(admission.used, spec.slots_used());
+    EXPECT_EQ(delivered.size(), expected_delivered);
+    EXPECT_EQ(rx.stats().rnr_nacks_tx, expected_nacks);
+    EXPECT_EQ(tx.rnr_paused_windows(), spec.held() ? 1u : 0u);
+    EXPECT_FALSE(tx.any_link_failed());
+    EXPECT_EQ(spec.failed(), false);
+    // Exactly-once, in order: tokens up the stack are 1..N.
+    for (std::size_t i = 0; i < delivered.size(); ++i) {
+      ASSERT_EQ(delivered[i], i + 1);
+    }
+  }
+};
+
+TEST(FlowLockstepTest, RandomWalksMatchTheRealReliabilityPair) {
+  for (const std::uint32_t slots : {1u, 2u, 3u}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      SCOPED_TRACE("slots=" + std::to_string(slots) +
+                   " seed=" + std::to_string(seed));
+      FlowLockstep sim(slots);
+      std::uint64_t state = seed * 0x9E3779B97F4A7C15ull;
+      auto rng = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+      };
+      std::deque<std::uint32_t> draining_mirror;
+      std::uint32_t staged_mirror = 0;
+      for (int i = 0; i < 120 && !::testing::Test::HasFatalFailure(); ++i) {
+        FlowOp op;
+        if (sim.spec.held()) {
+          // While an offer is held, only kMatch keeps the spec's
+          // conditional wake and the implementation's unconditional
+          // wake equivalent (a drain-credit would re-offer into a
+          // still-full receiver: a NACK the spec does not model).
+          op = {FlowOpKind::kMatch, 0};
+        } else {
+          std::vector<FlowOp> legal;
+          // Bias toward sends so refusals actually happen.
+          if (sim.spec.legal({FlowOpKind::kSendEager, FlowLockstep::kBytes})) {
+            legal.push_back({FlowOpKind::kSendEager, FlowLockstep::kBytes});
+            legal.push_back({FlowOpKind::kSendEager, FlowLockstep::kBytes});
+          }
+          if (staged_mirror > 0) legal.push_back({FlowOpKind::kMatch, 0});
+          if (!draining_mirror.empty()) legal.push_back({FlowOpKind::kDrain, 0});
+          op = legal[rng() % legal.size()];
+        }
+        if (op.kind == FlowOpKind::kMatch) {
+          --staged_mirror;
+          draining_mirror.push_back(FlowLockstep::kBytes);
+        } else if (op.kind == FlowOpKind::kDrain) {
+          draining_mirror.pop_front();
+        }
+        sim.step(op);
+        // A match while held wakes the held offer straight into the
+        // freed slot, so staged stays in sync with spec.slots_used().
+        staged_mirror = sim.spec.slots_used();
+      }
+      EXPECT_GT(sim.expected_nacks, 0u);
+      EXPECT_GT(sim.expected_delivered, 0u);
+    }
+  }
 }
 
 }  // namespace

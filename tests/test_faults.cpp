@@ -2,6 +2,8 @@
 // reliability sublayer driven over a faulty raw network.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -313,6 +315,137 @@ TEST(Reliability, SurvivesACompoundFaultStorm) {
   ep.engine.run();
   EXPECT_EQ(ep.delivered, in_order(100));
   EXPECT_EQ(ep.tx.stats().link_failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RNR-NACK flow control: a slot-limited receiver over a faulty link.
+// ---------------------------------------------------------------------------
+
+/// Minimal receiver-side admission control: a fixed number of envelope
+/// slots, each held until the test's drain pump releases it.
+struct SlotAdmission final : nic::EagerAdmission {
+  std::uint32_t slots;
+  std::uint32_t used = 0;
+  std::uint32_t peak = 0;
+  std::uint64_t refusals = 0;
+
+  explicit SlotAdmission(std::uint32_t s) : slots(s) {}
+
+  bool try_admit(const Packet&) override {
+    if (used >= slots) {
+      ++refusals;
+      return false;
+    }
+    ++used;
+    peak = std::max(peak, used);
+    return true;
+  }
+  std::uint64_t credit_bytes() const override { return ~std::uint64_t{0}; }
+  std::uint32_t credit_slots() const override { return slots - used; }
+};
+
+/// Endpoints plus a slot-limited receiver.  `pump` models the host
+/// draining one admitted message every `hold_ps` (releasing its slot
+/// and pushing a credit) until `expect` messages came up the stack.
+struct RnrEndpoints : Endpoints {
+  SlotAdmission admission;
+  common::TimePs hold_ps;
+
+  RnrEndpoints(const FaultConfig& faults, std::uint32_t slots,
+               common::TimePs hold = 500'000,
+               const nic::ReliabilityConfig& rel = rel_cfg())
+      : Endpoints(faults, rel), admission(slots), hold_ps(hold) {
+    rx.set_admission(&admission);
+  }
+
+  void pump(std::size_t expect) {
+    engine.schedule_at(engine.now() + hold_ps, [this, expect] {
+      if (admission.used > 0) {
+        --admission.used;
+        rx.notify_credit_released();
+      }
+      if (delivered.size() < expect || admission.used > 0) pump(expect);
+    });
+  }
+};
+
+TEST(RnrFlowControl, RefusalNacksHoldAndCreditWakeDeliverEverything) {
+  FaultConfig clean;
+  RnrEndpoints ep(clean, /*slots=*/2);
+  ep.send_burst(16);
+  ep.pump(16);
+  ep.engine.run();
+  EXPECT_EQ(ep.delivered, in_order(16));
+  // The burst far exceeds two slots, so refusals and NACKs are certain…
+  EXPECT_GT(ep.admission.refusals, 0u);
+  EXPECT_GT(ep.rx.stats().rnr_nacks_tx, 0u);
+  EXPECT_EQ(ep.rx.stats().rnr_nacks_tx, ep.tx.stats().rnr_nacks_rx);
+  EXPECT_GT(ep.tx.stats().rnr_retries, 0u);
+  // …and the drain pump's credit pushes wake the paused window.
+  EXPECT_GT(ep.rx.stats().credit_acks_tx, 0u);
+  // The budget held: never more slots in use than the receiver owns.
+  EXPECT_LE(ep.admission.peak, 2u);
+  EXPECT_EQ(ep.tx.stats().link_failures, 0u);
+}
+
+TEST(RnrFlowControl, NackDoesNotAdvanceExpectedSequence) {
+  // One slot, never drained until after the first refusal round: the
+  // refused packet must be re-offered by go-back-N and delivered
+  // exactly once, in order — a NACK that advanced the cumulative ack
+  // would lose it silently.
+  FaultConfig clean;
+  RnrEndpoints ep(clean, /*slots=*/1);
+  ep.send_burst(4);
+  ep.pump(4);
+  ep.engine.run();
+  EXPECT_EQ(ep.delivered, in_order(4));
+  EXPECT_GT(ep.rx.stats().rnr_nacks_tx, 0u);
+  EXPECT_EQ(ep.tx.stats().link_failures, 0u);
+}
+
+TEST(RnrFlowControl, CompoundFaultMatrixStaysExactlyOnce) {
+  // RNR refusals crossed with every drop/dup/reorder combination: the
+  // flow-control NACKs ride the same lossy wire as the data, so lost
+  // NACKs, duplicated retries and reordered credits all occur.  Every
+  // combination must still deliver exactly once, in order, within the
+  // budget, with no link declared dead.
+  for (const double drop : {0.0, 0.08}) {
+    for (const double dup : {0.0, 0.05}) {
+      for (const double reorder : {0.0, 0.05}) {
+        FaultConfig faults;
+        faults.drop_rate = drop;
+        faults.dup_rate = dup;
+        faults.reorder_rate = reorder;
+        faults.reorder_window_ps = 500'000;
+        faults.seed = 17;
+        SCOPED_TRACE("drop=" + std::to_string(drop) +
+                     " dup=" + std::to_string(dup) +
+                     " reorder=" + std::to_string(reorder));
+        RnrEndpoints ep(faults, /*slots=*/2);
+        ep.send_burst(40);
+        ep.pump(40);
+        ep.engine.run();
+        EXPECT_EQ(ep.delivered, in_order(40));
+        EXPECT_GT(ep.rx.stats().rnr_nacks_tx, 0u);
+        EXPECT_LE(ep.admission.peak, 2u);
+        EXPECT_EQ(ep.tx.stats().link_failures, 0u);
+      }
+    }
+  }
+}
+
+TEST(RnrFlowControl, WedgedReceiverFailsTheLinkAndDrains) {
+  // No slots and no drain: the refusal streak must exhaust the bounded
+  // retry budget and declare the link failed — the simulation drains
+  // instead of NACK-ping-ponging forever.
+  FaultConfig clean;
+  RnrEndpoints ep(clean, /*slots=*/0);
+  ep.send_burst(2);
+  ep.engine.run();  // must terminate
+  EXPECT_TRUE(ep.delivered.empty());
+  EXPECT_EQ(ep.tx.stats().link_failures, 1u);
+  EXPECT_EQ(ep.tx.window_size(1), 0u);  // window discarded, not leaked
+  EXPECT_GT(ep.rx.stats().rnr_nacks_tx, 0u);
 }
 
 // ---------------------------------------------------------------------------

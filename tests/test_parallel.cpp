@@ -257,6 +257,51 @@ TEST(ShardDeterminism, FaultyChaosIdenticalAt1_2_8Shards) {
   expect_same(s1, chaos_at(8, 0.05));
 }
 
+ChaosResult incast_at(int shards) {
+  ChaosParams p;
+  p.mode = NicMode::kAlpu256;
+  p.ranks = 8;
+  p.per_pair = 8;
+  p.seed = 11;
+  p.overload = true;
+  p.eager_pool_bytes = 8192;
+  p.unexpected_slots = 4;
+  p.faults.drop_rate = 0.02;
+  p.faults.dup_rate = 0.01;
+  p.faults.reorder_rate = 0.01;
+  p.shards = shards;
+  return run_chaos(p);
+}
+
+void expect_same_flow(const ChaosResult& a, const ChaosResult& b) {
+  expect_same(a, b);
+  EXPECT_EQ(a.reliability.rnr_nacks_tx, b.reliability.rnr_nacks_tx);
+  EXPECT_EQ(a.reliability.rnr_retries, b.reliability.rnr_retries);
+  EXPECT_EQ(a.reliability.credit_acks_tx, b.reliability.credit_acks_tx);
+  EXPECT_EQ(a.peak_pool_bytes, b.peak_pool_bytes);
+  EXPECT_EQ(a.peak_unexpected_slots, b.peak_unexpected_slots);
+  EXPECT_EQ(a.peak_unexpected_depth, b.peak_unexpected_depth);
+  EXPECT_EQ(a.demotions, b.demotions);
+  EXPECT_EQ(a.demoted_sends, b.demoted_sends);
+  EXPECT_EQ(a.stalls, b.stalls);
+}
+
+TEST(ShardDeterminism, OverloadedIncastIdenticalAt1_2_8Shards) {
+  // The flow-control stress: 7 ranks incast into a throttled rank 0
+  // whose eager budget is far below the offered load, over a lossy
+  // network.  The RNR-NACK / backoff / credit / demotion machinery must
+  // deliver exactly once within budget — and every counter must be
+  // byte-identical at any shard count.
+  const ChaosResult s1 = incast_at(1);
+  EXPECT_TRUE(s1.ok());
+  EXPECT_GT(s1.reliability.rnr_nacks_tx, 0u);
+  EXPECT_LE(s1.peak_pool_bytes, 8192u);
+  EXPECT_LE(s1.peak_unexpected_slots, 4u);
+  EXPECT_EQ(s1.stalls, 0u);
+  expect_same_flow(s1, incast_at(2));
+  expect_same_flow(s1, incast_at(8));
+}
+
 TEST(ShardDeterminism, SweepSurfaceIdenticalSerialVsSharded) {
   SweepOptions serial;
   serial.jobs = 1;

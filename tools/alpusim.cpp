@@ -15,12 +15,14 @@
 // full component tables with --report.  `sweep` regenerates a whole
 // figure surface on a thread pool (--jobs N, default
 // hardware_concurrency); its CSV is byte-identical at every job count.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "alpu/array.hpp"
 #include "check/checker.hpp"
+#include "check/flow.hpp"
 #if ALPU_AUDIT
 #include "check/audit.hpp"
 #endif
@@ -56,13 +58,23 @@ int usage() {
                " any count)\n"
                "               [--depth N] [--impl array|reference|alpu"
                "|pipelined|all]\n"
-               "               [--inject-compaction-bug]"
-               "   (check mode)\n"
+               "               [--inject-compaction-bug] [--flow]"
+               "   (check mode; --flow model-checks\n"
+               "                               the eager flow-control"
+               " spec)\n"
                "               [--drop R] [--dup R] [--reorder R]"
                " [--corrupt R] [--ranks N]\n"
                "               [--per-pair N] [--seeds N] [--fault-seed S]\n"
                "               [--inject-lookahead-violation]"
                "   (chaos mode)\n"
+               "               [--overload] [--pool-bytes N] [--slots N]"
+               "   (chaos incast overload\n"
+               "                               against a finite per-NIC"
+               " eager budget; extended CSV)\n"
+               "               [--rel-max-retries N] [--rel-base-timeout-us"
+               " N] [--rel-max-timeout-us N]\n"
+               "               [--rel-reorder-window N] [--rel-rnr-hint-us"
+               " N] [--rel-demote-after N]\n"
                "               [--shards A,B]"
                "   (audit mode: divergence triage between two\n"
                "                               shard counts;"
@@ -70,10 +82,76 @@ int usage() {
   return 2;
 }
 
+/// Reliability-sublayer knobs shared by the chaos and scenario paths.
+/// Returns true when any flag was given (the scenario path uses that to
+/// enable the sublayer the knobs configure).
+bool apply_reliability_flags(const common::Flags& flags,
+                             nic::ReliabilityConfig* rel) {
+  bool any = false;
+  if (flags.has("rel-max-retries")) {
+    rel->max_retries =
+        static_cast<unsigned>(flags.get_int("rel-max-retries", 12));
+    any = true;
+  }
+  if (flags.has("rel-base-timeout-us")) {
+    rel->base_timeout_ps = static_cast<common::TimePs>(
+        flags.get_int("rel-base-timeout-us", 60) * 1'000'000);
+    any = true;
+  }
+  if (flags.has("rel-max-timeout-us")) {
+    rel->max_timeout_ps = static_cast<common::TimePs>(
+        flags.get_int("rel-max-timeout-us", 2'000) * 1'000'000);
+    any = true;
+  }
+  if (flags.has("rel-reorder-window")) {
+    rel->reorder_window =
+        static_cast<std::size_t>(flags.get_int("rel-reorder-window", 64));
+    any = true;
+  }
+  if (flags.has("rel-rnr-hint-us")) {
+    rel->rnr_hint_us =
+        static_cast<std::uint32_t>(flags.get_int("rel-rnr-hint-us", 20));
+    any = true;
+  }
+  if (flags.has("rel-demote-after")) {
+    rel->rnr_demote_after =
+        static_cast<unsigned>(flags.get_int("rel-demote-after", 2));
+    any = true;
+  }
+  return any;
+}
+
+/// `alpusim check --flow`: bounded-exhaustive check of the eager
+/// flow-control spec (budgets, RNR NACKs, credits, demotion).
+int run_flow_check(const common::Flags& flags) {
+  check::FlowCheckOptions opt;
+  opt.depth = static_cast<std::size_t>(flags.get_int("depth", 7));
+  if (flags.has("pool-bytes")) {
+    opt.config.pool_bytes =
+        static_cast<std::uint32_t>(flags.get_int("pool-bytes", 4096));
+  }
+  if (flags.has("slots")) {
+    opt.config.slots =
+        static_cast<std::uint32_t>(flags.get_int("slots", 2));
+  }
+  const check::FlowCheckResult r = check::check_flow(opt);
+  std::printf("check flow depth=%zu pool=%u slots=%u sequences=%llu "
+              "ops=%llu %s\n",
+              opt.depth, opt.config.pool_bytes, opt.config.slots,
+              static_cast<unsigned long long>(r.sequences),
+              static_cast<unsigned long long>(r.ops),
+              r.ok ? "PASS" : "FAIL");
+  if (!r.ok) std::printf("%s\n", r.counterexample.c_str());
+  return r.ok ? 0 : 1;
+}
+
 /// `alpusim check`: bounded model check of the ALPU implementations
 /// against the executable protocol spec (src/check/).  Exits non-zero
 /// on the first divergence, printing the minimal counterexample.
 int run_check(const common::Flags& flags) {
+  if (flags.get_bool("flow")) {
+    return run_flow_check(flags);
+  }
   check::CheckOptions opt;
   opt.depth = static_cast<std::size_t>(flags.get_int("depth", 6));
   opt.cells = static_cast<std::size_t>(flags.get_int("cells", 4));
@@ -166,12 +244,16 @@ void print_counters(const common::MatchCounters& c, std::size_t points) {
 void print_robustness_counters(
     const std::vector<workload::LatencyResult>& results) {
   std::uint64_t faults = 0, retx = 0, rejects = 0, resets = 0, dead = 0;
+  std::uint64_t peak_depth = 0, peak_pool = 0, peak_slots = 0;
   for (const auto& r : results) {
     faults += r.net_faults_injected;
     retx += r.retransmits;
     rejects += r.alpu_probe_rejections;
     resets += r.alpu_fallback_resets;
     dead += r.link_failures;
+    peak_depth = std::max(peak_depth, r.peak_unexpected_depth);
+    peak_pool = std::max(peak_pool, r.peak_eager_pool_bytes);
+    peak_slots = std::max(peak_slots, r.peak_unexpected_slots);
   }
   std::fprintf(stderr, "net_faults_injected=%llu\n",
                static_cast<unsigned long long>(faults));
@@ -183,6 +265,14 @@ void print_robustness_counters(
                static_cast<unsigned long long>(resets));
   std::fprintf(stderr, "link_failures=%llu\n",
                static_cast<unsigned long long>(dead));
+  // Eager-resource high-water marks across the sweep (stats-only
+  // tracking: these figures run with an unlimited budget).
+  std::fprintf(stderr, "peak_unexpected_depth=%llu\n",
+               static_cast<unsigned long long>(peak_depth));
+  std::fprintf(stderr, "peak_eager_pool_bytes=%llu\n",
+               static_cast<unsigned long long>(peak_pool));
+  std::fprintf(stderr, "peak_unexpected_slots=%llu\n",
+               static_cast<unsigned long long>(peak_slots));
 }
 
 /// `alpusim sweep`: regenerate a figure surface on the parallel sweep
@@ -267,6 +357,9 @@ int run_sweep(const common::Flags& flags) {
 /// declared dead.  Duplication/reorder/corruption rates ride along at
 /// half the drop rate each unless given explicitly.
 int run_chaos(const common::Flags& flags) {
+  if (flags.get_bool("debug")) {
+    common::set_log_level(common::LogLevel::kDebug);
+  }
   workload::SweepOptions sweep;
   sweep.jobs = static_cast<int>(flags.get_int("jobs", 0));
   sweep.shards = static_cast<int>(flags.get_int("shards", 1));
@@ -277,15 +370,27 @@ int run_chaos(const common::Flags& flags) {
     std::fprintf(stderr, "unknown --mode\n");
     return 2;
   }
-  const int ranks = static_cast<int>(flags.get_int("ranks", 4));
+  // Incast overload: every rank floods rank 0 with eager traffic while
+  // rank 0 drains slowly, against a finite per-NIC eager budget.  The
+  // defaults pick a budget far below the offered load so the run leans
+  // on the full RNR-NACK / backoff / credit / demotion machinery.
+  const bool overload = flags.get_bool("overload");
+  const int ranks =
+      static_cast<int>(flags.get_int("ranks", overload ? 9 : 4));
   const int per_pair = static_cast<int>(flags.get_int("per-pair", 8));
   const int nseeds = static_cast<int>(flags.get_int("seeds", 2));
   const auto fault_seed =
       static_cast<std::uint64_t>(flags.get_int("fault-seed", 0x5eed));
+  const auto pool_bytes = static_cast<std::uint64_t>(
+      flags.get_int("pool-bytes", overload ? 32'768 : 0));
+  const auto slots = static_cast<std::uint32_t>(
+      flags.get_int("slots", overload ? 16 : 0));
 
   std::vector<double> rates;
   if (flags.has("drop")) {
     rates.push_back(flags.get_double("drop", 0.0));
+  } else if (overload) {
+    rates = {0.0, 1e-2};
   } else {
     rates = {0.0, 1e-3, 1e-2};
   }
@@ -323,19 +428,29 @@ int run_chaos(const common::Flags& flags) {
         p.faults.corrupt_rate = flags.get_double("corrupt", pt.rate / 2.0);
         p.faults.seed = fault_seed + pt.seed;
         p.shards = sweep.shards;
+        p.overload = overload;
+        p.eager_pool_bytes = pool_bytes;
+        p.unexpected_slots = slots;
+        apply_reliability_flags(flags, &p.reliability);
         return workload::run_chaos(p);
       },
       sweep);
 
+  // The default CSV is a pinned interface (CI diffs it across --jobs);
+  // the flow-control columns only appear when a budget is in play.
+  const bool extended = overload || pool_bytes > 0 || slots > 0;
   std::printf(
       "drop_rate,seed,messages,sim_ms,drops,dups,reorders,corruptions,"
-      "retransmits,timeouts,crc_drops,dup_drops,fallback_resets,ok\n");
+      "retransmits,timeouts,crc_drops,dup_drops,fallback_resets,%sok\n",
+      extended ? "rnr_nacks,rnr_retries,credit_acks,demotions,"
+                 "demoted_sends,peak_pool,peak_slots,peak_depth,stalls,"
+               : "");
   bool all_ok = true;
   for (std::size_t i = 0; i < points.size(); ++i) {
     const workload::ChaosResult& r = results[i];
     all_ok = all_ok && r.ok();
     std::printf(
-        "%g,%llu,%llu,%.3f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%s\n",
+        "%g,%llu,%llu,%.3f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,",
         points[i].rate, static_cast<unsigned long long>(points[i].seed),
         static_cast<unsigned long long>(r.messages),
         common::to_ns(r.sim_time) / 1e6,
@@ -347,17 +462,36 @@ int run_chaos(const common::Flags& flags) {
         static_cast<unsigned long long>(r.reliability.timeouts),
         static_cast<unsigned long long>(r.reliability.crc_drops),
         static_cast<unsigned long long>(r.reliability.dup_drops),
-        static_cast<unsigned long long>(r.fallback_resets),
-        r.ok() ? "PASS" : "FAIL");
+        static_cast<unsigned long long>(r.fallback_resets));
+    if (extended) {
+      std::printf(
+          "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,",
+          static_cast<unsigned long long>(r.reliability.rnr_nacks_tx),
+          static_cast<unsigned long long>(r.reliability.rnr_retries),
+          static_cast<unsigned long long>(r.reliability.credit_acks_tx),
+          static_cast<unsigned long long>(r.demotions),
+          static_cast<unsigned long long>(r.demoted_sends),
+          static_cast<unsigned long long>(r.peak_pool_bytes),
+          static_cast<unsigned long long>(r.peak_unexpected_slots),
+          static_cast<unsigned long long>(r.peak_unexpected_depth),
+          static_cast<unsigned long long>(r.stalls));
+    }
+    std::printf("%s\n", r.ok() ? "PASS" : "FAIL");
     if (!r.ok()) {
       std::fprintf(stderr,
                    "chaos FAIL at drop=%g seed=%llu: completed=%d "
-                   "conserved=%d ordered=%d drained=%d link_failures=%llu\n",
+                   "conserved=%d ordered=%d drained=%d link_failures=%llu "
+                   "stalls=%llu peak_pool=%llu/%llu peak_slots=%llu/%llu\n",
                    points[i].rate,
                    static_cast<unsigned long long>(points[i].seed),
                    r.completed, r.conserved, r.ordered, r.drained,
                    static_cast<unsigned long long>(
-                       r.reliability.link_failures));
+                       r.reliability.link_failures),
+                   static_cast<unsigned long long>(r.stalls),
+                   static_cast<unsigned long long>(r.peak_pool_bytes),
+                   static_cast<unsigned long long>(r.pool_budget),
+                   static_cast<unsigned long long>(r.peak_unexpected_slots),
+                   static_cast<unsigned long long>(r.slot_budget));
     }
   }
   std::fprintf(stderr, "chaos: %s (%zu points)\n", all_ok ? "PASS" : "FAIL",
@@ -554,6 +688,18 @@ int main(int argc, char** argv) {
   if (flags.has("minbatch")) {
     system.nic.alpu_policy.min_batch =
         static_cast<std::size_t>(flags.get_int("minbatch", 1));
+  }
+  // Reliability / flow-control knobs apply to the latency scenarios too
+  // (e.g. measuring the cost of a tiny eager budget on a clean link).
+  if (apply_reliability_flags(flags, &system.nic.reliability)) {
+    system.nic.reliability.enabled = true;
+  }
+  if (flags.has("pool-bytes") || flags.has("slots")) {
+    system.nic.eager_pool_bytes =
+        static_cast<std::uint64_t>(flags.get_int("pool-bytes", 0));
+    system.nic.unexpected_slots =
+        static_cast<std::uint32_t>(flags.get_int("slots", 0));
+    system.nic.reliability.enabled = true;
   }
 
   const int shards = static_cast<int>(flags.get_int("shards", 1));

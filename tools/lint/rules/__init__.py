@@ -3,3 +3,4 @@
 from . import determinism  # noqa: F401
 from . import hotpath  # noqa: F401
 from . import project  # noqa: F401
+from . import robustness  # noqa: F401

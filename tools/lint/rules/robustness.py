@@ -1,0 +1,130 @@
+"""Robustness rules: overload safety on the protocol paths.
+
+The flow-control work (RNR NACK + eager budgets) exists because a
+receiver that buffers per-peer state without a bound turns overload
+into silent memory growth instead of a protocol event.  These rules
+keep that class of bug from creeping back in.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from ..framework import Rule, SelfTestCase, register, strip_comments
+
+# --- unbounded-peer-growth --------------------------------------------
+#
+# A container keyed by (or holding) peer identity on the NIC/net packet
+# paths is attacker-sized: every remote sender can force an entry, and
+# an incast forces many at once.  Growth of such a container must sit
+# behind a visible capacity check — an admission/budget call or a
+# size/membership probe of the same container — or carry a waiver
+# spelling out the bound (e.g. "one entry per peer, flag-guarded").
+#
+# Pass 1 collects member names whose declaration is a growable standard
+# container (or common::FlatMap) with a peer-identity hint (`NodeId` in
+# the template arguments, or `peer` in the name).  DenseNodeTable is
+# deliberately absent: it is node-indexed and bounded by the machine
+# size at construction.  Pass 2 flags growth calls on those members in
+# src/nic and src/net unless a capacity check appears on the flagged
+# line or the few lines above it.
+
+PEER_DIRS = {"nic", "net"}
+
+GROWABLE_DECL = re.compile(
+    r"\b(?:std::(?:vector|deque|list|map|multimap|unordered_map"
+    r"|unordered_multimap)|common::FlatMap)\s*<([^;{=]*)>\s+(\w+)\s*[;{=]")
+PEER_HINT = re.compile(r"\bNodeId\b|peer", re.IGNORECASE)
+
+GROWTH_CALLS = (r"(?:push_back|emplace_back|push_front|emplace_front"
+                r"|emplace|insert|try_emplace)")
+GUARD_LOOKBEHIND = 6  # lines scanned above the growth site for a check
+# Generic admission-layer calls that bound growth no matter which
+# container they protect.
+ADMISSION_GUARD = re.compile(
+    r"\b(?:try_admit|fits|budget_limited|reserve_eager)\s*\(")
+
+
+def _collect_peer_containers(file_lines, ctx) -> None:
+    names = ctx.setdefault("peer_container_names", set())
+    for _, lines in file_lines:
+        for line in lines:
+            m = GROWABLE_DECL.search(strip_comments(line))
+            if m and (PEER_HINT.search(m.group(1))
+                      or PEER_HINT.search(m.group(2))):
+                names.add(m.group(2))
+
+
+def _check_unbounded_peer_growth(path, raw_lines, code_lines,
+                                 ctx) -> Iterator[tuple[int, str]]:
+    del raw_lines
+    if not (PEER_DIRS & set(path.parts)):
+        return
+    names = ctx.get("peer_container_names", set())
+    for name in sorted(names):
+        growth = re.compile(
+            rf"\b{name}\s*\.\s*{GROWTH_CALLS}\s*\("
+            rf"|\b{name}\s*\[[^\]]*\]\s*=")
+        guard = re.compile(
+            rf"\b{name}\s*\.\s*(?:size|count|contains|find|full)\s*\(")
+        for lineno, code in enumerate(code_lines, start=1):
+            if not growth.search(code):
+                continue
+            window = code_lines[max(0, lineno - 1 - GUARD_LOOKBEHIND):lineno]
+            if any(guard.search(w) or ADMISSION_GUARD.search(w)
+                   for w in window):
+                continue
+            yield lineno, (
+                f"growth of per-peer container '{name}' without a "
+                f"capacity check (every remote sender can force an "
+                f"entry; bound it behind an admission/size check or "
+                f"waive with the bound spelled out)")
+
+
+register(Rule(
+    id="unbounded-peer-growth", category="robustness", severity="error",
+    description="unchecked growth of peer-keyed containers on the NIC/net "
+                "packet paths (src/nic, src/net) — overload must hit an "
+                "admission check, not silent memory growth",
+    check=_check_unbounded_peer_growth, prepare=_collect_peer_containers,
+    self_tests=[
+        SelfTestCase(
+            "src/nic/x.cpp",
+            "std::deque<net::NodeId> waiting_;\n"
+            "waiting_.push_back(peer);\n",
+            expect_hit=True),
+        SelfTestCase(
+            "src/nic/x.cpp",
+            "std::deque<net::NodeId> waiting_;\n"
+            "if (waiting_.size() < kMaxWaiters) {\n"
+            "  waiting_.push_back(peer);\n"
+            "}\n",
+            expect_hit=False),
+        SelfTestCase(
+            "src/nic/x.cpp",
+            "common::FlatMap<net::NodeId, TxState> peers_;\n"
+            "peers_.emplace(peer, TxState{});\n",
+            expect_hit=True),
+        SelfTestCase(
+            "src/nic/x.cpp",
+            "common::FlatMap<net::NodeId, TxState> peers_;\n"
+            "if (!try_admit(packet)) return;\n"
+            "peers_.emplace(peer, TxState{});\n",
+            expect_hit=False),
+        SelfTestCase(
+            "src/nic/x.cpp",
+            "std::vector<int> counts_;\n"
+            "counts_.push_back(1);\n",
+            expect_hit=False),  # no peer-identity hint
+        SelfTestCase(
+            "src/nic/x.cpp",
+            "common::DenseNodeTable<TxState> tx_;\n"
+            "tx_[peer].next_seq = 0;\n",
+            expect_hit=False),  # node-indexed, bounded at construction
+        SelfTestCase(
+            "src/workload/x.cpp",
+            "std::deque<net::NodeId> waiting_;\n"
+            "waiting_.push_back(peer);\n",
+            expect_hit=False),  # off the packet path
+    ]))
