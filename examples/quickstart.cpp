@@ -28,6 +28,7 @@ const char* kind_name(hw::ResponseKind kind) {
     case hw::ResponseKind::kStartAck: return "START ACKNOWLEDGE";
     case hw::ResponseKind::kMatchSuccess: return "MATCH SUCCESS";
     case hw::ResponseKind::kMatchFailure: return "MATCH FAILURE";
+    case hw::ResponseKind::kParityFault: return "PARITY FAULT";
   }
   return "?";
 }

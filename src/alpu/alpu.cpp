@@ -12,19 +12,40 @@ Alpu::Alpu(sim::Engine& engine, std::string name, const AlpuConfig& config)
       array_(config.flavor, config.total_cells, config.block_size,
              config.significant_mask),
       clock_(engine, config.clock, [this] { return tick(); }),
+      scrub_clock_(engine,
+                   common::ClockPeriod(config.seu.scrub_interval_ps > 0
+                                           ? config.seu.scrub_interval_ps
+                                           : 1),
+                   [this] { return scrub_tick(); }),
       header_fifo_(config.header_fifo_depth),
       command_fifo_(config.command_fifo_depth),
-      result_fifo_(config.result_fifo_depth) {}
+      result_fifo_(config.result_fifo_depth) {
+  if (config_.seu.any()) {
+    array_.install_fault_model(config_.seu, config_.seu.seed);
+    if (config_.seu.scrub_interval_ps > 0) {
+      scrub_enabled_ = true;
+      scrub_clock_.wake();
+    }
+  }
+}
 
 bool Alpu::push_probe(const Probe& probe) {
   if (!header_fifo_.try_push(probe)) return false;
   clock_.wake();
+  if (scrub_enabled_) {
+    ++ops_since_scrub_;
+    scrub_clock_.wake();
+  }
   return true;
 }
 
 bool Alpu::push_command(const Command& cmd) {
   if (!command_fifo_.try_push(cmd)) return false;
   clock_.wake();
+  if (scrub_enabled_) {
+    ++ops_since_scrub_;
+    scrub_clock_.wake();
+  }
   return true;
 }
 
@@ -45,7 +66,29 @@ void Alpu::emit(const Response& r) {
   result_fifo_.push(stamped);  // space guaranteed by start conditions
 }
 
+bool Alpu::scrub_tick() {
+  array_.seu_advance(engine().now());
+  const bool was_quarantined = array_.quarantined();
+  const bool quarantined = array_.scrub();
+  if (!was_quarantined && quarantined && on_fault_) on_fault_();
+  if (ops_since_scrub_ == 0) {
+    if (++idle_scrubs_ >= config_.seu.scrub_idle_limit) {
+      // Park until the next probe/command wakes us — a dormant unit
+      // must not keep the event heap alive forever.
+      idle_scrubs_ = 0;
+      return false;
+    }
+  } else {
+    idle_scrubs_ = 0;
+  }
+  ops_since_scrub_ = 0;
+  return true;
+}
+
 bool Alpu::tick() {
+  // Catch the SEU injector up before any work this edge does: flips
+  // land at deterministic tick boundaries regardless of sharding.
+  array_.seu_advance(engine().now());
   if (busy_cycles_ > 0) {
     ++stats_.busy_cycles;
     --busy_cycles_;
@@ -259,7 +302,23 @@ void Alpu::complete_decode() {
 void Alpu::complete_match() {
   const bool was_held = held_probe_.has_value() &&
                         held_probe_->seq == current_probe_.seq;
-  const ArrayMatch m = array_.match_and_delete(current_probe_);
+  ArrayMatch m{};
+  if (!array_.quarantined()) m = array_.match_and_delete(current_probe_);
+  if (array_.quarantined()) {
+    // Parity fault (just detected by this probe's verify, or latched
+    // earlier): the array's answer is untrustworthy, so report the
+    // fault instead.  PARITY FAULT is reportable even in insert mode —
+    // it is an error condition, not a match failure, and the processor
+    // must abort the session and rebuild.  Carrying the seq preserves
+    // the one-response-per-header pairing (Section IV-D).
+    emit(Response{ResponseKind::kParityFault, 0, 0, current_probe_.seq, 0});
+    ++stats_.parity_fault_responses;
+    if (was_held) {
+      held_probe_.reset();
+      retry_pending_ = false;
+    }
+    return;
+  }
   if (m.hit) {
     emit(Response{ResponseKind::kMatchSuccess, m.cookie, 0,
                   current_probe_.seq, 0});

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -69,6 +70,11 @@ struct AlpuConfig {
   /// the model checker, which exercise the violation deliberately, leave
   /// it off and observe the counter.
   bool assert_on_insert_drop = false;
+
+  /// Transient-fault model (SEU injection + parity + scrub).  The
+  /// default (`seu.any() == false`) installs nothing and leaves every
+  /// path byte-identical to the fault-free unit.
+  SeuConfig seu;
 };
 
 struct AlpuStats {
@@ -83,6 +89,8 @@ struct AlpuStats {
   std::uint64_t flushes = 0;           ///< RESET MATCHING sweeps
   std::uint64_t flushed_entries = 0;   ///< cells removed by those sweeps
   std::uint64_t busy_cycles = 0;
+  /// Probes answered PARITY FAULT while the array was quarantined.
+  std::uint64_t parity_fault_responses = 0;
 };
 
 /// The ALPU as a simulation component (transaction-level model).
@@ -118,6 +126,24 @@ class Alpu : public sim::Component, public AlpuDevice {
   /// Externally visible mode (for tests): true while in insert mode.
   bool in_insert_mode() const { return state_ == State::kInsertMode; }
 
+  // ---- transient-fault model ----
+
+  /// True while the array is quarantined by a latched parity fault.
+  bool fault_pending() const override { return array_.quarantined(); }
+  SeuStats seu_stats() const override { return array_.seu_stats(); }
+  /// Invoked when a background scrub (not a probe) latches a fault, so
+  /// the NIC firmware learns about dormant corruption without traffic.
+  // lint: ok(std-function-hot-path) — installed once at NIC setup;
+  // fires once per fault episode, never on the probe path.
+  void set_fault_callback(std::function<void()> cb) override {
+    on_fault_ = std::move(cb);
+  }
+  /// Direct corruption for the checker's kCorrupt op and the fuzzers
+  /// (see AlpuArray::corrupt_for_test).
+  void corrupt_for_test(unsigned plane, std::size_t cell, unsigned bit) {
+    array_.corrupt_for_test(plane, cell, bit);
+  }
+
  private:
   enum class State : std::uint8_t {
     kMatch,        ///< normal matching (Figure 3 "Match")
@@ -140,10 +166,19 @@ class Alpu : public sim::Component, public AlpuDevice {
   void complete_decode();
   void complete_match();
   void emit(const Response& r);
+  bool scrub_tick();
 
   AlpuConfig config_;
   AlpuArray array_;
   sim::Clock clock_;
+  /// Background parity scrub (constructed always, woken only when
+  /// enabled).  Parks after `scrub_idle_limit` sweeps with no unit
+  /// activity so an idle unit lets the event heap drain.
+  sim::Clock scrub_clock_;
+  bool scrub_enabled_ = false;
+  unsigned idle_scrubs_ = 0;
+  std::uint64_t ops_since_scrub_ = 0;
+  std::function<void()> on_fault_;  // lint: ok(std-function-hot-path) — fires once per fault episode
 
   common::BoundedFifo<Probe> header_fifo_;
   common::BoundedFifo<Command> command_fifo_;

@@ -14,6 +14,7 @@ namespace alpu::hw {
 
 namespace testing {
 bool inject_compaction_off_by_one = false;
+std::atomic<bool> inject_silent_flip{false};
 }  // namespace testing
 
 namespace {
@@ -160,6 +161,14 @@ bool AlpuArray::insert(MatchWord bits, MatchWord mask, Cookie cookie) {
   mask_[i] = mask;
   cookie_[i] = cookie;
   valid_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  parity_update_cell(i);
+  parity_update_valid_word(i >> 6);
+  if (testing::inject_silent_flip.load(std::memory_order_relaxed) &&
+      testing::inject_silent_flip.exchange(false)) {
+    // Must-fail teeth: corrupt the oldest entry's source LSB behind the
+    // parity layer's back.  See the declaration in array.hpp.
+    bits_[0] ^= MatchWord{1} << match::kSourceShift;  // lint: ok(alpu-plane-write-outside-parity) — deliberate silent corruption
+  }
   ALPU_INVARIANT(planes_consistent(), "insert broke the prefix invariant");
   return true;
 }
@@ -205,6 +214,10 @@ std::size_t AlpuArray::find_oldest(const Probe& probe) const {
 
 ArrayMatch AlpuArray::match(const Probe& probe) const {
   ++counters_.probes;
+  // Detection point: every parity checker evaluates alongside the
+  // comparators, so corruption anywhere in the planes surfaces before a
+  // (possibly wrong) match result can be used.
+  if (fault_ && !parity_ok()) return ArrayMatch{};
   const std::size_t i = find_oldest(probe);
   if (i == kMiss) return ArrayMatch{};
   return ArrayMatch{true, i, cookie_[i]};
@@ -219,6 +232,7 @@ ArrayMatch AlpuArray::match_tree(const Probe& probe) const {
   // levels run in place in the per-instance scratch — no allocation.
   ++counters_.probes;
   counters_.cells_scanned += total_cells_;  // every comparator evaluates
+  if (fault_ && !parity_ok()) return ArrayMatch{};
 
   const auto pick = [](const Candidate& older, const Candidate& younger) {
     if (older.hit) return older;
@@ -292,6 +306,11 @@ void AlpuArray::delete_at(std::size_t location) {
   mask_[occupancy_] = 0;
   cookie_[occupancy_] = 0;
   valid_[occupancy_ >> 6] &= ~(std::uint64_t{1} << (occupancy_ & 63));
+  // Cells [location, old occupancy) were rewritten by the shift and the
+  // tail clear; the verify that preceded this op (match path) vouches
+  // for the source range, so recomputing parity here cannot launder a
+  // flip.
+  parity_update_range(location, occupancy_ + 1);
   ALPU_INVARIANT(planes_consistent(),
                  "delete compaction broke the prefix invariant");
 }
@@ -302,6 +321,14 @@ void AlpuArray::reset() {
   std::fill(cookie_.begin(), cookie_.end(), 0);
   std::fill(valid_.begin(), valid_.end(), 0);
   occupancy_ = 0;
+  if (fault_) {
+    // RESET is the recovery action: it rewrites every SRAM bit, so it
+    // clears latent corruption and releases the quarantine.  The
+    // processor re-shadows its authoritative lists afterwards.
+    parity_rebuild_all();
+    fault_->quarantined = false;
+    fault_->first_pending_inject = common::kTimeNever;
+  }
 }
 
 std::size_t AlpuArray::invalidate_matching(const Probe& selector) {
@@ -315,6 +342,10 @@ std::size_t AlpuArray::invalidate_matching(const Probe& selector) {
   // cell accepts, not what selects the cell.
   const MatchWord care = ~selector.mask & significant_mask_;
   const MatchWord pb = selector.bits;
+  // Detection point: the sweep's broadcast compare reads every plane,
+  // so it verifies like a probe does.  A quarantined array sweeps
+  // nothing — its contents are untrustworthy until RESET.
+  if (fault_ && !parity_ok()) return 0;
   const std::size_t words = (occupancy_ + 63) >> 6;
   for (std::size_t w = 0; w < words; ++w) {
     const std::size_t base = w << 6;
@@ -354,12 +385,19 @@ std::size_t AlpuArray::invalidate_matching(const Probe& selector) {
     valid_[k >> 6] &= ~(std::uint64_t{1} << (k & 63));
   }
   occupancy_ = keep;
+  // The survivor moves and the tail clear rewrote an arbitrary subset
+  // of [0, old occupancy); the verify above vouches for the sources.
+  if (removed > 0) parity_update_range(0, keep + removed);
   ALPU_INVARIANT(planes_consistent(),
                  "RESET PROCESS sweep broke the prefix invariant");
   return removed;
 }
 
 bool AlpuArray::planes_consistent() const {
+  // With the fault model installed, injected corruption deliberately
+  // breaks the prefix invariant (that is the point); parity, not this
+  // structural check, is the integrity oracle in that mode.
+  if (fault_) return true;
   const std::size_t padded = bits_.size();
   for (std::size_t i = 0; i < padded; ++i) {
     const bool valid = valid_bit(i);
@@ -374,6 +412,163 @@ bool AlpuArray::planes_consistent() const {
 Cell AlpuArray::cell(std::size_t i) const {
   ALPU_ASSERT(i < total_cells_, "cell index out of range");
   return Cell{bits_[i], mask_[i], cookie_[i], valid_bit(i)};
+}
+
+// ---- transient-fault model -------------------------------------------------
+
+void AlpuArray::install_fault_model(const SeuConfig& config,
+                                    std::uint64_t stream) {
+  ALPU_ASSERT(!fault_, "fault model installed twice");
+  fault_ = std::make_unique<SeuState>(config, stream);
+  const std::size_t padded = bits_.size();
+  fault_->parity_bits.assign(padded / 64, 0);
+  fault_->parity_mask.assign(padded / 64, 0);
+  fault_->parity_cookie.assign(padded / 64, 0);
+  fault_->parity_valid.assign((valid_.size() + 63) / 64, 0);
+  parity_rebuild_all();
+}
+
+void AlpuArray::parity_update_cell(std::size_t i) {
+  if (!fault_) return;
+  const std::size_t w = i >> 6;
+  const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+  const auto put = [&](std::vector<std::uint64_t>& plane, bool p) {
+    if (p) {
+      plane[w] |= bit;
+    } else {
+      plane[w] &= ~bit;
+    }
+  };
+  put(fault_->parity_bits, std::popcount(bits_[i]) & 1);
+  put(fault_->parity_mask, std::popcount(mask_[i]) & 1);
+  put(fault_->parity_cookie, std::popcount(cookie_[i]) & 1);
+}
+
+void AlpuArray::parity_update_valid_word(std::size_t w) {
+  if (!fault_) return;
+  const std::uint64_t bit = std::uint64_t{1} << (w & 63);
+  if (std::popcount(valid_[w]) & 1) {
+    fault_->parity_valid[w >> 6] |= bit;
+  } else {
+    fault_->parity_valid[w >> 6] &= ~bit;
+  }
+}
+
+void AlpuArray::parity_update_range(std::size_t lo, std::size_t hi) {
+  if (!fault_) return;
+  hi = hi < bits_.size() ? hi : bits_.size();
+  for (std::size_t i = lo; i < hi; ++i) parity_update_cell(i);
+  for (std::size_t w = lo >> 6; w <= (hi - 1) >> 6 && hi > lo; ++w) {
+    parity_update_valid_word(w);
+  }
+}
+
+void AlpuArray::parity_rebuild_all() {
+  parity_update_range(0, bits_.size());
+}
+
+void AlpuArray::seu_advance(common::TimePs now) {
+  if (!fault_) return;
+  SeuState& f = *fault_;
+  f.last_advance = now;
+  if (f.config.rate <= 0.0) {
+    f.last_tick = now;  // parity/scrub-only installation: nothing to draw
+    return;
+  }
+  while (f.last_tick + f.config.tick_ps <= now) {
+    f.last_tick += f.config.tick_ps;
+    // Fixed-draw discipline (like net::FaultInjector::decide): every
+    // tick consumes exactly four draws whether or not it fires, so one
+    // upset never perturbs the position of the next.
+    const bool fire = f.rng.chance(f.config.rate);
+    const std::size_t cell = f.rng.below(bits_.size());
+    const std::uint64_t plane = f.rng.below(4);
+    const unsigned bit = static_cast<unsigned>(f.rng.below(64));
+    if (!fire) continue;
+    switch (plane) {
+      case 0:
+        bits_[cell] ^= MatchWord{1} << bit;  // lint: ok(alpu-plane-write-outside-parity) — the injector IS the corruption source
+        break;
+      case 1:
+        mask_[cell] ^= MatchWord{1} << bit;  // lint: ok(alpu-plane-write-outside-parity) — injector
+        break;
+      case 2:
+        cookie_[cell] ^= Cookie{1} << (bit & 31);  // lint: ok(alpu-plane-write-outside-parity) — injector
+        break;
+      default:
+        valid_[cell >> 6] ^= std::uint64_t{1} << (cell & 63);  // lint: ok(alpu-plane-write-outside-parity) — injector
+        break;
+    }
+    ++f.stats.seu_injected;
+    if (f.first_pending_inject == common::kTimeNever && !f.quarantined) {
+      f.first_pending_inject = f.last_tick;
+    }
+  }
+}
+
+bool AlpuArray::parity_ok() const {
+  SeuState& f = *fault_;
+  if (f.quarantined) return false;
+  bool ok = true;
+  const std::size_t words = bits_.size() >> 6;
+  for (std::size_t w = 0; w < words && ok; ++w) {
+    std::uint64_t pb = 0;
+    std::uint64_t pm = 0;
+    std::uint64_t pc = 0;
+    const std::size_t base = w << 6;
+    for (unsigned j = 0; j < 64; ++j) {
+      pb |= static_cast<std::uint64_t>(std::popcount(bits_[base + j]) & 1)
+            << j;
+      pm |= static_cast<std::uint64_t>(std::popcount(mask_[base + j]) & 1)
+            << j;
+      pc |= static_cast<std::uint64_t>(std::popcount(cookie_[base + j]) & 1)
+            << j;
+    }
+    ok = pb == f.parity_bits[w] && pm == f.parity_mask[w] &&
+         pc == f.parity_cookie[w];
+  }
+  for (std::size_t w = 0; w < valid_.size() && ok; ++w) {
+    const bool p = std::popcount(valid_[w]) & 1;
+    const bool stored = (f.parity_valid[w >> 6] >> (w & 63)) & 1;
+    ok = p == stored;
+  }
+  if (ok) return true;
+  // First mismatch of the episode: latch the quarantine.  Everything
+  // after this answers PARITY FAULT until RESET rewrites the planes.
+  f.quarantined = true;
+  ++f.stats.parity_faults;
+  if (f.first_pending_inject != common::kTimeNever &&
+      f.last_advance >= f.first_pending_inject) {
+    f.stats.detect_latency_sum_ps += f.last_advance - f.first_pending_inject;
+  }
+  f.first_pending_inject = common::kTimeNever;
+  return false;
+}
+
+bool AlpuArray::scrub() {
+  if (!fault_) return false;
+  ++fault_->stats.scrub_sweeps;
+  return !parity_ok();
+}
+
+void AlpuArray::corrupt_for_test(unsigned plane, std::size_t cell,
+                                 unsigned bit) {
+  ALPU_ASSERT(plane < 4 && cell < bits_.size() && bit < 64,
+              "corrupt_for_test target out of range");
+  switch (plane) {
+    case 0:
+      bits_[cell] ^= MatchWord{1} << bit;  // lint: ok(alpu-plane-write-outside-parity) — test-only corruption
+      break;
+    case 1:
+      mask_[cell] ^= MatchWord{1} << bit;  // lint: ok(alpu-plane-write-outside-parity) — test-only corruption
+      break;
+    case 2:
+      cookie_[cell] ^= Cookie{1} << (bit & 31);  // lint: ok(alpu-plane-write-outside-parity) — test-only corruption
+      break;
+    default:
+      valid_[cell >> 6] ^= std::uint64_t{1} << (cell & 63);  // lint: ok(alpu-plane-write-outside-parity) — test-only corruption
+      break;
+  }
 }
 
 }  // namespace alpu::hw

@@ -33,11 +33,14 @@
 // the differential-testing oracle.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "alpu/seu.hpp"
 #include "alpu/types.hpp"
 #include "common/stats.hpp"
 
@@ -51,6 +54,17 @@ namespace testing {
 /// must catch with a counterexample.  Never set outside tests and the
 /// `alpusim check --inject-compaction-bug` demonstration path.
 extern bool inject_compaction_off_by_one;
+
+/// Must-fail teeth for the fault subsystem: when armed, the next
+/// successful insert (into any array, so arm it with `--jobs 1`) flips
+/// the source LSB of the bits plane of cell 0 directly in storage —
+/// bypassing the parity-maintaining accessors — then disarms itself.
+/// With no parity installed (zero SEU rate) the flip is silent at the
+/// hardware level, so only the end-to-end checks can catch it: the
+/// bounded checker must produce a counterexample and a chaos soak must
+/// fail its exactly-once/in-order verdict.  CI runs both as must-fail
+/// steps.
+extern std::atomic<bool> inject_silent_flip;
 }  // namespace testing
 
 /// One storage cell (Figure 2a/2b).  The SoA engine materializes these
@@ -128,6 +142,44 @@ class AlpuArray {
   /// resolved.
   const common::MatchCounters& counters() const { return counters_; }
 
+  // ---- transient-fault model (seu.hpp) ----
+
+  /// Install the SEU injector + parity protection.  `stream` seeds this
+  /// array's private injector stream.  Must be called before any entry
+  /// is inserted; without this call the array has no parity state and
+  /// the probe path is byte-identical to the fault-free build.
+  void install_fault_model(const SeuConfig& config, std::uint64_t stream);
+  bool fault_model_installed() const { return fault_ != nullptr; }
+
+  /// Sticky fault latch: true from the first failed parity check until
+  /// reset().  While quarantined, probes and sweeps return misses and
+  /// do not touch the (untrustworthy) planes.
+  bool quarantined() const { return fault_ && fault_->quarantined; }
+
+  SeuStats seu_stats() const { return fault_ ? fault_->stats : SeuStats{}; }
+
+  /// Catch the injector up to `now`: one fixed-draw Bernoulli trial per
+  /// elapsed tick, each firing flipping one random bit of one random
+  /// plane without updating parity.  Called by the owning unit at every
+  /// operation and scrub, so injection times are deterministic
+  /// functions of the (shard-independent) event schedule.
+  void seu_advance(common::TimePs now);
+
+  /// Full-array parity verification (every checker evaluates in
+  /// parallel in hardware).  Latches the quarantine on the first
+  /// mismatch.  Returns false when the array is (now) quarantined.
+  bool parity_ok() const;
+
+  /// Background scrub sweep: counts the sweep and verifies parity.
+  /// Returns true when the array is quarantined afterwards.
+  bool scrub();
+
+  /// Test access: flip one stored bit directly, without any parity
+  /// update.  Plane 0/1/2 = bits/mask/cookie (bit < 64, cookie bits
+  /// taken mod 32); plane 3 = the validity bit of cell `cell` (`bit`
+  /// ignored).  Used by the checker's kCorrupt op and the fuzzers.
+  void corrupt_for_test(unsigned plane, std::size_t cell, unsigned bit);
+
  private:
   static constexpr std::size_t kMiss = static_cast<std::size_t>(-1);
 
@@ -144,6 +196,16 @@ class AlpuArray {
     return (valid_[i >> 6] >> (i & 63)) & 1u;
   }
   void delete_at(std::size_t location);
+
+  // Parity maintenance (no-ops unless the fault model is installed).
+  // Every plane mutation must pass through one of these — a lint rule
+  // (alpu-plane-write-outside-parity) flags raw writes elsewhere.
+  void parity_update_cell(std::size_t i);
+  void parity_update_valid_word(std::size_t w);
+  /// Recompute parity for cells [lo, hi) and the validity words that
+  /// cover them (compaction memmoves rewrite whole ranges).
+  void parity_update_range(std::size_t lo, std::size_t hi);
+  void parity_rebuild_all();
 
   AlpuFlavor flavor_;
   std::size_t total_cells_;
@@ -173,6 +235,11 @@ class AlpuArray {
   };
   mutable std::vector<Candidate> tree_scratch_;
   mutable std::vector<std::uint64_t> select_scratch_;  ///< sweep bitmasks
+
+  /// Transient-fault state (null on the zero-rate path).  Detection
+  /// latches state from const probe paths, which the unique_ptr
+  /// indirection permits without a const_cast.
+  std::unique_ptr<SeuState> fault_;
 
   mutable common::MatchCounters counters_;
 };

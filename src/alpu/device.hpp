@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 
+#include "alpu/seu.hpp"
 #include "alpu/types.hpp"
 
 namespace alpu::hw {
@@ -34,6 +36,21 @@ class AlpuDevice {
   virtual std::size_t capacity() const = 0;
   /// Valid entries currently stored.
   virtual std::size_t occupancy() const = 0;
+
+  // ---- transient-fault model (models without one use the defaults) ----
+
+  /// True while the unit has latched a parity fault and is quarantined
+  /// awaiting RESET + re-shadow.  The firmware polls this so dormant
+  /// (scrub-detected) corruption is recovered without waiting for a
+  /// probe to bounce.
+  virtual bool fault_pending() const { return false; }
+  /// Fault-subsystem counters (zeros for models without a fault model).
+  virtual SeuStats seu_stats() const { return SeuStats{}; }
+  /// Install a callback fired when a background scrub latches a fault
+  /// (probe-path detections already reach the firmware as responses).
+  // lint: ok(std-function-hot-path) — setup-time registration, one
+  // invocation per (rare) scrub-detected fault episode.
+  virtual void set_fault_callback(std::function<void()>) {}
 };
 
 }  // namespace alpu::hw

@@ -55,11 +55,18 @@ struct Command {
   Cookie cookie = 0;     ///< INSERT only ("tag" in the paper)
 };
 
-/// Responses produced on the result FIFO (Table II).
+/// Responses produced on the result FIFO (Table II, plus the
+/// transient-fault extension).
 enum class ResponseKind : std::uint8_t {
   kStartAck,      ///< insert mode entered; carries free-entry count
   kMatchSuccess,  ///< probe matched; carries the stored tag (cookie)
   kMatchFailure,  ///< probe matched nothing
+  /// EXTENSION (fault model): a parity check over the cell planes
+  /// failed.  The unit is quarantined — every probe is answered with
+  /// this kind (carrying its seq, so the one-response-per-header
+  /// pairing survives) until the processor issues RESET and rebuilds
+  /// the array from its authoritative shadow lists.
+  kParityFault,
 };
 
 struct Response {

@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <optional>
+#include <type_traits>
 #include <utility>
 
 #include "alpu/alpu.hpp"
@@ -79,36 +80,65 @@ bool is_protocol(ImplKind impl) {
   return impl == ImplKind::kTransaction || impl == ImplKind::kPipelined;
 }
 
-/// Protocol legality of a whole sequence (insert-mode bracketing).
-/// Datapath sequences are always legal.  Used by the shrinker; the
-/// enumerator enforces the same rules incrementally.
+/// Implementations carrying the transient-fault model (parity planes +
+/// corrupt_for_test).  The reference oracle and the stage-level RTL
+/// model deliberately have none.
+bool supports_faults(ImplKind impl) {
+  return impl == ImplKind::kArray || impl == ImplKind::kTransaction;
+}
+
+/// Protocol legality of a whole sequence: insert-mode bracketing, plus
+/// the corruption-episode rules (kCorrupt outside insert mode, at most
+/// once per episode; only kProbe/kReset until the recovering kReset).
+/// Used by the shrinker; the enumerator enforces the same rules
+/// incrementally — keep the two in lockstep or shrinking produces
+/// sequences the spec asserts on.
 bool sequence_legal(const std::vector<Op>& seq, bool protocol) {
-  if (!protocol) return true;
   bool mode = false;
+  bool corrupted = false;
   for (const Op& op : seq) {
     switch (op.kind) {
       case OpKind::kBegin:
-        if (mode) return false;
+        if (!protocol || mode || corrupted) return false;
         mode = true;
         break;
       case OpKind::kEnd:
-        if (!mode) return false;
+        if (!protocol || !mode) return false;
         mode = false;
         break;
       case OpKind::kInsert:
-        if (!mode) return false;
+        if ((protocol && !mode) || corrupted) return false;
         break;
       case OpKind::kReset:
-      case OpKind::kSweep:
         if (mode) return false;
+        corrupted = false;
+        break;
+      case OpKind::kSweep:
+        if (mode || corrupted) return false;
         break;
       case OpKind::kProbe:
+        break;
       case OpKind::kProbeRejected:
+        if (corrupted) return false;
+        break;
+      case OpKind::kCorrupt:
+        if (mode || corrupted) return false;
+        corrupted = true;
         break;
     }
   }
   return true;
 }
+
+/// The two corruption variants the fault alphabet interleaves: a data-
+/// plane flip (bits plane, cell 0 — a padded cell is still covered, so
+/// this is detectable even at occupancy 0) and a validity-bitmap flip
+/// (turns a dead cell live or a live cell dead).  Field encoding is
+/// documented on OpKind::kCorrupt.
+constexpr Op kCorruptDataBit{OpKind::kCorrupt, /*bits=*/0, /*mask=*/0,
+                             /*cookie=*/14, 0};
+constexpr Op kCorruptValidBit{OpKind::kCorrupt, /*bits=*/3, /*mask=*/1,
+                              /*cookie=*/0, 0};
 
 // ---- datapath tier: AlpuArray / ReferenceAlpuArray vs ListSpec ------------
 
@@ -124,8 +154,19 @@ std::optional<std::string> replay_datapath(AlpuFlavor flavor,
                                            std::size_t* fail_at) {
   ListSpec spec(flavor, opt.cells, match::kFullMask);
   Impl impl(flavor, opt.cells, opt.block);
+  if constexpr (std::is_same_v<Impl, hw::AlpuArray>) {
+    if (opt.faults) {
+      hw::SeuConfig seu;
+      seu.force_parity = true;  // detection only; the checker injects
+      impl.install_fault_model(seu, /*stream=*/0);
+    }
+  }
   Cookie next_cookie = 1;
   std::uint64_t next_seq = 1;
+  // True between a kCorrupt and the recovering kReset: the planes are
+  // untrustworthy, so probes must all miss (quarantine) and the state
+  // comparison is suspended until the rebuild.
+  bool corrupted = false;
 
   for (std::size_t i = 0; i < seq.size(); ++i) {
     Op& op = seq[i];
@@ -143,6 +184,21 @@ std::optional<std::string> replay_datapath(AlpuFlavor flavor,
       case OpKind::kProbe: {
         op.seq = next_seq++;
         const hw::Probe probe{op.bits, op.mask, op.seq};
+        if (corrupted) {
+          // The parity verify at the head of every search must refuse
+          // to answer from corrupted planes: all three entry points
+          // report a miss while quarantined, whatever is stored.
+          const hw::ArrayMatch linear = impl.match(probe);
+          const hw::ArrayMatch tree = impl.match_tree(probe);
+          const hw::ArrayMatch del = impl.match_and_delete(probe);
+          if (linear.hit || tree.hit || del.hit) {
+            return strf(
+                "quarantined array answered a probe: match hit=%d "
+                "match_tree hit=%d match_and_delete hit=%d",
+                linear.hit, tree.hit, del.hit);
+          }
+          break;
+        }
         const SpecMatch want = spec.match(op.bits, op.mask);
         const hw::ArrayMatch linear = impl.match(probe);
         const hw::ArrayMatch tree = impl.match_tree(probe);
@@ -179,6 +235,18 @@ std::optional<std::string> replay_datapath(AlpuFlavor flavor,
       case OpKind::kReset:
         impl.reset();
         spec.reset();
+        corrupted = false;  // reset reheals parity and lifts quarantine
+        break;
+      case OpKind::kCorrupt:
+        if constexpr (std::is_same_v<Impl, hw::AlpuArray>) {
+          impl.corrupt_for_test(static_cast<unsigned>(op.bits),
+                                static_cast<std::size_t>(op.mask),
+                                op.cookie);
+          corrupted = true;
+        } else {
+          ALPU_CHECK_FAIL("corrupt op on an implementation without a "
+                          "fault model");
+        }
         break;
       case OpKind::kSweep: {
         const hw::Probe selector{op.bits, op.mask, 0};
@@ -196,6 +264,10 @@ std::optional<std::string> replay_datapath(AlpuFlavor flavor,
     }
 
     // Full post-step state comparison: occupancy and every live cell.
+    // Suspended while quarantined: the planes (validity included, so
+    // occupancy too) are corrupted by construction, and the recovery
+    // contract only promises equivalence again after the rebuild.
+    if (corrupted) continue;
     if (impl.occupancy() != spec.size()) {
       return strf("occupancy %zu, spec says %zu", impl.occupancy(),
                   spec.size());
@@ -236,6 +308,9 @@ SpecResponse normalize(const hw::Response& r) {
     case hw::ResponseKind::kMatchFailure:
       s.probe_seq = r.probe_seq;
       break;
+    case hw::ResponseKind::kParityFault:
+      s.probe_seq = r.probe_seq;
+      break;
   }
   return s;
 }
@@ -274,6 +349,9 @@ hw::AlpuConfig make_device_config(AlpuFlavor flavor, const CheckOptions& opt,
   cfg.flavor = flavor;
   cfg.total_cells = opt.cells;
   cfg.block_size = opt.block;
+  // Fault checking needs the parity planes installed; the injector and
+  // the scrub stay off — kCorrupt flips bits deterministically instead.
+  cfg.seu.force_parity = opt.faults;
   return cfg;
 }
 
@@ -302,6 +380,10 @@ std::optional<std::string> replay_protocol(AlpuFlavor flavor,
   ProtocolSpec spec(flavor, opt.cells, match::kFullMask);
   Cookie next_cookie = 1;
   std::uint64_t next_seq = 1;
+  // Suspends the occupancy / cell-order comparison between a kCorrupt
+  // and the recovering kReset (the response-stream comparison keeps
+  // running — that is where PARITY FAULT detection is proven).
+  bool corrupted = false;
 
   for (std::size_t i = 0; i < seq.size(); ++i) {
     Op& op = seq[i];
@@ -326,10 +408,20 @@ std::optional<std::string> replay_protocol(AlpuFlavor flavor,
         break;
       case OpKind::kReset:
         pushed = dev.push_command({hw::CommandKind::kReset, 0, 0, 0});
+        corrupted = false;  // RESET reheals parity and lifts quarantine
         break;
       case OpKind::kSweep:
         pushed = dev.push_command(
             {hw::CommandKind::kResetMatching, op.bits, op.mask, 0});
+        break;
+      case OpKind::kCorrupt:
+        if constexpr (std::is_same_v<Device, hw::Alpu>) {
+          dev.corrupt_for_test(static_cast<unsigned>(op.bits),
+                               static_cast<std::size_t>(op.mask), op.cookie);
+          corrupted = true;
+        } else {
+          ALPU_CHECK_FAIL("corrupt op on a device without a fault model");
+        }
         break;
       case OpKind::kProbeRejected:
         // The header FIFO refused the probe before the unit saw it:
@@ -354,6 +446,7 @@ std::optional<std::string> replay_protocol(AlpuFlavor flavor,
                   join_responses(got).c_str(), join_responses(want).c_str());
     }
 
+    if (corrupted) continue;  // planes untrustworthy until the rebuild
     if (dev.occupancy() != spec.list().size()) {
       return strf("occupancy %zu, spec says %zu", dev.occupancy(),
                   spec.list().size());
@@ -397,7 +490,8 @@ class Checker {
     std::vector<Op> seq;
     seq.reserve(opt_.depth);
     for (std::size_t depth = 1; depth <= opt_.depth; ++depth) {
-      if (!extend(seq, /*in_mode=*/false, depth, result)) {
+      if (!extend(seq, /*in_mode=*/false, /*corrupted=*/false, depth,
+                  result)) {
         shrink(result);
         result.ok = false;
         return result;
@@ -412,9 +506,19 @@ class Checker {
   /// Ops legal from the current mode.  Datapath sequences have no
   /// modes; the protocol alphabet honours Figure 3 (insert only inside
   /// insert mode; reset/sweep only outside; PipelinedAlpu discards
-  /// RESET MATCHING, so it gets no sweep at all).
-  void legal_ops(bool in_mode, std::vector<Op>& out) const {
+  /// RESET MATCHING, so it gets no sweep at all).  A corruption episode
+  /// narrows the alphabet to probes (each must answer PARITY FAULT /
+  /// miss) and the recovering reset.
+  void legal_ops(bool in_mode, bool corrupted, std::vector<Op>& out) const {
     out.clear();
+    if (corrupted) {
+      for (const Shape& s : alphabet_.probes) {
+        out.push_back(Op{OpKind::kProbe, s.bits, s.mask, 0, 0});
+      }
+      out.push_back(Op{OpKind::kReset, 0, 0, 0, 0});
+      return;
+    }
+    const bool corrupt_ok = opt_.faults && supports_faults(impl_);
     if (!protocol_) {
       for (const Shape& s : alphabet_.inserts) {
         out.push_back(Op{OpKind::kInsert, s.bits, s.mask, 0, 0});
@@ -425,6 +529,10 @@ class Checker {
       out.push_back(Op{OpKind::kReset, 0, 0, 0, 0});
       out.push_back(
           Op{OpKind::kSweep, alphabet_.sweep.bits, alphabet_.sweep.mask, 0, 0});
+      if (corrupt_ok) {
+        out.push_back(kCorruptDataBit);
+        out.push_back(kCorruptValidBit);
+      }
       return;
     }
     for (const Shape& s : alphabet_.probes) {
@@ -442,25 +550,35 @@ class Checker {
         out.push_back(Op{OpKind::kSweep, alphabet_.sweep.bits,
                          alphabet_.sweep.mask, 0, 0});
       }
+      if (corrupt_ok) {
+        out.push_back(kCorruptDataBit);
+        out.push_back(kCorruptValidBit);
+      }
     }
   }
 
   /// DFS over sequences of length exactly `target`.  Returns false when
   /// a divergence was found (recorded into `result`).
-  bool extend(std::vector<Op>& seq, bool in_mode, std::size_t target,
-              CheckResult& result) {
+  bool extend(std::vector<Op>& seq, bool in_mode, bool corrupted,
+              std::size_t target, CheckResult& result) {
     if (seq.size() == target) {
       return replay(seq, result);
     }
     std::vector<Op> ops;
-    legal_ops(in_mode, ops);
+    legal_ops(in_mode, corrupted, ops);
     for (const Op& op : ops) {
       seq.push_back(op);
       const bool next_mode =
           op.kind == OpKind::kBegin   ? true
           : op.kind == OpKind::kEnd   ? false
                                       : in_mode;
-      if (!extend(seq, next_mode, target, result)) return false;
+      const bool next_corrupted =
+          op.kind == OpKind::kCorrupt ? true
+          : op.kind == OpKind::kReset ? false
+                                      : corrupted;
+      if (!extend(seq, next_mode, next_corrupted, target, result)) {
+        return false;
+      }
       seq.pop_back();
     }
     return true;

@@ -47,6 +47,13 @@ struct CheckOptions {
   std::size_t depth = 6;  ///< maximum operation-sequence length
   std::size_t cells = 4;  ///< array capacity (keep small; state space!)
   std::size_t block = 2;  ///< block size (must divide cells, power of 2)
+  /// Include OpKind::kCorrupt in the alphabet: parity protection is
+  /// installed, deterministic single-bit flips are interleaved with the
+  /// protocol ops, and the spec demands detection (PARITY FAULT per
+  /// probe) followed by full recovery at kReset.  Only meaningful for
+  /// the implementations that carry the fault model (kArray datapath,
+  /// kTransaction protocol); ignored elsewhere.
+  bool faults = false;
 };
 
 struct CheckResult {

@@ -35,6 +35,11 @@ std::string to_string(const Op& op) {
                     match::to_string(p).c_str(),
                     static_cast<unsigned long long>(op.seq));
       return buf;
+    case OpKind::kCorrupt:
+      std::snprintf(buf, sizeof buf, "corrupt plane=%llu cell=%llu bit=%u",
+                    static_cast<unsigned long long>(op.bits),
+                    static_cast<unsigned long long>(op.mask), op.cookie);
+      return buf;
   }
   return "?";
 }
@@ -51,6 +56,10 @@ std::string to_string(const SpecResponse& r) {
       return buf;
     case hw::ResponseKind::kMatchFailure:
       std::snprintf(buf, sizeof buf, "MATCH_FAILURE seq=%llu",
+                    static_cast<unsigned long long>(r.probe_seq));
+      return buf;
+    case hw::ResponseKind::kParityFault:
+      std::snprintf(buf, sizeof buf, "PARITY_FAULT seq=%llu",
                     static_cast<unsigned long long>(r.probe_seq));
       return buf;
   }
@@ -119,6 +128,19 @@ ProtocolSpec::ProtocolSpec(AlpuFlavor flavor, std::size_t capacity,
     : list_(flavor, capacity, significant_mask) {}
 
 void ProtocolSpec::settle(std::vector<SpecResponse>& out) {
+  if (quarantined_) {
+    // The unit latched a parity fault: every probe is answered PARITY
+    // FAULT (one response per header, in probe order) and nothing
+    // touches the list until the recovering RESET.  kCorrupt is only
+    // legal outside insert mode, so no probe can be held here.
+    ALPU_ASSERT(!held_.has_value(), "probe held across a corruption");
+    while (!queued_.empty()) {
+      out.push_back(SpecResponse{hw::ResponseKind::kParityFault, 0, 0,
+                                 queued_.front().seq});
+      queued_.pop_front();
+    }
+    return;
+  }
   for (;;) {
     if (held_.has_value()) {
       if (!insert_mode_) {
@@ -196,7 +218,10 @@ void ProtocolSpec::apply(const Op& op, std::vector<SpecResponse>& out) {
       break;
     case OpKind::kReset:
       ALPU_ASSERT(!insert_mode_, "reset inside insert mode is discarded");
+      // RESET is also the recovery command: it clears the (corrupted)
+      // storage, reheals parity, and lifts the quarantine.
       list_.reset();
+      quarantined_ = false;
       break;
     case OpKind::kSweep:
       ALPU_ASSERT(!insert_mode_, "sweep inside insert mode is discarded");
@@ -208,6 +233,16 @@ void ProtocolSpec::apply(const Op& op, std::vector<SpecResponse>& out) {
       // therefore make no progress either — the op is a pure stutter in
       // the response stream (the processor re-offers the header later as
       // an ordinary kProbe).
+      break;
+    case OpKind::kCorrupt:
+      // A flipped bit owes no response of its own; detection happens at
+      // the next probe's parity verify, which is exactly when the first
+      // PARITY FAULT is emitted.  Quarantining now (rather than at
+      // detection) is observationally identical because an undetected
+      // flip has no observable either.
+      ALPU_ASSERT(!insert_mode_, "corrupt op inside insert mode");
+      ALPU_ASSERT(!quarantined_, "one corruption per episode");
+      quarantined_ = true;
       break;
   }
   settle(out);

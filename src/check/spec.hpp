@@ -59,6 +59,15 @@ enum class OpKind : std::uint8_t {
   /// held failures and retries: rejected-then-retried sequences must be
   /// response-equivalent to never-rejected ones.
   kProbeRejected,
+  /// A single-event upset: flip one bit of one storage plane without
+  /// updating parity (AlpuArray::corrupt_for_test).  Field encoding is
+  /// positional: `bits` = plane (0 bits / 1 mask / 2 cookie / 3
+  /// validity), `mask` = cell index, `cookie` = bit index.  Legal only
+  /// outside insert mode and at most once per episode; until the
+  /// recovering kReset, only kProbe (answered PARITY FAULT) and kReset
+  /// itself are legal.  Enabled by CheckOptions::faults on the
+  /// implementations that carry the fault model.
+  kCorrupt,
 };
 
 struct Op {
@@ -164,6 +173,10 @@ class ProtocolSpec {
   const ListSpec& list() const { return list_; }
   /// True while a failed probe is held (its response still owed).
   bool has_held_probe() const { return held_.has_value(); }
+  /// True between kCorrupt and the recovering kReset: the stored planes
+  /// are untrustworthy, so every probe answers PARITY FAULT and the
+  /// list contents are unobservable until rebuilt.
+  bool quarantined() const { return quarantined_; }
 
  private:
   struct PendingProbe {
@@ -179,6 +192,7 @@ class ProtocolSpec {
   ListSpec list_;
   bool insert_mode_ = false;
   bool retry_pending_ = false;
+  bool quarantined_ = false;
   std::optional<PendingProbe> held_;
   std::deque<PendingProbe> queued_;
 };

@@ -125,6 +125,13 @@ struct NicConfig {
   std::optional<hw::AlpuConfig> unexpected_alpu;
   AlpuUsePolicy alpu_policy;
   AlpuModelKind alpu_model = AlpuModelKind::kTransaction;
+
+  /// Transient-fault model applied to every attached ALPU.  The NIC
+  /// derives an independent injector stream per unit (node id and
+  /// flavour folded into `seu.seed`).  Default (`seu.any() == false`)
+  /// installs nothing — the zero-rate path is byte-identical.
+  /// Requires the transaction-level model (asserted at unit build).
+  hw::SeuConfig seu;
 };
 
 }  // namespace alpu::nic

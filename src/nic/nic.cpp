@@ -28,12 +28,26 @@ hw::AlpuConfig with_flavor(hw::AlpuConfig cfg, hw::AlpuFlavor flavor) {
   return cfg;
 }
 
+/// Per-unit SEU injector stream: fold the node id and flavour into the
+/// configured seed (the Xoshiro constructor splitmixes, so nearby
+/// streams are unrelated), mirroring the per-link fault streams.
+std::uint64_t seu_stream(std::uint64_t seed, net::NodeId node,
+                         hw::AlpuFlavor flavor) {
+  const std::uint64_t lane =
+      2 * static_cast<std::uint64_t>(node) +
+      (flavor == hw::AlpuFlavor::kUnexpected ? 1 : 0);
+  return seed ^ (0x9e3779b97f4a7c15ULL * (lane + 1));
+}
+
 /// Build a unit of the configured model kind.
 std::unique_ptr<hw::AlpuDevice> make_unit(sim::Engine& engine,
                                           std::string name,
                                           const hw::AlpuConfig& cfg,
                                           AlpuModelKind kind) {
   if (kind == AlpuModelKind::kPipelined) {
+    ALPU_ASSERT(!cfg.seu.any(),
+                "the SEU fault model is only implemented for the "
+                "transaction-level ALPU (use --alpu-model transaction)");
     hw::PipelinedAlpuConfig p;
     p.flavor = cfg.flavor;
     p.total_cells = cfg.total_cells;
@@ -68,17 +82,27 @@ Nic::Nic(sim::Engine& engine, std::string name, net::NodeId node,
       pool_(engine) {
   if (config_.posted_alpu.has_value()) {
     posted_ctx_.emplace();
-    posted_ctx_->unit = make_unit(
-        engine, this->name() + ".alpu.posted",
-        with_flavor(*config_.posted_alpu, hw::AlpuFlavor::kPostedReceive),
-        config_.alpu_model);
+    hw::AlpuConfig ucfg =
+        with_flavor(*config_.posted_alpu, hw::AlpuFlavor::kPostedReceive);
+    ucfg.seu = config_.seu;
+    ucfg.seu.seed =
+        seu_stream(config_.seu.seed, node, hw::AlpuFlavor::kPostedReceive);
+    posted_ctx_->unit = make_unit(engine, this->name() + ".alpu.posted", ucfg,
+                                  config_.alpu_model);
+    // A background scrub that latches a fault must wake the firmware so
+    // dormant corruption is rebuilt without waiting for traffic.
+    posted_ctx_->unit->set_fault_callback([this] { wake_firmware(); });
   }
   if (config_.unexpected_alpu.has_value()) {
     unexpected_ctx_.emplace();
+    hw::AlpuConfig ucfg =
+        with_flavor(*config_.unexpected_alpu, hw::AlpuFlavor::kUnexpected);
+    ucfg.seu = config_.seu;
+    ucfg.seu.seed =
+        seu_stream(config_.seu.seed, node, hw::AlpuFlavor::kUnexpected);
     unexpected_ctx_->unit = make_unit(
-        engine, this->name() + ".alpu.unexpected",
-        with_flavor(*config_.unexpected_alpu, hw::AlpuFlavor::kUnexpected),
-        config_.alpu_model);
+        engine, this->name() + ".alpu.unexpected", ucfg, config_.alpu_model);
+    unexpected_ctx_->unit->set_fault_callback([this] { wake_firmware(); });
   }
   // Raw deliveries pass through the reliability sublayer, which forwards
   // exactly the packets the lossless network used to deliver (in order,
@@ -309,6 +333,22 @@ common::MatchCounters Nic::match_counters() const {
   return c;
 }
 
+void Nic::sync_seu_stats() const {
+  stats_.seu_injected = 0;
+  stats_.parity_faults = 0;
+  stats_.scrub_sweeps = 0;
+  stats_.seu_detect_latency_ps = 0;
+  for (const auto* ctx : {posted_ctx_ ? &*posted_ctx_ : nullptr,
+                          unexpected_ctx_ ? &*unexpected_ctx_ : nullptr}) {
+    if (ctx == nullptr) continue;
+    const hw::SeuStats s = ctx->unit->seu_stats();
+    stats_.seu_injected += s.seu_injected;
+    stats_.parity_faults += s.parity_faults;
+    stats_.scrub_sweeps += s.scrub_sweeps;
+    stats_.seu_detect_latency_ps += s.detect_latency_sum_ps;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Firmware main loop (Section V-C: four actions per iteration)
 // ---------------------------------------------------------------------------
@@ -352,6 +392,36 @@ sim::Process Nic::firmware() {
       co_await sim::delay(eng, t);
       job();
       did_work = true;
+    }
+
+    // Transient-fault recovery sweep: a background scrub can latch a
+    // parity fault with no traffic to bounce a PARITY FAULT response off
+    // (the probe path reaches degrade_alpu through handle_packet /
+    // handle_request).  Reset such a unit here so dormant corruption is
+    // recovered before the next use — but only once per episode
+    // (fault_reset_issued), and for the posted unit only when no probed
+    // packets are outstanding, so in-flight responses keep their
+    // rx-order pairing.  Runs before Action 4 so the RESET is queued
+    // ahead of any re-shadow session's START INSERT.
+    if (posted_ctx_.has_value()) {
+      if (!posted_ctx_->unit->fault_pending()) {
+        posted_ctx_->fault_reset_issued = false;
+      } else if (!posted_ctx_->fault_reset_issued && rx_fifo_.empty() &&
+                 posted_ctx_->drained.empty()) {
+        co_await degrade_alpu(*posted_ctx_, /*is_posted=*/true,
+                              /*parity=*/true);
+        did_work = true;
+      }
+    }
+    if (unexpected_ctx_.has_value()) {
+      if (!unexpected_ctx_->unit->fault_pending()) {
+        unexpected_ctx_->fault_reset_issued = false;
+      } else if (!unexpected_ctx_->fault_reset_issued &&
+                 unexpected_ctx_->drained.empty()) {
+        co_await degrade_alpu(*unexpected_ctx_, /*is_posted=*/false,
+                              /*parity=*/true);
+        did_work = true;
+      }
     }
 
     // Action 4: update the ALPUs (batch-insert any unsynced suffix).
@@ -403,6 +473,15 @@ sim::Process Nic::read_match_result(AlpuCtx& ctx, std::uint64_t expected_seq,
   if (!ctx.drained.empty()) {
     *out = ctx.drained.front();
     ctx.drained.pop_front();
+    // Responses that predate a parity-triggered reset were verified at
+    // their own match time, so they stay deliverable — but the synced
+    // prefix beneath them is gone (see degrade_alpu).
+    if (ctx.stale_ok > 0) {
+      --ctx.stale_ok;
+      ctx.last_from_stale = true;
+    } else {
+      ctx.last_from_stale = false;
+    }
     ALPU_ASSERT(out->probe_seq == expected_seq, "drained response out of order with packet stream");
     const TimePs t = instr(config_.costs.alpu_poll_cycles);
     stats_.firmware_busy += t;
@@ -422,6 +501,7 @@ sim::Process Nic::read_match_result(AlpuCtx& ctx, std::uint64_t expected_seq,
     if (!r.has_value()) continue;  // spin: result not ready yet
     ALPU_ASSERT(r->kind != hw::ResponseKind::kStartAck, "unexpected START ACK outside an insert session");
     ALPU_ASSERT(r->probe_seq == expected_seq, "response/probe order violated");
+    ctx.last_from_stale = false;
     *out = *r;
     co_return;
   }
@@ -436,6 +516,10 @@ sim::Process Nic::update_alpu(AlpuCtx& ctx, bool is_posted) {
   const std::size_t list_size = is_posted ? posted_.size() : unexpected_.size();
   std::size_t pending = list_size - ctx.synced;
   if (pending == 0) co_return;
+  // A quarantined unit ignores its planes until RESET: inserting into it
+  // would be lost work.  The recovery sweep (or the probe path) resets
+  // it first; this session retries on a later iteration.
+  if (ctx.unit->fault_pending()) co_return;
 
   if (is_posted) {
     // Turn header replication on BEFORE anything can be inserted, so
@@ -475,7 +559,13 @@ sim::Process Nic::update_alpu(AlpuCtx& ctx, bool is_posted) {
     // unit entering insert mode would be stale once we insert: its
     // packet must re-search against the entries this session would add.
     // Abort the session; the packet is processed first, then we retry.
-    if (r->kind == hw::ResponseKind::kMatchFailure) stale_failure = true;
+    // A PARITY FAULT aborts for the same reason with more force: the
+    // unit quarantined itself, so the session's inserts would be lost —
+    // the packet's consumer runs the scrub-and-rebuild path first.
+    if (r->kind == hw::ResponseKind::kMatchFailure ||
+        r->kind == hw::ResponseKind::kParityFault) {
+      stale_failure = true;
+    }
     ctx.drained.push_back(*r);
   }
   if (is_posted && stale_failure) {
@@ -539,18 +629,35 @@ sim::Process Nic::update_alpu(AlpuCtx& ctx, bool is_posted) {
       hw::Command{hw::CommandKind::kStopInsert, 0, 0, 0});
   ALPU_ASSERT(ok, "command FIFO overflow on STOP INSERT");
   (void)ok;
+
+  // A completed re-shadow session after a parity-triggered reset closes
+  // the scrub-and-rebuild episode.
+  if (ctx.rebuild_pending) {
+    ctx.rebuild_pending = false;
+    ++stats_.rebuilds;
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Graceful degradation (header-FIFO back-pressure)
 // ---------------------------------------------------------------------------
 
-sim::Process Nic::degrade_alpu(AlpuCtx& ctx, bool is_posted) {
+sim::Process Nic::degrade_alpu(AlpuCtx& ctx, bool is_posted, bool parity) {
   auto& eng = engine();
-  // Every probed packet ahead of the trigger has already consumed its
-  // response (rx order == probe order), so nothing drained is pending.
-  ALPU_DEBUG_ASSERT(ctx.drained.empty(),
-                    "degrading an ALPU with undrained responses");
+  if (parity) {
+    // Scrub-and-rebuild: responses drained before the fault latched were
+    // parity-verified at their own match time (detection precedes every
+    // result), so they stay deliverable.  Their entries are no longer
+    // shadowed once `synced` resets below, so flag them to waive the
+    // synced-prefix check when they are consumed.
+    ctx.stale_ok = ctx.drained.size();
+    ctx.fault_reset_issued = true;
+  } else {
+    // Every probed packet ahead of the trigger has already consumed its
+    // response (rx order == probe order), so nothing drained is pending.
+    ALPU_DEBUG_ASSERT(ctx.drained.empty(),
+                      "degrading an ALPU with undrained responses");
+  }
   ++stats_.alpu_fallback_resets;
   if (is_posted) {
     posted_probe_enabled_ = false;  // idempotent: rejection cleared it
@@ -571,6 +678,15 @@ sim::Process Nic::degrade_alpu(AlpuCtx& ctx, bool is_posted) {
   }
   // The software lists remain authoritative; forget the shadow copy.
   ctx.synced = 0;
+  if (parity) {
+    // The episode completes with a re-shadow (Action 4); when there is
+    // nothing to re-shadow, the RESET alone restores the unit.
+    if ((is_posted ? posted_.size() : unexpected_.size()) == 0) {
+      ++stats_.rebuilds;
+    } else {
+      ctx.rebuild_pending = true;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -616,13 +732,34 @@ sim::Process Nic::handle_packet(RxItem item) {
           matched = true;
           cookie = r.cookie;
           // The cookie points straight at the entry: one state-line
-          // touch, no list walk.
+          // touch, no list walk.  Stale (pre-parity-reset) responses are
+          // still valid matches but their entries are no longer shadowed.
           const std::size_t index = posted_index_of(cookie);
-          ALPU_ASSERT(index < posted_ctx_->synced, "ALPU matched an entry outside its synced prefix");
+          ALPU_ASSERT(posted_ctx_->last_from_stale ||
+                          index < posted_ctx_->synced,
+                      "ALPU matched an entry outside its synced prefix");
           t += erase_cost(posted_info_.at(cookie).state_line);
           erase_posted(index);
         } else {
-          ++stats_.alpu_posted_misses;
+          if (r.kind == hw::ResponseKind::kParityFault) {
+            // The unit quarantined itself on a parity mismatch: its
+            // answer for this probe is unusable.  Reset it (scrub-and-
+            // rebuild) unless a reset is already queued or has already
+            // landed, then fall back to a full software walk — after the
+            // reset `synced` is 0, so the search-from-synced below
+            // covers the whole list.
+            if (posted_ctx_->unit->fault_pending() &&
+                !posted_ctx_->fault_reset_issued) {
+              stats_.firmware_busy += t;
+              co_await sim::delay(eng, t);
+              t = 0;
+              co_await degrade_alpu(*posted_ctx_, /*is_posted=*/true,
+                                    /*parity=*/true);
+            }
+            ++stats_.alpu_fallback_searches;
+          } else {
+            ++stats_.alpu_posted_misses;
+          }
           // Search the portion not yet loaded into the ALPU.
           const auto res = posted_search_from(posted_ctx_->synced,
                                               p.match_bits, promise.cookie);
@@ -947,12 +1084,28 @@ sim::Process Nic::handle_request(HostRequest request) {
         ++stats_.alpu_unexpected_hits;
         matched = true;
         cookie = r.cookie;
-        ALPU_ASSERT(unexpected_index_of(cookie) < unexpected_ctx_->synced,
+        ALPU_ASSERT(unexpected_ctx_->last_from_stale ||
+                        unexpected_index_of(cookie) < unexpected_ctx_->synced,
                     "ALPU hit on an entry never synced into the unit");
         t += erase_cost(unexpected_info_.at(cookie).state_line);
         // Delivery below erases via deliver_from_unexpected.
       } else {
-        ++stats_.alpu_unexpected_misses;
+        if (r.kind == hw::ResponseKind::kParityFault) {
+          // Parity fault: reset the quarantined unit (scrub-and-rebuild)
+          // and fall back to software for this receive.  `synced` is 0
+          // after the reset, so search-from-synced is the full walk.
+          if (unexpected_ctx_->unit->fault_pending() &&
+              !unexpected_ctx_->fault_reset_issued) {
+            stats_.firmware_busy += t;
+            co_await sim::delay(eng, t);
+            t = 0;
+            co_await degrade_alpu(*unexpected_ctx_, /*is_posted=*/false,
+                                  /*parity=*/true);
+          }
+          ++stats_.alpu_fallback_searches;
+        } else {
+          ++stats_.alpu_unexpected_misses;
+        }
         const auto res = unexpected_.search_from(unexpected_ctx_->synced,
                                                  request.pattern);
         t += walk_cost_unexpected(unexpected_ctx_->synced, res.visited);

@@ -71,6 +71,18 @@ struct NicStats {
   std::uint64_t alpu_fallback_resets = 0;   ///< ALPU reset to enter fallback
   std::uint64_t alpu_fallback_searches = 0;  ///< software walks while degraded
 
+  // Transient-fault subsystem (zero unless an SEU model is configured).
+  // The first three are mirrored from the units' own counters by
+  // stats(); `rebuilds` is firmware-side: parity-triggered reset +
+  // re-shadow recoveries that completed.
+  std::uint64_t seu_injected = 0;    ///< bit flips landed in the planes
+  std::uint64_t parity_faults = 0;   ///< detection episodes (quarantines)
+  std::uint64_t scrub_sweeps = 0;    ///< background verify sweeps
+  std::uint64_t rebuilds = 0;        ///< completed scrub-and-rebuild recoveries
+  /// Summed injection-to-detection latency over all detection episodes
+  /// (divide by `parity_faults` for the mean).  Mirrored from the units.
+  common::TimePs seu_detect_latency_ps = 0;
+
   // Eager-resource occupancy (tracked even with unlimited budgets, so
   // sweeps can report what an incast would have pinned).
   std::uint64_t unexpected_depth_peak = 0;  ///< max unexpectedQ length
@@ -121,7 +133,10 @@ class Nic : public sim::Component, private EagerAdmission {
 
   net::NodeId node() const { return node_; }
   const NicConfig& config() const { return config_; }
-  const NicStats& stats() const { return stats_; }
+  const NicStats& stats() const {
+    sync_seu_stats();
+    return stats_;
+  }
   /// Probe-level work counters summed over the software match lists and
   /// any attached transaction-level ALPUs (probes issued, comparator
   /// cells scanned, entries moved by deletion compaction).
@@ -179,6 +194,22 @@ class Nic : public sim::Component, private EagerAdmission {
     /// Match results drained from the result FIFO during insert
     /// sessions, awaiting their packets (Section IV-C).
     std::deque<hw::Response> drained;
+    /// Set when a parity fault forced the reset; the next completed
+    /// re-shadow session counts as a rebuild (NicStats::rebuilds).
+    bool rebuild_pending = false;
+    /// Drained responses that predate a parity-triggered reset.  They
+    /// were verified at their own match time (detection precedes every
+    /// result), so they stay deliverable — but their entries are no
+    /// longer shadowed, which waives the `index < synced` check.
+    std::size_t stale_ok = 0;
+    /// True when read_match_result's last response came off the stale
+    /// (pre-reset) portion of `drained`.
+    bool last_from_stale = false;
+    /// A parity-triggered RESET is in the command FIFO but the unit may
+    /// not have decoded it yet (fault_pending() still true).  Stops the
+    /// firmware's dormant-fault sweep from issuing one reset per loop
+    /// iteration; cleared when the unit is observed fault-free.
+    bool fault_reset_issued = false;
   };
 
   /// One entry of the firmware's Rx work queue.
@@ -246,7 +277,17 @@ class Nic : public sim::Component, private EagerAdmission {
   /// while the unit still held entries would double-deliver.  Recovery
   /// is the normal Action-4 path: once the firmware drains, update_alpu
   /// re-shadows the queue from scratch.
-  sim::Process degrade_alpu(AlpuCtx& ctx, bool is_posted);
+  ///
+  /// `parity` marks a parity-fault recovery (scrub-and-rebuild): unlike
+  /// the back-pressure path it may run with stale drained responses
+  /// outstanding (kept — they were verified before the fault latched)
+  /// and arms `rebuild_pending` so the re-shadow counts as a rebuild.
+  sim::Process degrade_alpu(AlpuCtx& ctx, bool is_posted,
+                            bool parity = false);
+
+  /// Mirror the units' fault counters into stats_ (stats_ is mutable
+  /// so const readers always see current values).
+  void sync_seu_stats() const;
 
   /// Read the next ALPU response for `expected_seq`, spinning on the
   /// result FIFO over the bus; consumes drained responses first.
@@ -434,7 +475,7 @@ class Nic : public sim::Component, private EagerAdmission {
   std::function<void(const Completion&)> on_completion_;
   sim::Trigger work_;
   sim::ProcessPool pool_;
-  NicStats stats_;
+  mutable NicStats stats_;
 };
 
 }  // namespace alpu::nic

@@ -145,6 +145,7 @@ mpi::SystemConfig make_chaos_system_config(const ChaosParams& params) {
   if (cfg.faults.any()) cfg.nic.reliability.enabled = true;
   cfg.nic.eager_pool_bytes = params.eager_pool_bytes;
   cfg.nic.unexpected_slots = params.unexpected_slots;
+  cfg.nic.seu = params.seu;
   // Finite budgets make exhaustion an RNR-NACK protocol event, which
   // lives in the reliability sublayer.
   if (cfg.nic.eager_pool_bytes > 0 || cfg.nic.unexpected_slots > 0) {
@@ -211,6 +212,11 @@ ChaosResult run_chaos(const ChaosParams& params) {
     res.probe_rejections += n.stats().alpu_probe_rejections;
     res.fallback_resets += n.stats().alpu_fallback_resets;
     res.fallback_searches += n.stats().alpu_fallback_searches;
+    res.seu_injected += n.stats().seu_injected;
+    res.parity_faults += n.stats().parity_faults;
+    res.scrub_sweeps += n.stats().scrub_sweeps;
+    res.rebuilds += n.stats().rebuilds;
+    res.seu_detect_latency_ps += n.stats().seu_detect_latency_ps;
     res.peak_pool_bytes =
         std::max(res.peak_pool_bytes, n.stats().eager_pool_peak_bytes);
     res.peak_unexpected_slots =

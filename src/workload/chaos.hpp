@@ -24,6 +24,7 @@
 
 #include <cstdint>
 
+#include "alpu/seu.hpp"
 #include "common/time.hpp"
 #include "net/faults.hpp"
 #include "net/network.hpp"
@@ -46,6 +47,11 @@ struct ChaosParams {
   std::uint64_t seed = 1;
   net::FaultConfig faults;
   nic::ReliabilityConfig reliability;
+  /// ALPU transient-fault model (SEU injection + parity + scrub), for
+  /// compound network-fault × hardware-fault soaks.  Default installs
+  /// nothing.  Per-unit injector streams are derived inside the NIC, so
+  /// the verdict stays byte-identical at any shard count.
+  hw::SeuConfig seu;
   /// Incast overload: every rank > 0 sends its whole plan to rank 0
   /// (small eager sizes), and rank 0 throttles its receive posting, so
   /// offered load far exceeds the receiver's drain rate.  Meant to run
@@ -84,6 +90,16 @@ struct ChaosResult {
   std::uint64_t probe_rejections = 0;  ///< summed NIC degradation stats
   std::uint64_t fallback_resets = 0;
   std::uint64_t fallback_searches = 0;
+
+  // Transient-fault outcome (sums over NICs; zero when no SEU model).
+  std::uint64_t seu_injected = 0;
+  std::uint64_t parity_faults = 0;
+  std::uint64_t scrub_sweeps = 0;
+  std::uint64_t rebuilds = 0;
+  /// Injection-to-detection latency summed over detection episodes
+  /// (divide by parity_faults for the mean; the scrub interval bounds
+  /// the tail for dormant entries).
+  common::TimePs seu_detect_latency_ps = 0;
 
   // Flow-control outcome (budgets echoed from the params; peaks are the
   // max over NICs, sums over NICs otherwise).

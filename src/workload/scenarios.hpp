@@ -100,6 +100,14 @@ struct LatencyResult {
   std::uint64_t alpu_fallback_resets = 0;
   std::uint64_t link_failures = 0;
 
+  // ALPU transient-fault accounting, zero unless an SEU model is
+  // configured (summed machine-wide; `alpusim sweep --verbose` prints
+  // them alongside the robustness counters).
+  std::uint64_t seu_injected = 0;
+  std::uint64_t parity_faults = 0;
+  std::uint64_t scrub_sweeps = 0;
+  std::uint64_t rebuilds = 0;
+
   // Eager-resource occupancy peaks, max over NICs (tracked stats-only
   // on unlimited-budget runs; `alpusim sweep --verbose` prints them).
   std::uint64_t peak_unexpected_depth = 0;

@@ -107,6 +107,11 @@ std::vector<SurfaceRow> run_preposted_surface(
         p.fraction_traversed = pt.fraction_traversed;
         p.message_bytes = pt.message_bytes;
         p.shards = options.shards;
+        if (options.seu.any()) {
+          mpi::SystemConfig sys = make_system_config(pt.mode);
+          sys.nic.seu = options.seu;
+          p.system = sys;
+        }
         return run_preposted(p);
       },
       options);

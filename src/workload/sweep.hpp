@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "alpu/seu.hpp"
 #include "workload/scenarios.hpp"
 
 namespace alpu::workload {
@@ -32,6 +33,10 @@ struct SweepOptions {
   /// scenario params; clamped per machine).  1 = single-threaded engine.
   /// Results are byte-identical at every shard count.
   int shards = 1;
+  /// ALPU transient-fault model applied to every data point (sweep
+  /// robustness studies).  Default installs nothing, so the standard
+  /// figure surfaces take the exact pre-fault-model code path.
+  hw::SeuConfig seu;
 };
 
 /// Resolve a --jobs value: <= 0 becomes hardware_concurrency (min 1).

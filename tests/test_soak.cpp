@@ -226,7 +226,7 @@ TEST_P(FaultySoak, LossyNetworkStillConservesAndOrders) {
         p.faults.seed = 0x5eed + pt.seed;
         return workload::run_chaos(p);
       },
-      workload::SweepOptions{.jobs = 4});
+      workload::SweepOptions{.jobs = 4, .shards = 1, .seu = {}});
   for (std::size_t i = 0; i < results.size(); ++i) {
     const workload::ChaosResult& r = results[i];
     EXPECT_TRUE(r.ok()) << "drop=" << grid[i].drop << " seed=" << grid[i].seed

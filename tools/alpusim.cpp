@@ -62,6 +62,19 @@ int usage() {
                "   (check mode; --flow model-checks\n"
                "                               the eager flow-control"
                " spec)\n"
+               "               [--faults]   (check mode: add deterministic"
+               " bit corruption to the\n"
+               "                               alphabet; the spec demands"
+               " parity detection + recovery)\n"
+               "               [--seu-rate R] [--seu-seed S]"
+               " [--scrub-interval-us N]\n"
+               "                               (sweep/chaos: ALPU SEU"
+               " injection, parity planes,\n"
+               "                               background scrub)\n"
+               "               [--inject-silent-flip]   (check/chaos"
+               " must-fail hook: one flip\n"
+               "                               behind the parity layer's"
+               " back)\n"
                "               [--drop R] [--dup R] [--reorder R]"
                " [--corrupt R] [--ranks N]\n"
                "               [--per-pair N] [--seeds N] [--fault-seed S]\n"
@@ -121,6 +134,25 @@ bool apply_reliability_flags(const common::Flags& flags,
   return any;
 }
 
+/// ALPU transient-fault knobs shared by the sweep and chaos paths.
+/// Returns true when the resulting config actually installs the model
+/// (rate or scrub nonzero) — zero-rate runs must stay byte-identical to
+/// flag-free ones, so callers gate all SEU output on this.
+bool apply_seu_flags(const common::Flags& flags, hw::SeuConfig* seu) {
+  if (flags.has("seu-rate")) {
+    seu->rate = flags.get_double("seu-rate", 0.0);
+  }
+  if (flags.has("seu-seed")) {
+    seu->seed =
+        static_cast<std::uint64_t>(flags.get_int("seu-seed", 0x5eed));
+  }
+  if (flags.has("scrub-interval-us")) {
+    seu->scrub_interval_ps = static_cast<common::TimePs>(
+        flags.get_int("scrub-interval-us", 0) * 1'000'000);
+  }
+  return seu->any();
+}
+
 /// `alpusim check --flow`: bounded-exhaustive check of the eager
 /// flow-control spec (budgets, RNR NACKs, credits, demotion).
 int run_flow_check(const common::Flags& flags) {
@@ -156,6 +188,7 @@ int run_check(const common::Flags& flags) {
   opt.depth = static_cast<std::size_t>(flags.get_int("depth", 6));
   opt.cells = static_cast<std::size_t>(flags.get_int("cells", 4));
   opt.block = static_cast<std::size_t>(flags.get_int("block", 2));
+  opt.faults = flags.get_bool("faults");
 
   std::vector<check::ImplKind> impls;
   const std::string impl = flags.get("impl", "all");
@@ -193,6 +226,12 @@ int run_check(const common::Flags& flags) {
   // off-by-one in AlpuArray and watch the checker pin it down.
   hw::testing::inject_compaction_off_by_one =
       flags.get_bool("inject-compaction-bug");
+  // Must-fail teeth for the fault model: one bit flip behind the parity
+  // layer's back on the next insert.  The checker must produce a
+  // counterexample — a clean PASS here means the detection is toothless.
+  if (flags.get_bool("inject-silent-flip")) {
+    hw::testing::inject_silent_flip.store(true, std::memory_order_relaxed);
+  }
 
   bool all_ok = true;
   for (check::ImplKind kind : impls) {
@@ -211,6 +250,7 @@ int run_check(const common::Flags& flags) {
     }
   }
   hw::testing::inject_compaction_off_by_one = false;
+  hw::testing::inject_silent_flip.store(false, std::memory_order_relaxed);
   return all_ok ? 0 : 1;
 }
 
@@ -245,12 +285,17 @@ void print_robustness_counters(
     const std::vector<workload::LatencyResult>& results) {
   std::uint64_t faults = 0, retx = 0, rejects = 0, resets = 0, dead = 0;
   std::uint64_t peak_depth = 0, peak_pool = 0, peak_slots = 0;
+  std::uint64_t seu = 0, parity = 0, scrubs = 0, rebuilds = 0;
   for (const auto& r : results) {
     faults += r.net_faults_injected;
     retx += r.retransmits;
     rejects += r.alpu_probe_rejections;
     resets += r.alpu_fallback_resets;
     dead += r.link_failures;
+    seu += r.seu_injected;
+    parity += r.parity_faults;
+    scrubs += r.scrub_sweeps;
+    rebuilds += r.rebuilds;
     peak_depth = std::max(peak_depth, r.peak_unexpected_depth);
     peak_pool = std::max(peak_pool, r.peak_eager_pool_bytes);
     peak_slots = std::max(peak_slots, r.peak_unexpected_slots);
@@ -265,6 +310,16 @@ void print_robustness_counters(
                static_cast<unsigned long long>(resets));
   std::fprintf(stderr, "link_failures=%llu\n",
                static_cast<unsigned long long>(dead));
+  // ALPU transient-fault totals (all zero unless --seu-rate or
+  // --scrub-interval-us configured a fault model for the sweep).
+  std::fprintf(stderr, "seu_injected=%llu\n",
+               static_cast<unsigned long long>(seu));
+  std::fprintf(stderr, "parity_faults=%llu\n",
+               static_cast<unsigned long long>(parity));
+  std::fprintf(stderr, "scrub_sweeps=%llu\n",
+               static_cast<unsigned long long>(scrubs));
+  std::fprintf(stderr, "rebuilds=%llu\n",
+               static_cast<unsigned long long>(rebuilds));
   // Eager-resource high-water marks across the sweep (stats-only
   // tracking: these figures run with an unlimited budget).
   std::fprintf(stderr, "peak_unexpected_depth=%llu\n",
@@ -281,6 +336,7 @@ int run_sweep(const common::Flags& flags) {
   workload::SweepOptions sweep;
   sweep.jobs = static_cast<int>(flags.get_int("jobs", 0));
   sweep.shards = static_cast<int>(flags.get_int("shards", 1));
+  apply_seu_flags(flags, &sweep.seu);
   const bool quick = flags.get_bool("quick");
   const bool verbose = flags.get_bool("verbose");
   const std::int64_t figure = flags.get_int("figure", 5);
@@ -327,6 +383,11 @@ int run_sweep(const common::Flags& flags) {
           p.mode = pt.mode;
           p.queue_length = pt.length;
           p.shards = sweep.shards;
+          if (sweep.seu.any()) {
+            mpi::SystemConfig sys = workload::make_system_config(pt.mode);
+            sys.nic.seu = sweep.seu;
+            p.system = sys;
+          }
           return workload::run_unexpected(p);
         },
         sweep);
@@ -385,6 +446,11 @@ int run_chaos(const common::Flags& flags) {
       flags.get_int("pool-bytes", overload ? 32'768 : 0));
   const auto slots = static_cast<std::uint32_t>(
       flags.get_int("slots", overload ? 16 : 0));
+  // ALPU transient faults compound with the network faults: the same
+  // soak must stay exactly-once / in-order / drained while the parity +
+  // scrub + rebuild machinery absorbs bit flips underneath it.
+  hw::SeuConfig seu;
+  const bool seu_on = apply_seu_flags(flags, &seu);
 
   std::vector<double> rates;
   if (flags.has("drop")) {
@@ -413,6 +479,13 @@ int run_chaos(const common::Flags& flags) {
     hw::testing::inject_lookahead_violation.store(true,
                                                   std::memory_order_relaxed);
   }
+  // Must-fail hook for the SEU CI job: one flip behind the parity
+  // layer's back.  Run with --jobs 1 --shards 1 and no --seu flags; the
+  // corrupted entry mismatches a receive, so the soak must FAIL — a
+  // PASS means silent corruption got through undetected.
+  if (flags.get_bool("inject-silent-flip")) {
+    hw::testing::inject_silent_flip.store(true, std::memory_order_relaxed);
+  }
 
   const std::vector<workload::ChaosResult> results = workload::sweep_map(
       points,
@@ -427,6 +500,7 @@ int run_chaos(const common::Flags& flags) {
         p.faults.reorder_rate = flags.get_double("reorder", pt.rate / 2.0);
         p.faults.corrupt_rate = flags.get_double("corrupt", pt.rate / 2.0);
         p.faults.seed = fault_seed + pt.seed;
+        p.seu = seu;
         p.shards = sweep.shards;
         p.overload = overload;
         p.eager_pool_bytes = pool_bytes;
@@ -437,15 +511,20 @@ int run_chaos(const common::Flags& flags) {
       sweep);
 
   // The default CSV is a pinned interface (CI diffs it across --jobs);
-  // the flow-control columns only appear when a budget is in play.
+  // the flow-control columns only appear when a budget is in play, and
+  // the SEU columns only when a fault model is actually installed — a
+  // zero-rate run must be byte-identical to a flag-free one.
   const bool extended = overload || pool_bytes > 0 || slots > 0;
   std::printf(
       "drop_rate,seed,messages,sim_ms,drops,dups,reorders,corruptions,"
-      "retransmits,timeouts,crc_drops,dup_drops,fallback_resets,%sok\n",
+      "retransmits,timeouts,crc_drops,dup_drops,fallback_resets,%s%sok\n",
       extended ? "rnr_nacks,rnr_retries,credit_acks,demotions,"
                  "demoted_sends,peak_pool,peak_slots,peak_depth,stalls,"
-               : "");
+               : "",
+      seu_on ? "seu_injected,parity_faults,scrub_sweeps,rebuilds," : "");
   bool all_ok = true;
+  std::uint64_t total_parity_faults = 0, total_rebuilds = 0;
+  common::TimePs total_detect_latency = 0;
   for (std::size_t i = 0; i < points.size(); ++i) {
     const workload::ChaosResult& r = results[i];
     all_ok = all_ok && r.ok();
@@ -476,6 +555,16 @@ int run_chaos(const common::Flags& flags) {
           static_cast<unsigned long long>(r.peak_unexpected_depth),
           static_cast<unsigned long long>(r.stalls));
     }
+    if (seu_on) {
+      total_parity_faults += r.parity_faults;
+      total_rebuilds += r.rebuilds;
+      total_detect_latency += r.seu_detect_latency_ps;
+      std::printf("%llu,%llu,%llu,%llu,",
+                  static_cast<unsigned long long>(r.seu_injected),
+                  static_cast<unsigned long long>(r.parity_faults),
+                  static_cast<unsigned long long>(r.scrub_sweeps),
+                  static_cast<unsigned long long>(r.rebuilds));
+    }
     std::printf("%s\n", r.ok() ? "PASS" : "FAIL");
     if (!r.ok()) {
       std::fprintf(stderr,
@@ -493,6 +582,28 @@ int run_chaos(const common::Flags& flags) {
                    static_cast<unsigned long long>(r.peak_unexpected_slots),
                    static_cast<unsigned long long>(r.slot_budget));
     }
+  }
+  // Teeth for the SEU soak: with a nonzero injection rate the grid must
+  // actually have exercised the machinery — at least one detected parity
+  // fault and at least one completed rebuild — or the "survived" verdict
+  // proves nothing.
+  if (seu.rate > 0.0 &&
+      (total_parity_faults == 0 || total_rebuilds == 0)) {
+    std::fprintf(stderr,
+                 "chaos: SEU soak toothless — rate=%g yet "
+                 "parity_faults=%llu rebuilds=%llu across the grid\n",
+                 seu.rate,
+                 static_cast<unsigned long long>(total_parity_faults),
+                 static_cast<unsigned long long>(total_rebuilds));
+    all_ok = false;
+  }
+  if (seu_on && total_parity_faults > 0) {
+    // Mean injection-to-detection latency across the grid (stderr, so
+    // the CSV interface is untouched) — the number the scrub-interval
+    // study in EXPERIMENTS.md reports.
+    std::fprintf(stderr, "seu_detect_latency_avg_us=%.2f\n",
+                 common::to_ns(total_detect_latency) / 1e3 /
+                     static_cast<double>(total_parity_faults));
   }
   std::fprintf(stderr, "chaos: %s (%zu points)\n", all_ok ? "PASS" : "FAIL",
                points.size());

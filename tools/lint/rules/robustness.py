@@ -82,6 +82,126 @@ def _check_unbounded_peer_growth(path, raw_lines, code_lines,
                 f"waive with the bound spelled out)")
 
 
+# --- alpu-plane-write-outside-parity ----------------------------------
+#
+# The ALPU match array keeps a parity bit per plane word (bits/mask/
+# cookie) and per validity word; every store to a plane must reheal the
+# covering parity via the parity_update_* / parity_rebuild_* accessors
+# or the SEU detection layer silently stops covering that word — the
+# exact failure class (silent corruption) the fault model exists to
+# rule out.  This rule flags plane stores in src/alpu whose enclosing
+# function never calls a parity accessor afterwards.  The window runs
+# to the end of the function (the closing brace at column zero) rather
+# than a fixed line count because compaction memmoves a whole range and
+# reheals once at the end.  Deliberate corruption sites (the injector,
+# corrupt_for_test, the silent-flip teeth) carry waivers naming this
+# rule.  Container geometry calls (.assign/.resize in configure) are
+# out of scope: they run before a fault model can be installed and
+# install_fault_model() rebuilds all parity from scratch.
+
+PLANES = r"(?:bits_|mask_|cookie_|valid_)"
+
+# A store: subscript assignment (plain or compound, but not ==),
+# std::fill over a plane, or mem{move,cpy,set} with a plane destination.
+PLANE_STORE = re.compile(
+    rf"\b{PLANES}\s*\[[^\]]*\]\s*(?:[|&^+*/-]?=)(?!=)"
+    rf"|\b(?:std::)?fill(?:_n)?\s*\(\s*{PLANES}"
+    rf"|\bmem(?:move|cpy|set)\s*\(\s*&?\s*{PLANES}")
+PARITY_REHEAL = re.compile(r"\bparity_(?:update|rebuild)_\w+\s*\(")
+FUNCTION_END = re.compile(r"^\}")
+
+
+def _check_plane_write_outside_parity(path, raw_lines, code_lines,
+                                      ctx) -> Iterator[tuple[int, str]]:
+    del raw_lines, ctx
+    if "alpu" not in path.parts:
+        return
+    for lineno, code in enumerate(code_lines, start=1):
+        if not PLANE_STORE.search(code):
+            continue
+        healed = False
+        for later in code_lines[lineno - 1:]:
+            if PARITY_REHEAL.search(later):
+                healed = True
+                break
+            if FUNCTION_END.match(later):
+                break
+        if healed:
+            continue
+        yield lineno, (
+            "store to a parity-protected ALPU plane with no "
+            "parity_update_*/parity_rebuild_* reheal before the end of "
+            "the function (the SEU layer stops covering the word; "
+            "reheal it, or waive deliberate corruption naming this "
+            "rule)")
+
+
+register(Rule(
+    id="alpu-plane-write-outside-parity", category="robustness",
+    severity="error",
+    description="ALPU match-plane store (bits_/mask_/cookie_/valid_) "
+                "without a parity reheal in the same function — silent "
+                "corruption the fault model cannot detect",
+    check=_check_plane_write_outside_parity,
+    self_tests=[
+        SelfTestCase(
+            "src/alpu/x.cpp",
+            "void f(std::size_t i) {\n"
+            "  bits_[i] = w;\n"
+            "}\n",
+            expect_hit=True),
+        SelfTestCase(
+            "src/alpu/x.cpp",
+            "void f(std::size_t i) {\n"
+            "  bits_[i] = w;\n"
+            "  valid_[i >> 6] |= std::uint64_t{1} << (i & 63);\n"
+            "  parity_update_cell(i);\n"
+            "  parity_update_valid_word(i >> 6);\n"
+            "}\n",
+            expect_hit=False),
+        SelfTestCase(
+            "src/alpu/x.cpp",
+            "void f(std::size_t lo) {\n"
+            "  std::memmove(&bits_[lo], &bits_[lo + 1], n);\n"
+            "}\n",
+            expect_hit=True),
+        SelfTestCase(
+            "src/alpu/x.cpp",
+            "void f(std::size_t lo) {\n"
+            "  std::memmove(&bits_[lo], &bits_[lo + 1], n);\n"
+            "  // the verify above vouches for the source range\n"
+            "  parity_update_range(lo, occupancy_ + 1);\n"
+            "}\n",
+            expect_hit=False),
+        SelfTestCase(
+            "src/alpu/x.cpp",
+            "void f() {\n"
+            "  std::fill(cookie_.begin(), cookie_.end(), 0);\n"
+            "  parity_rebuild_all();\n"
+            "}\n",
+            expect_hit=False),
+        SelfTestCase(
+            "src/alpu/x.cpp",
+            "bool f(std::size_t i) {\n"
+            "  return ((bits_[i] ^ probe.bits) & care) == 0;\n"
+            "}\n",
+            expect_hit=False),  # read, not a store
+        SelfTestCase(
+            "src/alpu/x.cpp",
+            "void f(std::size_t cell) {\n"
+            "  bits_[cell] ^= MatchWord{1} << bit;"
+            "  // lint: ok(alpu-plane-write-outside-parity) — injector\n"
+            "}\n",
+            expect_hit=False),  # waived deliberate corruption
+        SelfTestCase(
+            "src/mem/x.cpp",
+            "void f(std::size_t i) {\n"
+            "  bits_[i] = w;\n"
+            "}\n",
+            expect_hit=False),  # outside src/alpu
+    ]))
+
+
 register(Rule(
     id="unbounded-peer-growth", category="robustness", severity="error",
     description="unchecked growth of peer-keyed containers on the NIC/net "
